@@ -1,0 +1,249 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// GClock commit wait (error-bound cost), the RCP heartbeat interval
+// (freshness vs. overhead), and replica-read routing versus primary reads.
+// These are not paper figures; they quantify why each mechanism is built
+// the way it is.
+package globaldb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/clock"
+	"globaldb/internal/ts"
+)
+
+func ablationConfig() globaldb.Config {
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.02
+	cfg.Shards = 4
+	return cfg
+}
+
+func ablationSchema() *globaldb.Schema {
+	return &globaldb.Schema{
+		Name: "kv",
+		Columns: []globaldb.Column{
+			{Name: "k", Kind: globaldb.Int64},
+			{Name: "v", Kind: globaldb.String},
+		},
+		PK: []int{0},
+	}
+}
+
+// BenchmarkAblationCommitWaitErrorBound measures single-shard commit
+// latency as the clock error bound grows (Terr = Tsync + Tdrift, Eq. 1).
+// The commit wait is proportional to Terr: precise clocks are what make
+// GClock commits cheap.
+func BenchmarkAblationCommitWaitErrorBound(b *testing.B) {
+	ctx := context.Background()
+	for _, syncRTT := range []time.Duration{60 * time.Microsecond, 1 * time.Millisecond, 5 * time.Millisecond} {
+		b.Run(fmt.Sprintf("Tsync=%v", syncRTT), func(b *testing.B) {
+			cfg := ablationConfig()
+			cfg.Clock = clock.NodeConfig{
+				SyncRTT:      syncRTT,
+				MaxDriftPPM:  200,
+				SyncInterval: time.Millisecond,
+			}
+			db, err := globaldb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.CreateTable(ctx, ablationSchema()); err != nil {
+				b.Fatal(err)
+			}
+			sess, err := db.Connect("xian")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				tx, err := sess.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Insert(ctx, "kv", globaldb.Row{int64(i), "v"}); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/commit")
+		})
+	}
+}
+
+// BenchmarkAblationGTMvsGClockCommit compares commit cost under
+// centralized (GTM) and decentralized (GClock) transaction management on
+// the three-city cluster, from a CN that is remote from the GTM — the
+// core of the paper's Sec. III argument.
+func BenchmarkAblationGTMvsGClockCommit(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []ts.Mode{ts.ModeGTM, ts.ModeGClock} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := ablationConfig()
+			cfg.Mode = mode
+			db, err := globaldb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.CreateTable(ctx, ablationSchema()); err != nil {
+				b.Fatal(err)
+			}
+			// Dongguan is the farthest region from the GTM in Langzhong.
+			sess, err := db.Connect("dongguan")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				tx, err := sess.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Insert(ctx, "kv", globaldb.Row{int64(i), "v"}); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/commit")
+		})
+	}
+}
+
+// BenchmarkAblationHeartbeatRCPLag measures how far the RCP trails a fresh
+// commit for different heartbeat intervals. Heartbeats are what keep the
+// RCP advancing on idle shards (Sec. IV-A); slower heartbeats mean staler
+// replica reads.
+func BenchmarkAblationHeartbeatRCPLag(b *testing.B) {
+	ctx := context.Background()
+	for _, hb := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		b.Run(fmt.Sprintf("heartbeat=%v", hb), func(b *testing.B) {
+			cfg := ablationConfig()
+			cfg.RCP.HeartbeatInterval = hb
+			db, err := globaldb.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.CreateTable(ctx, ablationSchema()); err != nil {
+				b.Fatal(err)
+			}
+			sess, err := db.Connect("xian")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var totalLag time.Duration
+			for i := 0; i < b.N; i++ {
+				tx, err := sess.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Insert(ctx, "kv", globaldb.Row{int64(i), "v"}); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				for db.Cluster().Collector.RCP() < tx.CommitTS() {
+					time.Sleep(200 * time.Microsecond)
+					if time.Since(start) > 10*time.Second {
+						b.Fatal("RCP stalled")
+					}
+				}
+				totalLag += time.Since(start)
+			}
+			b.ReportMetric(float64(totalLag.Microseconds())/float64(b.N), "µs-RCP-lag")
+		})
+	}
+}
+
+// BenchmarkAblationLocalReplicaVsRemotePrimary quantifies the latency win
+// of the ROR path: a point read served by the local replica versus the
+// same read forced to a remote shard primary.
+func BenchmarkAblationLocalReplicaVsRemotePrimary(b *testing.B) {
+	ctx := context.Background()
+	cfg := ablationConfig()
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(ctx, ablationSchema()); err != nil {
+		b.Fatal(err)
+	}
+	// Load rows and find one whose shard primary is remote from Dongguan.
+	loader, _ := db.Connect("xian")
+	var remoteKey int64 = -1
+	var lastTx *globaldb.Tx
+	for i := int64(0); i < 32; i++ {
+		tx, err := loader.Begin(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Insert(ctx, "kv", globaldb.Row{i, "v"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+		lastTx = tx
+		shard := db.Cluster().ShardOf(i)
+		if db.Cluster().Primaries()[shard].Region() != "dongguan" && remoteKey < 0 {
+			remoteKey = i
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for db.Cluster().Collector.RCP() < lastTx.CommitTS() {
+		if time.Now().After(deadline) {
+			b.Fatal("RCP never caught up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sess, err := db.Connect("dongguan")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("remote-primary", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			tx, err := sess.Begin(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, found, err := tx.Get(ctx, "kv", []any{remoteKey}); err != nil || !found {
+				b.Fatalf("get: %v %v", found, err)
+			}
+			if err := tx.Commit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/read")
+	})
+	b.Run("local-replica", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			q, err := sess.ReadOnly(ctx, globaldb.AnyStaleness, "kv")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, found, err := q.Get(ctx, "kv", []any{remoteKey}); err != nil || !found {
+				b.Fatalf("get: %v %v", found, err)
+			}
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/read")
+	})
+}

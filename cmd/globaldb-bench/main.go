@@ -1,0 +1,108 @@
+// Command globaldb-bench regenerates the paper's evaluation figures
+// (Sec. V, Figs. 1a and 6a–6d) plus the zero-downtime transition timeline.
+//
+// Usage:
+//
+//	globaldb-bench -fig all            # every figure at quick parameters
+//	globaldb-bench -fig 6b -full       # one figure, full sweep
+//	globaldb-bench -fig transition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"globaldb/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 6a, 6b, 6c, 6d, transition, all")
+	full := flag.Bool("full", false, "run the full sweep (longer windows, all RTT points)")
+	flag.Parse()
+
+	p := experiments.Quick()
+	if *full {
+		p = experiments.Full()
+	}
+	ctx := context.Background()
+
+	run := func(name string) error {
+		switch name {
+		case "1a":
+			s, err := experiments.Fig1a(ctx, p)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s.Table())
+		case "6a":
+			s, err := experiments.Fig6a(ctx, p)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s.Table())
+		case "6b":
+			series, err := experiments.Fig6b(ctx, p)
+			if err != nil {
+				return err
+			}
+			for _, s := range series {
+				fmt.Print(s.Table())
+			}
+		case "6c":
+			series, err := experiments.Fig6c(ctx, p)
+			if err != nil {
+				return err
+			}
+			for _, s := range series {
+				fmt.Print(s.Table())
+			}
+		case "6d":
+			series, err := experiments.Fig6d(ctx, p)
+			if err != nil {
+				return err
+			}
+			for _, s := range series {
+				fmt.Print(s.Table())
+			}
+		case "transition":
+			counts, err := experiments.TransitionTimeline(ctx, p)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Zero-downtime transition: committed transactions per window ==")
+			fmt.Println("   (GTM -> GClock after 1/4 of the run, back to GTM after 3/4)")
+			for w, c := range counts {
+				fmt.Printf("window %2d: %6d commits %s\n", w, c, strings.Repeat("#", scaleBar(c, counts)))
+			}
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"1a", "6a", "6b", "6c", "6d", "transition"}
+	}
+	for _, f := range figs {
+		fmt.Printf("\n### Figure %s ###\n", f)
+		if err := run(f); err != nil {
+			fmt.Fprintf(os.Stderr, "globaldb-bench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scaleBar sizes an ASCII bar relative to the max window.
+func scaleBar(c int64, all []int64) int {
+	var max int64 = 1
+	for _, v := range all {
+		if v > max {
+			max = v
+		}
+	}
+	return int(c * 40 / max)
+}

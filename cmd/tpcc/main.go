@@ -1,0 +1,123 @@
+// Command tpcc runs the TPC-C benchmark against an in-process GlobalDB
+// cluster with configurable topology, system (baseline or globaldb), scale,
+// and locality.
+//
+// Usage:
+//
+//	tpcc -system globaldb -topology threecity -warehouses 8 -clients 32 -duration 2s
+//	tpcc -system baseline -topology oneregion -rtt 50ms -remote-pct 10
+//	tpcc -readonly -multishard-pct 50       # the paper's Fig. 6c workload
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/coordinator"
+	"globaldb/internal/harness"
+	"globaldb/internal/repl"
+	"globaldb/internal/ts"
+	"globaldb/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		system     = flag.String("system", "globaldb", "baseline (GTM, primary reads) or globaldb (GClock, ROR)")
+		topology   = flag.String("topology", "threecity", "threecity or oneregion")
+		rtt        = flag.Duration("rtt", 50*time.Millisecond, "injected RTT for -topology oneregion")
+		scale      = flag.Float64("timescale", 0.2, "simulated-delay scale factor")
+		warehouses = flag.Int("warehouses", 6, "TPC-C warehouses")
+		clients    = flag.Int("clients", 24, "concurrent terminals")
+		duration   = flag.Duration("duration", 2*time.Second, "measured window")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+		remotePct  = flag.Int("remote-pct", 0, "percent of New-Order/Payment touching a remote warehouse")
+		syncRepl   = flag.Bool("sync", false, "synchronous (quorum) replication")
+		readonly   = flag.Bool("readonly", false, "run the read-only variant (Order-Status + Stock-Level)")
+		multiPct   = flag.Int("multishard-pct", 50, "percent of read-only queries on a non-home warehouse")
+	)
+	flag.Parse()
+
+	var cfg globaldb.Config
+	switch *topology {
+	case "threecity":
+		cfg = globaldb.ThreeCity()
+	case "oneregion":
+		cfg = globaldb.OneRegion(*rtt)
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	cfg.TimeScale = *scale
+	useROR := false
+	switch *system {
+	case "globaldb":
+		cfg.Mode = ts.ModeGClock
+		cfg.Shipper = repl.DefaultShipperConfig()
+		useROR = true
+	case "baseline":
+		cfg.Mode = ts.ModeGTM
+		cfg.Shipper = repl.BaselineShipperConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "tpcc: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	if *syncRepl {
+		cfg.ReplMode = repl.SyncQuorum
+		cfg.Quorum = cfg.ReplicasPerShard
+	}
+
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	tc := tpcc.DefaultConfig()
+	tc.Warehouses = *warehouses
+	tc.RemotePct = *remotePct
+	d := tpcc.New(db, tc)
+
+	ctx := context.Background()
+	fmt.Printf("loading TPC-C: %d warehouses on %s (%s mode, repl %v)...\n",
+		tc.Warehouses, *topology, cfg.Mode, cfg.ReplMode)
+	if err := d.CreateTables(ctx); err != nil {
+		fatal(err)
+	}
+	if err := d.Load(ctx); err != nil {
+		fatal(err)
+	}
+
+	var work harness.Workload
+	if *readonly {
+		work = func(ctx context.Context, client int) error {
+			return d.ReadOnlyTerminal(client, *multiPct, useROR, coordinator.AnyStaleness)(ctx)
+		}
+	} else {
+		work = func(ctx context.Context, client int) error {
+			return d.Terminal(client)(ctx)
+		}
+	}
+
+	fmt.Printf("running %d terminals for %v (warmup %v)...\n", *clients, *duration, *warmup)
+	res := harness.Run(ctx, harness.Options{
+		Name: fmt.Sprintf("tpcc/%s/%s", *system, *topology), Clients: *clients,
+		Duration: *duration, Warmup: *warmup,
+	}, work)
+	fmt.Println(res)
+
+	if !*readonly {
+		if err := d.ConsistencyCheck(ctx); err != nil {
+			fatal(fmt.Errorf("consistency check failed: %w", err))
+		}
+		fmt.Println("consistency check: OK")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Banking: cross-shard transfers under two-phase commit with external
+// consistency. Concurrent transfer transactions race from two regions while
+// an auditor keeps verifying that money is conserved — both on primaries
+// and on asynchronous replicas at the RCP snapshot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb"
+)
+
+const (
+	accounts       = 20
+	initialBalance = 1000.0
+)
+
+func main() {
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.05
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	if err := db.CreateTable(ctx, &globaldb.Schema{
+		Name: "accounts",
+		Columns: []globaldb.Column{
+			{Name: "id", Kind: globaldb.Int64},
+			{Name: "balance", Kind: globaldb.Float64},
+		},
+		PK: []int{0},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	seed, err := db.Connect("xian")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx, _ := seed.Begin(ctx)
+	for id := int64(1); id <= accounts; id++ {
+		if err := tx.Insert(ctx, "accounts", globaldb.Row{id, initialBalance}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeded %d accounts x %.0f\n", accounts, initialBalance)
+
+	// Transfer workers in two regions; conflicts abort and retry, exactly
+	// like a real OLTP client.
+	var transfers, conflicts atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i, region := range []string{"xian", "dongguan"} {
+		wg.Add(1)
+		go func(i int, region string) {
+			defer wg.Done()
+			sess, err := db.Connect(region)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := int64(1 + rng.Intn(accounts))
+				to := int64(1 + rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				amount := float64(1 + rng.Intn(50))
+				if err := transfer(ctx, sess, from, to, amount); err != nil {
+					conflicts.Add(1)
+					continue
+				}
+				transfers.Add(1)
+			}
+		}(i, region)
+	}
+
+	// Auditor: primaries first, then replicas at the RCP.
+	audit := func(replica bool) {
+		sess, _ := db.Connect("langzhong")
+		total := 0.0
+		if replica {
+			q, err := sess.ReadOnly(ctx, globaldb.AnyStaleness, "accounts")
+			if err != nil {
+				log.Fatal(err)
+			}
+			for id := int64(1); id <= accounts; id++ {
+				row, found, err := q.Get(ctx, "accounts", []any{id})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if found {
+					total += row[1].(float64)
+				}
+			}
+			if total != 0 && total != accounts*initialBalance {
+				log.Fatalf("REPLICA AUDIT FAILED: total=%v", total)
+			}
+			fmt.Printf("replica audit ok (snapshot %v): total=%.0f\n", q.Snapshot(), total)
+			return
+		}
+		txa, err := sess.Begin(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for id := int64(1); id <= accounts; id++ {
+			row, _, err := txa.Get(ctx, "accounts", []any{id})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += row[1].(float64)
+		}
+		txa.Commit(ctx)
+		if total != accounts*initialBalance {
+			log.Fatalf("PRIMARY AUDIT FAILED: total=%v", total)
+		}
+		fmt.Printf("primary audit ok: total=%.0f\n", total)
+	}
+
+	for round := 0; round < 5; round++ {
+		time.Sleep(100 * time.Millisecond)
+		audit(false)
+		audit(true)
+	}
+	close(stop)
+	wg.Wait()
+	fmt.Printf("done: %d transfers committed, %d conflicts retried\n", transfers.Load(), conflicts.Load())
+}
+
+// transfer moves amount between two accounts; crossing shards triggers 2PC.
+func transfer(ctx context.Context, sess *globaldb.Session, from, to int64, amount float64) error {
+	tx, err := sess.Begin(ctx)
+	if err != nil {
+		return err
+	}
+	fromRow, found, err := tx.Get(ctx, "accounts", []any{from})
+	if err != nil || !found {
+		tx.Abort(ctx)
+		return fmt.Errorf("account %d: %v", from, err)
+	}
+	toRow, found, err := tx.Get(ctx, "accounts", []any{to})
+	if err != nil || !found {
+		tx.Abort(ctx)
+		return fmt.Errorf("account %d: %v", to, err)
+	}
+	fromRow[1] = fromRow[1].(float64) - amount
+	toRow[1] = toRow[1].(float64) + amount
+	if err := tx.Update(ctx, "accounts", fromRow); err != nil {
+		tx.Abort(ctx)
+		return err
+	}
+	if err := tx.Update(ctx, "accounts", toRow); err != nil {
+		tx.Abort(ctx)
+		return err
+	}
+	return tx.Commit(ctx)
+}

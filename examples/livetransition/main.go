@@ -1,0 +1,122 @@
+// Livetransition: the paper's zero-downtime bi-directional switch between
+// centralized (GTM) and clock-based (GClock) transaction management
+// (Sec. III-A). The cluster starts on the GTM, migrates to GClock under
+// live load, suffers a clock-device failure, and falls back to GTM — all
+// while worker goroutines keep committing and verifying monotonic commit
+// timestamps.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/ts"
+)
+
+func main() {
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.05
+	cfg.Mode = ts.ModeGTM // start centralized, like an upgraded legacy cluster
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	if err := db.CreateTable(ctx, &globaldb.Schema{
+		Name: "events",
+		Columns: []globaldb.Column{
+			{Name: "id", Kind: globaldb.Int64},
+			{Name: "worker", Kind: globaldb.Int64},
+		},
+		PK: []int{0},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	var committed, aborted atomic.Int64
+	var seq atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, region := range db.Regions() {
+		wg.Add(1)
+		go func(i int, region string) {
+			defer wg.Done()
+			sess, err := db.Connect(region)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var prev int64 // previous commit timestamp: must only grow
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := sess.Begin(ctx)
+				if err != nil {
+					aborted.Add(1)
+					continue
+				}
+				id := seq.Add(1)
+				if err := tx.Insert(ctx, "events", globaldb.Row{id, int64(i)}); err != nil {
+					tx.Abort(ctx)
+					aborted.Add(1)
+					continue
+				}
+				if err := tx.Commit(ctx); err != nil {
+					aborted.Add(1) // stale GTM txns abort at the boundary; clients retry
+					continue
+				}
+				if int64(tx.Snapshot()) <= prev && prev != 0 {
+					// The snapshot grows across transactions on one session.
+					log.Fatalf("monotonicity violated: %v after %v", tx.Snapshot(), prev)
+				}
+				prev = int64(tx.Snapshot())
+				committed.Add(1)
+			}
+		}(i, region)
+	}
+
+	report := func(phase string) {
+		time.Sleep(300 * time.Millisecond)
+		fmt.Printf("%-34s mode=%-7v committed=%-6d aborted=%d\n",
+			phase, db.Mode(), committed.Load(), aborted.Load())
+	}
+
+	report("phase 1: centralized GTM")
+
+	if err := db.TransitionToGClock(ctx); err != nil {
+		log.Fatal(err)
+	}
+	report("phase 2: after GTM->GClock (live)")
+
+	// A regional time device fails: error bounds grow. The operator falls
+	// back to centralized management without stopping the cluster.
+	fmt.Println("-- injecting clock-device failure in xian --")
+	db.Cluster().FailClockDevice("xian", true)
+	time.Sleep(100 * time.Millisecond)
+	if err := db.TransitionToGTM(ctx); err != nil {
+		log.Fatal(err)
+	}
+	report("phase 3: after clock failure -> GTM")
+
+	// The device heals; move back to decentralized timestamps.
+	db.Cluster().FailClockDevice("xian", false)
+	time.Sleep(50 * time.Millisecond)
+	if err := db.TransitionToGClock(ctx); err != nil {
+		log.Fatal(err)
+	}
+	report("phase 4: healed -> GClock again")
+
+	close(stop)
+	wg.Wait()
+	fmt.Printf("\ntotal: %d commits, %d aborts/retries — zero downtime across 3 transitions\n",
+		committed.Load(), aborted.Load())
+}

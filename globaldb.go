@@ -1,0 +1,634 @@
+// Package globaldb is the public API of GlobalDB, a from-scratch Go
+// reproduction of "GaussDB-Global: A Geographically Distributed Database
+// System" (ICDE 2024).
+//
+// A DB is an in-process, geographically simulated cluster: regions
+// connected by a modeled WAN, per-region computing nodes with synchronized
+// clocks (or a centralized GTM), sharded multi-version storage with
+// asynchronous redo replication, RCP-consistent replica reads, and online
+// transitions between centralized and clock-based transaction management.
+//
+// Typical use:
+//
+//	db, _ := globaldb.Open(globaldb.ThreeCity())
+//	defer db.Close()
+//	sess := db.Connect("xian")
+//	tx, _ := sess.Begin(ctx)
+//	tx.Insert(ctx, "accounts", table.Row{int64(1), "alice", 100.0})
+//	tx.Commit(ctx)
+//
+//	q, _ := sess.ReadOnly(ctx, globaldb.AnyStaleness, "accounts")
+//	row, found, _ := q.Get(ctx, "accounts", []any{int64(1)})
+package globaldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"globaldb/internal/cluster"
+	"globaldb/internal/coordinator"
+	"globaldb/internal/datanode"
+	"globaldb/internal/keys"
+	"globaldb/internal/placement"
+	"globaldb/internal/storage/mvcc"
+	"globaldb/internal/table"
+	"globaldb/internal/ts"
+)
+
+// Re-exported configuration types and helpers.
+type (
+	// Config describes a cluster deployment (regions, links, shards,
+	// replication, transaction management mode).
+	Config = cluster.Config
+	// LinkSpec declares a WAN link between two regions.
+	LinkSpec = cluster.LinkSpec
+	// Schema describes a table.
+	Schema = table.Schema
+	// Column describes a table column.
+	Column = table.Column
+	// Index describes a secondary index.
+	Index = table.Index
+	// Row is a tuple of column values.
+	Row = table.Row
+)
+
+// Column kinds, re-exported.
+const (
+	Int64   = table.Int64
+	Float64 = table.Float64
+	String  = table.String
+	Bytes   = table.Bytes
+	Bool    = table.Bool
+)
+
+// AnyStaleness disables the freshness bound on read-only queries.
+const AnyStaleness = coordinator.AnyStaleness
+
+// ThreeCity returns the paper's three-city topology (Xi'an, Langzhong,
+// Dongguan; 25/35/55 ms RTTs).
+func ThreeCity() Config { return cluster.ThreeCity() }
+
+// OneRegion returns the paper's single-datacenter topology with injected
+// inter-node latency.
+func OneRegion(injectedRTT time.Duration) Config { return cluster.OneRegion(injectedRTT) }
+
+// Errors.
+var (
+	// ErrNotFound is returned by lookups that match no row.
+	ErrNotFound = errors.New("globaldb: row not found")
+)
+
+// DB is an open cluster.
+type DB struct {
+	c *cluster.Cluster
+}
+
+// Open builds and starts a cluster.
+func Open(cfg Config) (*DB, error) {
+	c, err := cluster.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{c: c}, nil
+}
+
+// Close stops the cluster's background activity.
+func (db *DB) Close() { db.c.Close() }
+
+// Cluster exposes the underlying cluster for benchmarks, failure injection
+// and observability.
+func (db *DB) Cluster() *cluster.Cluster { return db.c }
+
+// CreateTable registers a schema cluster-wide, stamping the DDL with a
+// commit timestamp that read-on-replica queries gate on.
+func (db *DB) CreateTable(ctx context.Context, s *Schema) error {
+	return db.c.CreateTable(ctx, s)
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(ctx context.Context, name string) error {
+	return db.c.DropTable(ctx, name)
+}
+
+// TransitionToGClock migrates the live cluster to decentralized clock-based
+// transaction management (zero downtime).
+func (db *DB) TransitionToGClock(ctx context.Context) error {
+	return db.c.TransitionToGClock(ctx)
+}
+
+// TransitionToGTM migrates back to centralized management, e.g. after a
+// clock failure.
+func (db *DB) TransitionToGTM(ctx context.Context) error {
+	return db.c.TransitionToGTM(ctx)
+}
+
+// Mode reports the current transaction management mode.
+func (db *DB) Mode() ts.Mode { return db.c.Mode() }
+
+// Placement types, re-exported for the geographic load-balancing advisor
+// (the paper's future-work "transparent load balancing based on
+// geographical access patterns").
+type (
+	// PlacementMove is one recommended primary relocation.
+	PlacementMove = placement.Move
+	// PlacementConfig tunes the advisor.
+	PlacementConfig = placement.Config
+)
+
+// DefaultPlacementConfig returns conservative advisor settings.
+func DefaultPlacementConfig() PlacementConfig { return placement.DefaultConfig() }
+
+// AdvisePlacement recommends moving shard primaries toward the regions
+// that dominate their traffic, based on access counts accumulated since
+// the cluster opened (or since ResetPlacementWindow).
+func (db *DB) AdvisePlacement(cfg PlacementConfig) []PlacementMove {
+	return db.c.AdvisePlacement(cfg)
+}
+
+// ResetPlacementWindow clears the advisor's access counts, starting a new
+// observation window.
+func (db *DB) ResetPlacementWindow() { db.c.Placement.Reset() }
+
+// MovePrimary relocates a shard's primary into the target region by
+// catching up and promoting that region's replica. In-flight transactions
+// on the shard may abort and retry, as during failover.
+func (db *DB) MovePrimary(ctx context.Context, shard int, region string) error {
+	return db.c.MovePrimary(ctx, shard, region)
+}
+
+// Regions lists the cluster's regions.
+func (db *DB) Regions() []string { return db.c.Regions() }
+
+// Connect returns a session homed at the region's computing node.
+func (db *DB) Connect(region string) (*Session, error) {
+	cn := db.c.CN(region)
+	if cn == nil {
+		return nil, fmt.Errorf("globaldb: no CN in region %q", region)
+	}
+	return &Session{db: db, cn: cn}, nil
+}
+
+// Session is a client connection to one CN.
+type Session struct {
+	db *DB
+	cn *coordinator.CN
+}
+
+// Region returns the session's home region.
+func (s *Session) Region() string { return s.cn.Region() }
+
+// CN exposes the session's computing node (stats, tests).
+func (s *Session) CN() *coordinator.CN { return s.cn }
+
+// Begin starts a read-write transaction.
+func (s *Session) Begin(ctx context.Context) (*Tx, error) {
+	t, err := s.cn.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{sess: s, txn: t}, nil
+}
+
+// ReadOnly starts a read-only query with a staleness bound; tables names
+// the relations the query will touch (for the DDL visibility gate).
+func (s *Session) ReadOnly(ctx context.Context, bound time.Duration, tables ...string) (*Query, error) {
+	ids := make([]uint64, 0, len(tables))
+	for _, name := range tables {
+		sch, err := s.db.c.Catalog.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, sch.ID)
+	}
+	ro, err := s.cn.ReadOnly(ctx, bound, ids...)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{sess: s, ro: ro}, nil
+}
+
+// schemaOf resolves a table name.
+func (s *Session) schemaOf(name string) (*Schema, error) {
+	return s.db.c.Catalog.Get(name)
+}
+
+// shardOfRow picks the row's shard from its distribution column.
+func (s *Session) shardOfRow(sch *Schema, r Row) int {
+	return s.db.c.ShardOf(r[sch.ShardBy])
+}
+
+// Tx is a read-write transaction.
+type Tx struct {
+	sess *Session
+	txn  *coordinator.Txn
+}
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (tx *Tx) Snapshot() ts.Timestamp { return tx.txn.Snapshot() }
+
+// CommitTS returns the transaction's commit timestamp (zero before a
+// successful Commit). Replica reads observe the transaction once the RCP
+// reaches this timestamp.
+func (tx *Tx) CommitTS() ts.Timestamp { return tx.txn.CommitTS() }
+
+// Insert writes a full row (and its index entries). It is an upsert at the
+// storage level; primary-key uniqueness violations surface as write-write
+// conflicts when rows race.
+func (tx *Tx) Insert(ctx context.Context, tableName string, r Row) error {
+	return tx.writeRow(ctx, tableName, r)
+}
+
+// Update rewrites a full row. Indexed column values must not change (index
+// entries are re-written, not migrated), matching how the TPC-C and
+// Sysbench schemas use indexes.
+func (tx *Tx) Update(ctx context.Context, tableName string, r Row) error {
+	return tx.writeRow(ctx, tableName, r)
+}
+
+func (tx *Tx) writeRow(ctx context.Context, tableName string, r Row) error {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return err
+	}
+	pk, err := sch.PrimaryKey(r)
+	if err != nil {
+		return err
+	}
+	val, err := sch.EncodeRow(r)
+	if err != nil {
+		return err
+	}
+	ops := []opKV{{key: pk, value: val}}
+	for _, ix := range sch.Indexes {
+		ik, err := sch.IndexKey(ix, r)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, opKV{key: ik, value: pk})
+	}
+	if sch.SyncReplicated {
+		tx.txn.RequireSyncCommit()
+	}
+	return tx.applyOps(ctx, tx.sess.shardOfRow(sch, r), ops)
+}
+
+// Delete removes the row with the given primary key values.
+func (tx *Tx) Delete(ctx context.Context, tableName string, pkVals []any) error {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return err
+	}
+	r, found, err := tx.Get(ctx, tableName, pkVals)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s %v", ErrNotFound, tableName, pkVals)
+	}
+	pk, err := sch.PrimaryKey(r)
+	if err != nil {
+		return err
+	}
+	ops := []opKV{{key: pk, del: true}}
+	for _, ix := range sch.Indexes {
+		ik, err := sch.IndexKey(ix, r)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, opKV{key: ik, del: true})
+	}
+	if sch.SyncReplicated {
+		tx.txn.RequireSyncCommit()
+	}
+	return tx.applyOps(ctx, tx.sess.shardOfRow(sch, r), ops)
+}
+
+type opKV struct {
+	key, value []byte
+	del        bool
+}
+
+func (tx *Tx) applyOps(ctx context.Context, shard int, ops []opKV) error {
+	wops := make([]datanode.WriteOp, 0, len(ops))
+	for _, op := range ops {
+		wops = append(wops, datanode.WriteOp{Delete: op.del, Key: op.key, Value: op.value})
+	}
+	return tx.txn.WriteBatch(ctx, shard, wops)
+}
+
+// Get fetches one row by primary key from the shard primary at the
+// transaction's snapshot, observing the transaction's own writes.
+func (tx *Tx) Get(ctx context.Context, tableName string, pkVals []any) (Row, bool, error) {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := sch.PrimaryKeyFromValues(pkVals)
+	if err != nil {
+		return nil, false, err
+	}
+	shard := tx.sess.db.c.ShardOf(pkVals[pkPos(sch)])
+	v, found, err := tx.txn.Get(ctx, shard, key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	r, err := sch.DecodeRow(v)
+	return r, err == nil, err
+}
+
+// pkPos returns the position within pkVals of the distribution column.
+// Tables distribute by a PK column (validated at creation time for this
+// API); for TPC-C-style schemas that is the leading warehouse ID.
+func pkPos(sch *Schema) int {
+	for i, p := range sch.PK {
+		if p == sch.ShardBy {
+			return i
+		}
+	}
+	return 0
+}
+
+// ScanPK scans rows whose primary key starts with pkPrefix, in key order.
+// The prefix must include the distribution column so the scan is
+// single-shard (GaussDB's co-located scan).
+func (tx *Tx) ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]Row, error) {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := pkScanBounds(tx.sess.db, sch, pkPrefix)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := tx.txn.Scan(ctx, shard, start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(sch, kvs)
+}
+
+// ScanIndex scans a secondary index by a prefix of its columns and returns
+// the matching rows (via primary-key lookups on the same shard).
+func (tx *Tx) ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]Row, error) {
+	sch, ix, err := indexOf(tx.sess, tableName, indexName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := indexScanBounds(tx.sess.db, sch, ix, prefix)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := tx.txn.Scan(ctx, shard, start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(kvs))
+	for _, kv := range kvs {
+		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue // row deleted with a stale index entry in-flight
+		}
+		r, err := sch.DecodeRow(v)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ScanTable scans every row of a table across all shards, in shard order
+// then key order within each shard. It is the access path of last resort
+// (an unsharded full scan); limit <= 0 means no limit.
+func (tx *Tx) ScanTable(ctx context.Context, tableName string, limit int) ([]Row, error) {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	prefix := sch.TablePrefix()
+	end := keys.PrefixEnd(prefix)
+	var rows []Row
+	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(rows)
+			if remaining <= 0 {
+				break
+			}
+		}
+		kvs, err := tx.txn.Scan(ctx, shard, prefix, end, remaining)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := decodeRows(sch, kvs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, decoded...)
+	}
+	return rows, nil
+}
+
+// Commit finishes the transaction (single-shard fast path or 2PC), waiting
+// out the commit wait before returning.
+func (tx *Tx) Commit(ctx context.Context) error { return tx.txn.Commit(ctx) }
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort(ctx context.Context) error { return tx.txn.Abort(ctx) }
+
+// Query is a read-only query context (replica reads at the RCP when the
+// bound and DDL gate allow).
+type Query struct {
+	sess *Session
+	ro   *coordinator.ROTxn
+}
+
+// OnReplicas reports whether the query is served from replicas.
+func (q *Query) OnReplicas() bool { return q.ro.OnReplicas() }
+
+// Snapshot returns the query's snapshot timestamp.
+func (q *Query) Snapshot() ts.Timestamp { return q.ro.Snapshot() }
+
+// Get fetches one row by primary key.
+func (q *Query) Get(ctx context.Context, tableName string, pkVals []any) (Row, bool, error) {
+	sch, err := q.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := sch.PrimaryKeyFromValues(pkVals)
+	if err != nil {
+		return nil, false, err
+	}
+	shard := q.sess.db.c.ShardOf(pkVals[pkPos(sch)])
+	v, found, err := q.ro.Get(ctx, shard, key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	r, err := sch.DecodeRow(v)
+	return r, err == nil, err
+}
+
+// ScanPK scans rows by primary-key prefix.
+func (q *Query) ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]Row, error) {
+	sch, err := q.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := pkScanBounds(q.sess.db, sch, pkPrefix)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := q.ro.Scan(ctx, shard, start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(sch, kvs)
+}
+
+// ScanIndex scans a secondary index by prefix and resolves rows.
+func (q *Query) ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]Row, error) {
+	sch, ix, err := indexOf(q.sess, tableName, indexName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := indexScanBounds(q.sess.db, sch, ix, prefix)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := q.ro.Scan(ctx, shard, start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(kvs))
+	for _, kv := range kvs {
+		v, found, err := q.ro.Get(ctx, shard, kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		r, err := sch.DecodeRow(v)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// ScanTable scans every row of a table across all shards at the query's
+// snapshot; limit <= 0 means no limit.
+func (q *Query) ScanTable(ctx context.Context, tableName string, limit int) ([]Row, error) {
+	sch, err := q.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	prefix := sch.TablePrefix()
+	end := keys.PrefixEnd(prefix)
+	var rows []Row
+	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(rows)
+			if remaining <= 0 {
+				break
+			}
+		}
+		kvs, err := q.ro.Scan(ctx, shard, prefix, end, remaining)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := decodeRows(sch, kvs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, decoded...)
+	}
+	return rows, nil
+}
+
+// Tables lists the names of all tables in the catalog.
+func (db *DB) Tables() []string {
+	schemas := db.c.Catalog.Tables()
+	names := make([]string, 0, len(schemas))
+	for _, s := range schemas {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Schema returns the schema of the named table.
+func (db *DB) Schema(name string) (*Schema, error) { return db.c.Catalog.Get(name) }
+
+// Shared helpers.
+
+func decodeRows(sch *Schema, kvs []mvcc.KV) ([]Row, error) {
+	rows := make([]Row, 0, len(kvs))
+	for _, kv := range kvs {
+		r, err := sch.DecodeRow(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func indexOf(s *Session, tableName, indexName string) (*Schema, table.Index, error) {
+	sch, err := s.schemaOf(tableName)
+	if err != nil {
+		return nil, table.Index{}, err
+	}
+	for _, ix := range sch.Indexes {
+		if ix.Name == indexName {
+			return sch, ix, nil
+		}
+	}
+	return nil, table.Index{}, fmt.Errorf("globaldb: table %s has no index %q", tableName, indexName)
+}
+
+// pkScanBounds computes the key range and shard for a PK-prefix scan. The
+// prefix must cover the distribution column.
+func pkScanBounds(db *DB, sch *Schema, pkPrefix []any) (start, end []byte, shard int, err error) {
+	if len(pkPrefix) == 0 || len(pkPrefix) > len(sch.PK) {
+		return nil, nil, 0, fmt.Errorf("globaldb: PK prefix of %d values for %d PK columns", len(pkPrefix), len(sch.PK))
+	}
+	pos := pkPos(sch)
+	if pos >= len(pkPrefix) {
+		return nil, nil, 0, fmt.Errorf("globaldb: PK prefix must include the distribution column %s", sch.Columns[sch.ShardBy].Name)
+	}
+	start, err = sch.PrimaryKeyPrefix(pkPrefix)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return start, keys.PrefixEnd(start), db.c.ShardOf(pkPrefix[pos]), nil
+}
+
+func indexScanBounds(db *DB, sch *Schema, ix table.Index, prefix []any) (start, end []byte, shard int, err error) {
+	start, err = sch.IndexPrefix(ix, prefix)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// The distribution column must be among the prefixed index columns so
+	// the scan is single-shard.
+	shardVal, ok := distValueFromIndexPrefix(sch, ix, prefix)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("globaldb: index scan on %s.%s must prefix the distribution column", sch.Name, ix.Name)
+	}
+	return start, keys.PrefixEnd(start), db.c.ShardOf(shardVal), nil
+}
+
+func distValueFromIndexPrefix(sch *Schema, ix table.Index, prefix []any) (any, bool) {
+	for i, col := range ix.Cols {
+		if col == sch.ShardBy && i < len(prefix) {
+			return prefix[i], true
+		}
+	}
+	return nil, false
+}

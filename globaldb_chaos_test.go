@@ -1,0 +1,292 @@
+package globaldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBankInvariantUnderTransitionsAndFailures runs concurrent two-account
+// transfers (many of them multi-shard 2PC) while the cluster migrates
+// GClock -> GTM -> GClock and a replica fails and recovers. The total
+// balance must be conserved on the primaries, and replicas must converge
+// to the same total.
+func TestBankInvariantUnderTransitionsAndFailures(t *testing.T) {
+	db := openDB(t)
+	if err := db.CreateTable(bg, accountsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		accounts = 32
+		initial  = 100.0
+		workers  = 4
+		duration = 600 * time.Millisecond
+	)
+	sess, _ := db.Connect("xian")
+	for i := 0; i < accounts; i++ {
+		tx, err := sess.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(bg, "accounts", Row{int64(i), fmt.Sprintf("acct-%d", i), initial}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		stop      atomic.Bool
+		transfers atomic.Int64
+		conflicts atomic.Int64
+		wg        sync.WaitGroup
+	)
+	regions := db.Regions()
+	transfer := func(s *Session, from, to int64, amount float64) error {
+		tx, err := s.Begin(bg)
+		if err != nil {
+			return err
+		}
+		abort := func(err error) error {
+			_ = tx.Abort(bg)
+			return err
+		}
+		fr, found, err := tx.Get(bg, "accounts", []any{from})
+		if err != nil || !found {
+			return abort(fmt.Errorf("from: %v found=%v", err, found))
+		}
+		tr, found, err := tx.Get(bg, "accounts", []any{to})
+		if err != nil || !found {
+			return abort(fmt.Errorf("to: %v found=%v", err, found))
+		}
+		fr[2] = fr[2].(float64) - amount
+		tr[2] = tr[2].(float64) + amount
+		if err := tx.Update(bg, "accounts", fr); err != nil {
+			return abort(err)
+		}
+		if err := tx.Update(bg, "accounts", tr); err != nil {
+			return abort(err)
+		}
+		return tx.Commit(bg)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := db.Connect(regions[w%len(regions)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seed := int64(w*7919 + 13)
+			for !stop.Load() {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				from := (seed >> 8) % accounts
+				if from < 0 {
+					from = -from
+				}
+				to := (from + 1 + (seed>>16)%(accounts-1)) % accounts
+				if to < 0 {
+					to = -to
+				}
+				if from == to {
+					continue
+				}
+				err := transfer(s, from, to, 1.0)
+				switch {
+				case err == nil:
+					transfers.Add(1)
+				default:
+					// Write-write conflicts and transition-window aborts
+					// are expected; invariant violations are not, and they
+					// surface in the final balance check.
+					conflicts.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Chaos: transitions and a replica failure while transfers run.
+	deadline := time.Now().Add(duration)
+	cluster := db.Cluster()
+	reps := cluster.Replicas(0)
+	for time.Now().Before(deadline) {
+		if err := db.TransitionToGTM(bg); err != nil {
+			t.Errorf("to GTM: %v", err)
+		}
+		reps[0].Endpoint().SetDown(true)
+		time.Sleep(40 * time.Millisecond)
+		if err := db.TransitionToGClock(bg); err != nil {
+			t.Errorf("to GClock: %v", err)
+		}
+		reps[0].Endpoint().SetDown(false)
+		time.Sleep(40 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if transfers.Load() == 0 {
+		t.Fatal("no transfer ever committed")
+	}
+	t.Logf("transfers=%d conflicts/aborts=%d", transfers.Load(), conflicts.Load())
+
+	// Primary-side invariant.
+	sumOnPrimary := func() float64 {
+		tx, err := sess.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tx.Abort(bg)
+		total := 0.0
+		for i := 0; i < accounts; i++ {
+			row, found, err := tx.Get(bg, "accounts", []any{int64(i)})
+			if err != nil || !found {
+				t.Fatalf("account %d: %v found=%v", i, err, found)
+			}
+			total += row[2].(float64)
+		}
+		return total
+	}
+	if total := sumOnPrimary(); total != accounts*initial {
+		t.Fatalf("primary total = %v, want %v", total, accounts*initial)
+	}
+
+	// Replica-side invariant: wait for the RCP to cover a fresh marker
+	// commit, then sum via a consistent replica read.
+	marker, _ := sess.Begin(bg)
+	marker.Insert(bg, "accounts", Row{int64(accounts), "marker", 0.0})
+	if err := marker.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	waitDeadline := time.Now().Add(15 * time.Second)
+	for cluster.Collector.RCP() < marker.CommitTS() {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("RCP stuck at %v below %v", cluster.Collector.RCP(), marker.CommitTS())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	q, err := sess.ReadOnly(bg, AnyStaleness, "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < accounts; i++ {
+		row, found, err := q.Get(bg, "accounts", []any{int64(i)})
+		if err != nil || !found {
+			t.Fatalf("replica account %d: %v found=%v", i, err, found)
+		}
+		total += row[2].(float64)
+	}
+	if total != accounts*initial {
+		t.Fatalf("replica total = %v, want %v", total, accounts*initial)
+	}
+}
+
+// TestPartitionStallsRCPAndHeals partitions the region hosting shard-0
+// replicas away from the primary, checks that the RCP stalls below new
+// commits (consistency beats freshness), then heals the partition and
+// checks the RCP catches up.
+func TestPartitionStallsRCPAndHeals(t *testing.T) {
+	db := openDB(t)
+	if err := db.CreateTable(bg, accountsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := db.Connect("xian")
+	write := func(id int64) *Tx {
+		tx, err := sess.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(bg, "accounts", Row{id, "x", 1.0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(bg); err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+	first := write(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Cluster().Collector.RCP() < first.CommitTS() {
+		if time.Now().After(deadline) {
+			t.Fatal("RCP never reached the first commit")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Partition Dongguan away from the rest: its replicas are stranded
+	// while primaries homed in Xi'an and Langzhong keep accepting writes.
+	net := db.Cluster().Net
+	net.SetPartitioned("xian", "dongguan", true)
+	net.SetPartitioned("langzhong", "dongguan", true)
+	primaries := db.Cluster().Primaries()
+	var last *Tx
+	written := 0
+	for i := int64(2); written < 8; i++ {
+		shard := db.Cluster().ShardOf(i)
+		if primaries[shard].Region() == "dongguan" {
+			continue // unreachable primary: skip, the partition blocks it
+		}
+		last = write(i)
+		written++
+	}
+	// The RCP must not reach the new commits while Dongguan's replicas
+	// cannot receive logs (consistency holds freshness back).
+	time.Sleep(100 * time.Millisecond)
+	if rcp := db.Cluster().Collector.RCP(); rcp >= last.CommitTS() {
+		t.Fatalf("RCP %v advanced past %v during partition", rcp, last.CommitTS())
+	}
+
+	net.SetPartitioned("xian", "dongguan", false)
+	net.SetPartitioned("langzhong", "dongguan", false)
+	deadline = time.Now().Add(15 * time.Second)
+	for db.Cluster().Collector.RCP() < last.CommitTS() {
+		if time.Now().After(deadline) {
+			t.Fatalf("RCP stuck at %v after healing", db.Cluster().Collector.RCP())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestContextCancellationMidTransaction cancels a context mid-transaction
+// and verifies the transaction can still be aborted cleanly and its locks
+// released.
+func TestContextCancellationMidTransaction(t *testing.T) {
+	db := openDB(t)
+	if err := db.CreateTable(bg, accountsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := db.Connect("xian")
+	tx, err := sess.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(bg, "accounts", Row{int64(1), "a", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := tx.Commit(ctx); err == nil {
+		// Commit may succeed if the cancellation raced the final hop; both
+		// outcomes are allowed, but the key must end up readable either way.
+		t.Log("commit won the race with cancellation")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Logf("commit failed with %v", err)
+	}
+	// Whatever happened, a fresh transaction must be able to write the key
+	// (no stranded locks).
+	tx2, err := sess.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Insert(bg, "accounts", Row{int64(1), "b", 2.0}); err != nil {
+		t.Fatalf("key still locked: %v", err)
+	}
+	if err := tx2.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+}

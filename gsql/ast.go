@@ -1,0 +1,500 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back as SQL (for logs and EXPLAIN).
+	String() string
+}
+
+// Expr is a scalar expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ---- Expressions ----
+
+// Literal is a constant value: int64, float64, string, bool, or nil.
+type Literal struct {
+	Val any
+}
+
+func (*Literal) expr() {}
+
+func (l *Literal) String() string {
+	switch v := l.Val.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case bool:
+		if v {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (*ColRef) expr() {}
+
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Star is the * in SELECT * or COUNT(*).
+type Star struct{}
+
+func (*Star) expr()          {}
+func (*Star) String() string { return "*" }
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Op          string // =, <>, <, <=, >, >=, AND, OR, +, -, *, /, %, LIKE
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr applies a prefix operator: NOT or unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	X  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.String() + ")"
+	}
+	return "(" + u.Op + u.X.String() + ")"
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Neg bool
+}
+
+func (*IsNullExpr) expr() {}
+
+func (e *IsNullExpr) String() string {
+	if e.Neg {
+		return "(" + e.X.String() + " IS NOT NULL)"
+	}
+	return "(" + e.X.String() + " IS NULL)"
+}
+
+// InExpr is `x [NOT] IN (v1, v2, ...)`.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+}
+
+func (*InExpr) expr() {}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.String()
+	}
+	op := " IN "
+	if e.Neg {
+		op = " NOT IN "
+	}
+	return "(" + e.X.String() + op + "(" + strings.Join(items, ", ") + "))"
+}
+
+// BetweenExpr is `x BETWEEN lo AND hi` (inclusive both ends).
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Neg       bool
+}
+
+func (*BetweenExpr) expr() {}
+
+func (e *BetweenExpr) String() string {
+	op := " BETWEEN "
+	if e.Neg {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.X.String() + op + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+// FuncExpr is a function call: aggregates (COUNT, SUM, AVG, MIN, MAX) or
+// scalar functions (ABS, LOWER, UPPER, LENGTH, COALESCE).
+type FuncExpr struct {
+	Name     string // uppercased
+	Args     []Expr
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (*FuncExpr) expr() {}
+
+func (f *FuncExpr) String() string {
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+// aggregateFuncs are the supported aggregate function names.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// isAggregate reports whether the expression tree contains an aggregate call.
+func isAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if isAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return isAggregate(x.Left) || isAggregate(x.Right)
+	case *UnaryExpr:
+		return isAggregate(x.X)
+	case *IsNullExpr:
+		return isAggregate(x.X)
+	case *InExpr:
+		if isAggregate(x.X) {
+			return true
+		}
+		for _, it := range x.List {
+			if isAggregate(it) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return isAggregate(x.X) || isAggregate(x.Lo) || isAggregate(x.Hi)
+	}
+	return false
+}
+
+// ---- Statements ----
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // normalized: BIGINT, DOUBLE, TEXT, BYTES, BOOL
+}
+
+// IndexDef is one secondary index in CREATE TABLE.
+type IndexDef struct {
+	Name string
+	Cols []string
+}
+
+// CreateTable is CREATE TABLE name (cols..., PRIMARY KEY(...), INDEX ...)
+// [SHARD BY col] [WITH SYNC REPLICATION].
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+	PK      []string
+	Indexes []IndexDef
+	ShardBy string // empty: default (first PK column)
+	Sync    bool
+}
+
+func (*CreateTable) stmt() {}
+
+func (c *CreateTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE " + c.Name + " (")
+	for i, col := range c.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(col.Name + " " + col.Type)
+	}
+	sb.WriteString(", PRIMARY KEY (" + strings.Join(c.PK, ", ") + ")")
+	for _, ix := range c.Indexes {
+		sb.WriteString(", INDEX " + ix.Name + " (" + strings.Join(ix.Cols, ", ") + ")")
+	}
+	sb.WriteString(")")
+	if c.ShardBy != "" {
+		sb.WriteString(" SHARD BY " + c.ShardBy)
+	}
+	if c.Sync {
+		sb.WriteString(" WITH SYNC REPLICATION")
+	}
+	return sb.String()
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+func (*DropTable) stmt()            {}
+func (d *DropTable) String() string { return "DROP TABLE " + d.Name }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string // empty: schema order
+	Rows  [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+func (ins *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + ins.Table)
+	if len(ins.Cols) > 0 {
+		sb.WriteString(" (" + strings.Join(ins.Cols, ", ") + ")")
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range ins.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		vals := make([]string, len(row))
+		for j, v := range row {
+			vals[j] = v.String()
+		}
+		sb.WriteString("(" + strings.Join(vals, ", ") + ")")
+	}
+	return sb.String()
+}
+
+// TableRef is a table in FROM, with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+func (t TableRef) refName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// SelectItem is one output column: an expression with an optional alias,
+// or a bare/qualified star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement over one table or a two-table inner join.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Join     *TableRef // nil when single-table
+	On       Expr      // join condition, required when Join != nil
+	Where    Expr      // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1: no limit
+	Offset   int64 // 0: no offset
+	// Staleness overrides the session staleness bound for this query:
+	// SELECT ... AS OF STALENESS '50ms'. Zero means "use session setting".
+	Staleness time.Duration
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	sb.WriteString(" FROM " + s.From.Table)
+	if s.From.Alias != "" && s.From.Alias != s.From.Table {
+		sb.WriteString(" " + s.From.Alias)
+	}
+	if s.Join != nil {
+		sb.WriteString(" JOIN " + s.Join.Table)
+		if s.Join.Alias != "" && s.Join.Alias != s.Join.Table {
+			sb.WriteString(" " + s.Join.Alias)
+		}
+		sb.WriteString(" ON " + s.On.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.String()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	if s.Offset > 0 {
+		sb.WriteString(fmt.Sprintf(" OFFSET %d", s.Offset))
+	}
+	if s.Staleness > 0 {
+		sb.WriteString(" AS OF STALENESS '" + s.Staleness.String() + "'")
+	}
+	return sb.String()
+}
+
+// Assignment is one SET col = expr in UPDATE.
+type Assignment struct {
+	Col  string
+	Expr Expr
+}
+
+// Update is UPDATE table SET assignments WHERE ...
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*Update) stmt() {}
+
+func (u *Update) String() string {
+	parts := make([]string, len(u.Set))
+	for i, a := range u.Set {
+		parts[i] = a.Col + " = " + a.Expr.String()
+	}
+	s := "UPDATE " + u.Table + " SET " + strings.Join(parts, ", ")
+	if u.Where != nil {
+		s += " WHERE " + u.Where.String()
+	}
+	return s
+}
+
+// Delete is DELETE FROM table WHERE ...
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+func (d *Delete) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+// Begin starts an explicit transaction.
+type Begin struct{}
+
+func (*Begin) stmt()          {}
+func (*Begin) String() string { return "BEGIN" }
+
+// Commit commits the open transaction.
+type Commit struct{}
+
+func (*Commit) stmt()          {}
+func (*Commit) String() string { return "COMMIT" }
+
+// Rollback aborts the open transaction.
+type Rollback struct{}
+
+func (*Rollback) stmt()          {}
+func (*Rollback) String() string { return "ROLLBACK" }
+
+// SetStaleness controls where out-of-transaction SELECTs read:
+//
+//	SET STALENESS = NONE    -- shard primaries (fresh reads; the default)
+//	SET STALENESS = ANY     -- asynchronous replicas, unbounded staleness
+//	SET STALENESS = '100ms' -- asynchronous replicas, bounded staleness
+type SetStaleness struct {
+	Bound time.Duration
+	Any   bool
+	None  bool
+}
+
+func (*SetStaleness) stmt() {}
+
+func (s *SetStaleness) String() string {
+	switch {
+	case s.None:
+		return "SET STALENESS = NONE"
+	case s.Any:
+		return "SET STALENESS = ANY"
+	default:
+		return "SET STALENESS = '" + s.Bound.String() + "'"
+	}
+}
+
+// Show is SHOW TABLES | SHOW MODE | SHOW REGIONS.
+type Show struct {
+	What string // TABLES, MODE, REGIONS
+}
+
+func (*Show) stmt()             {}
+func (sh *Show) String() string { return "SHOW " + sh.What }
+
+// Explain wraps a SELECT and returns its plan instead of running it.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmt()            {}
+func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }

@@ -1,0 +1,95 @@
+package gsql
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkParseSelect(b *testing.B) {
+	src := `SELECT w_id, COUNT(*) AS n, SUM(amount) AS total
+		FROM orders o JOIN lines l ON o.w_id = l.w_id
+		WHERE o.status = 'open' AND amount BETWEEN 10 AND 100
+		GROUP BY w_id HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanPointGet(b *testing.B) {
+	cat := testCatalog()
+	stmt, err := Parse("SELECT * FROM orders WHERE w_id = 1 AND o_id = 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := planSelect(cat, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecPointGet(b *testing.B) {
+	s := openSQLBench(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(bg, "SELECT amount FROM orders WHERE w_id = 1 AND o_id = 1")
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+func BenchmarkExecAggregateFullScan(b *testing.B) {
+	s := openSQLBench(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(bg, "SELECT w_id, COUNT(*), SUM(amount) FROM orders GROUP BY w_id")
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+// openSQLBench mirrors openSQL for benchmarks with a modest data set.
+func openSQLBench(b *testing.B) *Session {
+	b.Helper()
+	s, err := newBenchSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.db.Close)
+	b.ResetTimer()
+	return s
+}
+
+func newBenchSession() (*Session, error) {
+	cfg := benchClusterConfig()
+	db, err := openBenchDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Connect(db, "xian")
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	if _, err := s.Exec(bg, `CREATE TABLE orders (
+		w_id BIGINT, o_id BIGINT, c_id BIGINT, amount DOUBLE,
+		PRIMARY KEY (w_id, o_id)) SHARD BY w_id`); err != nil {
+		db.Close()
+		return nil, err
+	}
+	for w := int64(1); w <= 4; w++ {
+		for o := int64(1); o <= 25; o++ {
+			stmt := fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d, %f)", w, o, o%7, float64(o)*1.5)
+			if _, err := s.Exec(bg, stmt); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

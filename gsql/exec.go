@@ -1,0 +1,601 @@
+package gsql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"globaldb"
+	"globaldb/internal/table"
+)
+
+// reader is the read surface shared by read-write transactions and
+// read-only (replica) queries. Both globaldb.Tx and globaldb.Query
+// implement it.
+type reader interface {
+	Get(ctx context.Context, tableName string, pkVals []any) (globaldb.Row, bool, error)
+	ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]globaldb.Row, error)
+	ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]globaldb.Row, error)
+	ScanTable(ctx context.Context, tableName string, limit int) ([]globaldb.Row, error)
+}
+
+var (
+	_ reader = (*globaldb.Tx)(nil)
+	_ reader = (*globaldb.Query)(nil)
+)
+
+// rowEnv is the evaluation environment for one combined row (one row per
+// FROM table; the inner row is nil while planning inner lookups).
+type rowEnv struct {
+	tables []*boundTable
+	rows   []table.Row
+}
+
+func (e *rowEnv) colValue(ref *ColRef) (any, error) {
+	ti, ci, err := resolveCol(ref, e.tables)
+	if err != nil {
+		return nil, err
+	}
+	if ti >= len(e.rows) || e.rows[ti] == nil {
+		return nil, fmt.Errorf("gsql: column %s references a row that is not bound yet", ref)
+	}
+	return e.rows[ti][ci], nil
+}
+
+// execSelect runs a planned SELECT against a reader.
+func execSelect(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
+	rows, err := joinRows(ctx, r, p)
+	if err != nil {
+		return nil, err
+	}
+	if p.grouped {
+		return aggregateRows(p, rows)
+	}
+	out := &Result{Columns: p.outCols}
+	var sortKeys [][]any
+	for _, combined := range rows {
+		env := &rowEnv{tables: p.tables, rows: combined}
+		outRow := make([]any, len(p.outExprs))
+		for i, e := range p.outExprs {
+			v, err := evalExpr(e, env)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		out.Rows = append(out.Rows, outRow)
+		if len(p.orderBy) > 0 {
+			keys := make([]any, len(p.orderBy))
+			for i, o := range p.orderBy {
+				v, err := evalExpr(o.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	if err := sortAndLimit(p, out, sortKeys); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinRows produces the combined (outer[, inner]) rows passing the filter.
+func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, error) {
+	// A limit can be pushed into the outer scan only when nothing after it
+	// can drop or reorder rows.
+	pushLimit := 0
+	if p.limit >= 0 && p.filter == nil && p.inner == nil && !p.grouped &&
+		len(p.orderBy) == 0 && !p.distinct && p.offset == 0 {
+		pushLimit = int(p.limit)
+	}
+	outerRows, err := scanOne(ctx, r, p, p.outer, nil, pushLimit)
+	if err != nil {
+		return nil, err
+	}
+	var combined [][]table.Row
+	for _, orow := range outerRows {
+		if p.inner == nil {
+			cr := []table.Row{orow}
+			ok, err := passes(p.filter, p.tables, cr)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				combined = append(combined, cr)
+			}
+			continue
+		}
+		innerRows, err := scanOne(ctx, r, p, p.inner, orow, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, irow := range innerRows {
+			cr := []table.Row{orow, irow}
+			ok, err := passes(p.filter, p.tables, cr)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				combined = append(combined, cr)
+			}
+		}
+	}
+	return combined, nil
+}
+
+func passes(filter Expr, tables []*boundTable, rows []table.Row) (bool, error) {
+	if filter == nil {
+		return true, nil
+	}
+	v, err := evalExpr(filter, &rowEnv{tables: tables, rows: rows})
+	if err != nil {
+		return false, err
+	}
+	return truthy(v)
+}
+
+// scanOne executes one table scan. outerRow, when non-nil, binds outer
+// column references in the scan's key expressions (join inner lookups).
+func scanOne(ctx context.Context, r reader, p *selectPlan, s *tableScan, outerRow table.Row, limit int) ([]table.Row, error) {
+	env := &rowEnv{tables: p.tables}
+	if outerRow != nil {
+		env.rows = []table.Row{outerRow}
+	}
+	keyVals := make([]any, len(s.keyExprs))
+	for i, e := range s.keyExprs {
+		v, err := evalExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		keyVals[i] = v
+	}
+	name := s.tab.schema.Name
+	switch s.kind {
+	case accessPoint:
+		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK, keyVals)
+		if err != nil {
+			return nil, err
+		}
+		row, found, err := r.Get(ctx, name, keyVals)
+		if err != nil || !found {
+			return nil, err
+		}
+		return []table.Row{row}, nil
+	case accessPKPrefix:
+		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK[:len(keyVals)], keyVals)
+		if err != nil {
+			return nil, err
+		}
+		return r.ScanPK(ctx, name, keyVals, limit)
+	case accessIndex:
+		ix, err := findIndex(s.tab.schema, s.index)
+		if err != nil {
+			return nil, err
+		}
+		keyVals, err := coerceKey(s.tab.schema, ix.Cols[:len(keyVals)], keyVals)
+		if err != nil {
+			return nil, err
+		}
+		return r.ScanIndex(ctx, name, s.index, keyVals, limit)
+	case accessFull:
+		return r.ScanTable(ctx, name, limit)
+	default:
+		return nil, fmt.Errorf("gsql: unknown access kind %v", s.kind)
+	}
+}
+
+func findIndex(sch *table.Schema, name string) (table.Index, error) {
+	for _, ix := range sch.Indexes {
+		if ix.Name == name {
+			return ix, nil
+		}
+	}
+	return table.Index{}, fmt.Errorf("gsql: table %s has no index %q", sch.Name, name)
+}
+
+// coerceKey adapts evaluated key values to the column kinds at the given
+// positions (int64 literals bind to DOUBLE columns, etc.).
+func coerceKey(sch *table.Schema, cols []int, vals []any) ([]any, error) {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		cv, err := coerceValue(sch, cols[i], v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// coerceValue converts v to the kind of the schema column, or fails.
+func coerceValue(sch *table.Schema, col int, v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	kind := sch.Columns[col].Kind
+	switch kind {
+	case table.Int64:
+		if x, ok := v.(int64); ok {
+			return x, nil
+		}
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			return int64(f), nil
+		}
+	case table.Float64:
+		if x, ok := v.(float64); ok {
+			return x, nil
+		}
+		if x, ok := v.(int64); ok {
+			return float64(x), nil
+		}
+	case table.String:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case table.Bytes:
+		if x, ok := v.([]byte); ok {
+			return x, nil
+		}
+		if x, ok := v.(string); ok {
+			return []byte(x), nil
+		}
+	case table.Bool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %T for %s column %s", ErrType, v, kind, sch.Columns[col].Name)
+}
+
+// ---- Aggregation ----
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn       *FuncExpr
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max any
+	distinct map[string]bool
+}
+
+func newAggState(fn *FuncExpr) *aggState {
+	st := &aggState{fn: fn}
+	if fn.Distinct {
+		st.distinct = make(map[string]bool)
+	}
+	return st
+}
+
+func (st *aggState) add(env evalEnv) error {
+	if len(st.fn.Args) == 1 {
+		if _, isStar := st.fn.Args[0].(*Star); isStar {
+			if st.fn.Name != "COUNT" {
+				return fmt.Errorf("gsql: %s(*) is not valid", st.fn.Name)
+			}
+			st.count++
+			return nil
+		}
+	}
+	if len(st.fn.Args) != 1 {
+		return fmt.Errorf("gsql: %s takes one argument", st.fn.Name)
+	}
+	v, err := evalExpr(st.fn.Args[0], env)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // SQL aggregates skip NULLs
+	}
+	if st.distinct != nil {
+		key := fmt.Sprintf("%T:%v", v, v)
+		if st.distinct[key] {
+			return nil
+		}
+		st.distinct[key] = true
+	}
+	st.count++
+	switch st.fn.Name {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		switch x := v.(type) {
+		case int64:
+			st.sumI += x
+			st.sumF += float64(x)
+		case float64:
+			st.isFloat = true
+			st.sumF += x
+		default:
+			return fmt.Errorf("%w: %s(%T)", ErrType, st.fn.Name, v)
+		}
+		return nil
+	case "MIN":
+		if st.min == nil {
+			st.min = v
+			return nil
+		}
+		c, err := compare(v, st.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			st.min = v
+		}
+		return nil
+	case "MAX":
+		if st.max == nil {
+			st.max = v
+			return nil
+		}
+		c, err := compare(v, st.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			st.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("gsql: unknown aggregate %q", st.fn.Name)
+	}
+}
+
+func (st *aggState) result() any {
+	switch st.fn.Name {
+	case "COUNT":
+		return st.count
+	case "SUM":
+		if st.count == 0 {
+			return nil
+		}
+		if st.isFloat {
+			return st.sumF
+		}
+		return st.sumI
+	case "AVG":
+		if st.count == 0 {
+			return nil
+		}
+		return st.sumF / float64(st.count)
+	case "MIN":
+		return st.min
+	case "MAX":
+		return st.max
+	default:
+		return nil
+	}
+}
+
+// aggEnv evaluates final expressions with aggregate slots substituted and
+// group keys resolvable through a representative row.
+type aggEnv struct {
+	base *rowEnv
+	vals map[string]any // FuncExpr.String() -> aggregate result
+}
+
+func (e *aggEnv) colValue(ref *ColRef) (any, error) { return e.base.colValue(ref) }
+
+// evalWithAggs evaluates e, substituting aggregate results.
+func evalWithAggs(e Expr, env *aggEnv) (any, error) {
+	if f, ok := e.(*FuncExpr); ok && aggregateFuncs[f.Name] {
+		v, ok := env.vals[f.String()]
+		if !ok {
+			return nil, fmt.Errorf("gsql: aggregate %s has no computed slot", f)
+		}
+		return v, nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		if x.Op == "AND" || x.Op == "OR" {
+			// Rebuild with substituted children; cheap and correct.
+			lv, err := evalWithAggs(x.Left, env)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := evalWithAggs(x.Right, env)
+			if err != nil {
+				return nil, err
+			}
+			return evalBinary(&BinaryExpr{Op: x.Op, Left: &Literal{Val: lv}, Right: &Literal{Val: rv}}, env)
+		}
+		lv, err := evalWithAggs(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := evalWithAggs(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(&BinaryExpr{Op: x.Op, Left: &Literal{Val: lv}, Right: &Literal{Val: rv}}, env)
+	case *UnaryExpr:
+		v, err := evalWithAggs(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalExpr(&UnaryExpr{Op: x.Op, X: &Literal{Val: v}}, env)
+	case *IsNullExpr:
+		v, err := evalWithAggs(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Neg, nil
+	default:
+		return evalExpr(e, env)
+	}
+}
+
+// aggregateRows groups combined rows and computes aggregate outputs.
+func aggregateRows(p *selectPlan, rows [][]table.Row) (*Result, error) {
+	type group struct {
+		rep    []table.Row // representative row for group-key evaluation
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, combined := range rows {
+		env := &rowEnv{tables: p.tables, rows: combined}
+		var keyParts []string
+		for _, g := range p.groupBy {
+			v, err := evalExpr(g, env)
+			if err != nil {
+				return nil, err
+			}
+			keyParts = append(keyParts, fmt.Sprintf("%T:%v", v, v))
+		}
+		key := strings.Join(keyParts, "\x00")
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{rep: combined}
+			for _, fn := range p.aggs {
+				grp.states = append(grp.states, newAggState(fn))
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for _, st := range grp.states {
+			if err := st.add(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A global aggregate over zero rows still yields one output row.
+	if len(groups) == 0 && len(p.groupBy) == 0 {
+		grp := &group{rep: nil}
+		for _, fn := range p.aggs {
+			grp.states = append(grp.states, newAggState(fn))
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	out := &Result{Columns: p.outCols}
+	var sortKeys [][]any
+	for _, key := range order {
+		grp := groups[key]
+		vals := map[string]any{}
+		for i, st := range grp.states {
+			vals[p.aggKeys[i]] = st.result()
+		}
+		env := &aggEnv{base: &rowEnv{tables: p.tables, rows: grp.rep}, vals: vals}
+		if p.having != nil {
+			hv, err := evalWithAggs(p.having, env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := truthy(hv)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		outRow := make([]any, len(p.outExprs))
+		for i, e := range p.outExprs {
+			v, err := evalWithAggs(e, env)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		out.Rows = append(out.Rows, outRow)
+		if len(p.orderBy) > 0 {
+			keys := make([]any, len(p.orderBy))
+			for i, o := range p.orderBy {
+				v, err := evalWithAggs(o.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	if err := sortAndLimit(p, out, sortKeys); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortAndLimit orders result rows by the pre-computed sort keys (one key
+// vector per row, evaluated on the pre-projection rows so ORDER BY may
+// reference any column) and applies LIMIT.
+func sortAndLimit(p *selectPlan, res *Result, sortKeys [][]any) error {
+	if len(p.orderBy) > 0 && len(res.Rows) > 1 {
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+			for i, o := range p.orderBy {
+				c, err := compareNullable(ka[i], kb[i])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+		sorted := make([][]any, len(res.Rows))
+		for i, j := range idx {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if p.distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			key := fmt.Sprintf("%v", row)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, row)
+		}
+		res.Rows = kept
+	}
+	if p.offset > 0 {
+		if int64(len(res.Rows)) <= p.offset {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[p.offset:]
+		}
+	}
+	if p.limit >= 0 && int64(len(res.Rows)) > p.limit {
+		res.Rows = res.Rows[:p.limit]
+	}
+	return nil
+}
+
+// compareNullable orders values with NULLs first.
+func compareNullable(a, b any) (int, error) {
+	switch {
+	case a == nil && b == nil:
+		return 0, nil
+	case a == nil:
+		return -1, nil
+	case b == nil:
+		return 1, nil
+	}
+	return compare(a, b)
+}

@@ -1,0 +1,445 @@
+package gsql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// ErrType is returned when an expression combines incompatible values.
+var ErrType = errors.New("gsql: type error")
+
+// compare orders two non-nil SQL values. Mixed int64/float64 compare
+// numerically; otherwise both sides must share a type.
+func compare(a, b any) (int, error) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			switch {
+			case x < y:
+				return -1, nil
+			case x > y:
+				return 1, nil
+			}
+			return 0, nil
+		case float64:
+			return cmpFloat(float64(x), y), nil
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmpFloat(x, float64(y)), nil
+		case float64:
+			return cmpFloat(x, y), nil
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y), nil
+		}
+	case []byte:
+		if y, ok := b.([]byte); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			switch {
+			case !x && y:
+				return -1, nil
+			case x && !y:
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: cannot compare %T and %T", ErrType, a, b)
+}
+
+func cmpFloat(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// arith applies +, -, *, /, % to two non-nil values.
+func arith(op string, a, b any) (any, error) {
+	ai, aIsInt := a.(int64)
+	bi, bIsInt := b.(int64)
+	if aIsInt && bIsInt {
+		switch op {
+		case "+":
+			return ai + bi, nil
+		case "-":
+			return ai - bi, nil
+		case "*":
+			return ai * bi, nil
+		case "/":
+			if bi == 0 {
+				return nil, fmt.Errorf("gsql: division by zero")
+			}
+			return ai / bi, nil
+		case "%":
+			if bi == 0 {
+				return nil, fmt.Errorf("gsql: division by zero")
+			}
+			return ai % bi, nil
+		}
+	}
+	af, aOK := toFloat(a)
+	bf, bOK := toFloat(b)
+	if !aOK || !bOK {
+		// String concatenation via + is a convenience extension.
+		if op == "+" {
+			as, aStr := a.(string)
+			bs, bStr := b.(string)
+			if aStr && bStr {
+				return as + bs, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: %T %s %T", ErrType, a, op, b)
+	}
+	switch op {
+	case "+":
+		return af + bf, nil
+	case "-":
+		return af - bf, nil
+	case "*":
+		return af * bf, nil
+	case "/":
+		if bf == 0 {
+			return nil, fmt.Errorf("gsql: division by zero")
+		}
+		return af / bf, nil
+	case "%":
+		if bf == 0 {
+			return nil, fmt.Errorf("gsql: division by zero")
+		}
+		return math.Mod(af, bf), nil
+	}
+	return nil, fmt.Errorf("gsql: unknown operator %q", op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// truthy interprets a value as a SQL condition; NULL is false.
+func truthy(v any) (bool, error) {
+	switch x := v.(type) {
+	case nil:
+		return false, nil
+	case bool:
+		return x, nil
+	default:
+		return false, fmt.Errorf("%w: %T used as a condition", ErrType, v)
+	}
+}
+
+// likeCache memoizes compiled LIKE patterns.
+var likeCache sync.Map // string -> *regexp.Regexp
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) (bool, error) {
+	if cached, ok := likeCache.Load(pattern); ok {
+		return cached.(*regexp.Regexp).MatchString(s), nil
+	}
+	var sb strings.Builder
+	sb.WriteString("(?s)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return false, fmt.Errorf("gsql: bad LIKE pattern %q: %v", pattern, err)
+	}
+	likeCache.Store(pattern, re)
+	return re.MatchString(s), nil
+}
+
+// evalEnv resolves column references during evaluation.
+type evalEnv interface {
+	// colValue returns the value of a resolved column reference.
+	colValue(ref *ColRef) (any, error)
+}
+
+// evalExpr evaluates a scalar expression against an environment. Aggregate
+// calls must have been rewritten away by the planner before this runs.
+func evalExpr(e Expr, env evalEnv) (any, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		return env.colValue(x)
+	case *Star:
+		return nil, fmt.Errorf("gsql: '*' is only valid in SELECT lists and COUNT(*)")
+	case *UnaryExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v == nil {
+				return nil, nil
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("%w: NOT %T", ErrType, v)
+			}
+			return !b, nil
+		case "-":
+			switch n := v.(type) {
+			case nil:
+				return nil, nil
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("%w: -%T", ErrType, v)
+		}
+		return nil, fmt.Errorf("gsql: unknown unary operator %q", x.Op)
+	case *BinaryExpr:
+		return evalBinary(x, env)
+	case *IsNullExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Neg, nil
+	case *InExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		for _, item := range x.List {
+			iv, err := evalExpr(item, env)
+			if err != nil {
+				return nil, err
+			}
+			if iv == nil {
+				continue
+			}
+			c, err := compare(v, iv)
+			if err != nil {
+				return nil, err
+			}
+			if c == 0 {
+				return !x.Neg, nil
+			}
+		}
+		return x.Neg, nil
+	case *BetweenExpr:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := evalExpr(x.Lo, env)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := evalExpr(x.Hi, env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		cl, err := compare(v, lo)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := compare(v, hi)
+		if err != nil {
+			return nil, err
+		}
+		return (cl >= 0 && ch <= 0) != x.Neg, nil
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return nil, fmt.Errorf("gsql: aggregate %s in a scalar context", x.Name)
+		}
+		return evalScalarFunc(x, env)
+	default:
+		return nil, fmt.Errorf("gsql: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *BinaryExpr, env evalEnv) (any, error) {
+	switch x.Op {
+	case "AND":
+		lv, err := evalExpr(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		if lb, ok := lv.(bool); ok && !lb {
+			return false, nil // short circuit
+		}
+		rv, err := evalExpr(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		if rb, ok := rv.(bool); ok && !rb {
+			return false, nil
+		}
+		if lv == nil || rv == nil {
+			return nil, nil
+		}
+		lb, lok := lv.(bool)
+		rb, rok := rv.(bool)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%w: %T AND %T", ErrType, lv, rv)
+		}
+		return lb && rb, nil
+	case "OR":
+		lv, err := evalExpr(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		if lb, ok := lv.(bool); ok && lb {
+			return true, nil
+		}
+		rv, err := evalExpr(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		if rb, ok := rv.(bool); ok && rb {
+			return true, nil
+		}
+		if lv == nil || rv == nil {
+			return nil, nil
+		}
+		lb, lok := lv.(bool)
+		rb, rok := rv.(bool)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%w: %T OR %T", ErrType, lv, rv)
+		}
+		return lb || rb, nil
+	}
+	lv, err := evalExpr(x.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := evalExpr(x.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	if lv == nil || rv == nil {
+		return nil, nil // SQL three-valued logic: NULL propagates
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := compare(lv, rv)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+	case "LIKE":
+		s, sok := lv.(string)
+		pat, pok := rv.(string)
+		if !sok || !pok {
+			return nil, fmt.Errorf("%w: %T LIKE %T", ErrType, lv, rv)
+		}
+		return likeMatch(s, pat)
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, lv, rv)
+	}
+	return nil, fmt.Errorf("gsql: unknown operator %q", x.Op)
+}
+
+func evalScalarFunc(f *FuncExpr, env evalEnv) (any, error) {
+	if f.Name == "COALESCE" {
+		for _, a := range f.Args {
+			v, err := evalExpr(a, env)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil {
+				return v, nil
+			}
+		}
+		return nil, nil
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("gsql: %s takes one argument", f.Name)
+	}
+	v, err := evalExpr(f.Args[0], env)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	switch f.Name {
+	case "ABS":
+		switch n := v.(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			return math.Abs(n), nil
+		}
+		return nil, fmt.Errorf("%w: ABS(%T)", ErrType, v)
+	case "LOWER":
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: LOWER(%T)", ErrType, v)
+		}
+		return strings.ToLower(s), nil
+	case "UPPER":
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: UPPER(%T)", ErrType, v)
+		}
+		return strings.ToUpper(s), nil
+	case "LENGTH":
+		switch s := v.(type) {
+		case string:
+			return int64(len(s)), nil
+		case []byte:
+			return int64(len(s)), nil
+		}
+		return nil, fmt.Errorf("%w: LENGTH(%T)", ErrType, v)
+	}
+	return nil, fmt.Errorf("gsql: unknown function %q", f.Name)
+}

@@ -1,0 +1,252 @@
+package gsql
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"globaldb/internal/table"
+)
+
+// litEnv evaluates expressions with no columns in scope.
+var litEnv = &rowEnv{}
+
+func evalSQL(t *testing.T, exprSQL string) any {
+	t.Helper()
+	sel := mustParse(t, "SELECT "+exprSQL+" FROM t").(*Select)
+	v, err := evalExpr(sel.Items[0].Expr, litEnv)
+	if err != nil {
+		t.Fatalf("eval(%q): %v", exprSQL, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 + 2", int64(3)},
+		{"7 / 2", int64(3)},
+		{"7 % 3", int64(1)},
+		{"7.0 / 2", 3.5},
+		{"1 + 2.5", 3.5},
+		{"2 * 3 + 1", int64(7)},
+		{"-(2 + 3)", int64(-5)},
+		{"'ab' + 'cd'", "abcd"},
+	}
+	for _, c := range cases {
+		if got := evalSQL(t, c.src); got != c.want {
+			t.Errorf("%s = %v (%T), want %v", c.src, got, got, c.want)
+		}
+	}
+}
+
+func TestEvalDivisionByZero(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 / 0 FROM t").(*Select)
+	if _, err := evalExpr(sel.Items[0].Expr, litEnv); err == nil {
+		t.Fatal("integer division by zero must fail")
+	}
+	sel2 := mustParse(t, "SELECT 1.0 / 0.0 FROM t").(*Select)
+	if _, err := evalExpr(sel2.Items[0].Expr, litEnv); err == nil {
+		t.Fatal("float division by zero must fail")
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"1 = 1.0", true},
+		{"'a' < 'b'", true},
+		{"'a' = 'a'", true},
+		{"TRUE = TRUE", true},
+		{"1 <> 2", true},
+		{"2 BETWEEN 1 AND 3", true},
+		{"4 NOT BETWEEN 1 AND 3", true},
+		{"2 IN (1, 2, 3)", true},
+		{"5 NOT IN (1, 2, 3)", true},
+		{"NULL IS NULL", true},
+		{"1 IS NOT NULL", true},
+	}
+	for _, c := range cases {
+		if got := evalSQL(t, c.src); got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalNullPropagation(t *testing.T) {
+	for _, src := range []string{"NULL + 1", "1 < NULL", "NOT NULL", "NULL IN (1, 2)", "NULL BETWEEN 1 AND 2"} {
+		if got := evalSQL(t, src); got != nil {
+			t.Errorf("%s = %v, want NULL", src, got)
+		}
+	}
+	// Three-valued logic short circuits.
+	if got := evalSQL(t, "FALSE AND NULL"); got != false {
+		t.Errorf("FALSE AND NULL = %v", got)
+	}
+	if got := evalSQL(t, "TRUE OR NULL"); got != true {
+		t.Errorf("TRUE OR NULL = %v", got)
+	}
+	if got := evalSQL(t, "TRUE AND NULL"); got != nil {
+		t.Errorf("TRUE AND NULL = %v", got)
+	}
+	if got := evalSQL(t, "FALSE OR NULL"); got != nil {
+		t.Errorf("FALSE OR NULL = %v", got)
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"'hello' LIKE 'h%'", true},
+		{"'hello' LIKE '%llo'", true},
+		{"'hello' LIKE 'h_llo'", true},
+		{"'hello' LIKE 'x%'", false},
+		{"'h.llo' LIKE 'h.llo'", true},
+		{"'hxllo' LIKE 'h.llo'", false}, // dot is literal, not a wildcard
+		{"'hello' NOT LIKE 'x%'", true},
+	}
+	for _, c := range cases {
+		if got := evalSQL(t, c.src); got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalScalarFuncs(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"ABS(-3)", int64(3)},
+		{"ABS(-2.5)", 2.5},
+		{"LOWER('AbC')", "abc"},
+		{"UPPER('AbC')", "ABC"},
+		{"LENGTH('abcd')", int64(4)},
+		{"COALESCE(NULL, NULL, 7)", int64(7)},
+		{"COALESCE(NULL, 'x', 'y')", "x"},
+		{"ABS(NULL)", nil},
+	}
+	for _, c := range cases {
+		if got := evalSQL(t, c.src); got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	for _, src := range []string{"1 + 'x'", "'a' < 1", "NOT 5", "TRUE AND 3", "ABS('x')"} {
+		sel := mustParse(t, "SELECT "+src+" FROM t").(*Select)
+		if _, err := evalExpr(sel.Items[0].Expr, litEnv); !errors.Is(err, ErrType) {
+			t.Errorf("%s: err = %v, want ErrType", src, err)
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Antisymmetry and totality over int64/float64 mixes.
+	f := func(a, b int64) bool {
+		c1, err1 := compare(a, b)
+		c2, err2 := compare(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a int64, b float64) bool {
+		if math.IsNaN(b) {
+			return true // NaN never enters storage (no NaN literals)
+		}
+		c1, err1 := compare(a, b)
+		c2, err2 := compare(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 == -c2
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithIntFloatProperties(t *testing.T) {
+	// int64+int64 stays integral; mixing with float64 promotes.
+	f := func(a, b int32) bool {
+		v, err := arith("+", int64(a), int64(b))
+		if err != nil {
+			return false
+		}
+		_, isInt := v.(int64)
+		return isInt && v.(int64) == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a int32, b float32) bool {
+		v, err := arith("*", int64(a), float64(b))
+		if err != nil {
+			return false
+		}
+		_, isFloat := v.(float64)
+		return isFloat
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowEnvResolution(t *testing.T) {
+	sch := &table.Schema{
+		ID:   1,
+		Name: "t",
+		Columns: []table.Column{
+			{Name: "a", Kind: table.Int64},
+			{Name: "b", Kind: table.String},
+		},
+		PK: []int{0},
+	}
+	env := &rowEnv{
+		tables: []*boundTable{{ref: TableRef{Table: "t", Alias: "t"}, schema: sch}},
+		rows:   []table.Row{{int64(7), "x"}},
+	}
+	v, err := evalExpr(&ColRef{Name: "a"}, env)
+	if err != nil || v != int64(7) {
+		t.Fatalf("bare ref: %v %v", v, err)
+	}
+	v, err = evalExpr(&ColRef{Table: "t", Name: "b"}, env)
+	if err != nil || v != "x" {
+		t.Fatalf("qualified ref: %v %v", v, err)
+	}
+	if _, err := evalExpr(&ColRef{Name: "nope"}, env); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if _, err := evalExpr(&ColRef{Table: "u", Name: "a"}, env); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestLikePatternCache(t *testing.T) {
+	// Same pattern twice exercises the cache path.
+	for i := 0; i < 2; i++ {
+		ok, err := likeMatch("abc", "a%")
+		if err != nil || !ok {
+			t.Fatalf("likeMatch: %v %v", ok, err)
+		}
+	}
+	if _, err := likeMatch("x", "[("); err != nil {
+		// Metacharacters are quoted, so this is a literal non-match.
+		t.Fatalf("quoted pattern: %v", err)
+	}
+}

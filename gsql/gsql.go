@@ -1,0 +1,572 @@
+package gsql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/table"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the output columns (empty for statements without rows).
+	Columns []string
+	// Rows holds the output tuples.
+	Rows [][]any
+	// Affected counts rows written by INSERT/UPDATE/DELETE.
+	Affected int
+	// Msg is a human-readable summary for non-query statements.
+	Msg string
+	// OnReplicas reports whether a SELECT was served from asynchronous
+	// replicas at the RCP (read-on-replica) rather than shard primaries.
+	OnReplicas bool
+}
+
+// stalenessMode selects where out-of-transaction SELECTs read.
+type stalenessMode uint8
+
+const (
+	// readPrimary reads shard primaries (fresh; the default).
+	readPrimary stalenessMode = iota
+	// readReplicaAny reads replicas with no freshness bound.
+	readReplicaAny
+	// readReplicaBound reads replicas with a staleness bound.
+	readReplicaBound
+)
+
+// Session is a SQL connection to one computing node. It is not safe for
+// concurrent use (like a database connection).
+type Session struct {
+	db   *globaldb.DB
+	sess *globaldb.Session
+	tx   *globaldb.Tx // open explicit transaction, if any
+
+	mode      stalenessMode
+	staleness time.Duration
+}
+
+// Connect opens a SQL session homed at the named region's computing node.
+// Out-of-transaction SELECTs read shard primaries until SET STALENESS (or a
+// per-statement AS OF STALENESS) routes them to asynchronous replicas.
+func Connect(db *globaldb.DB, region string) (*Session, error) {
+	sess, err := db.Connect(region)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, sess: sess}, nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Staleness describes the session's replica-read setting: "NONE" (primary
+// reads), "ANY", or a duration string.
+func (s *Session) Staleness() string {
+	switch s.mode {
+	case readReplicaAny:
+		return "ANY"
+	case readReplicaBound:
+		return s.staleness.String()
+	default:
+		return "NONE"
+	}
+}
+
+// Schema implements the planner's catalog over the cluster catalog.
+func (s *Session) Schema(name string) (*table.Schema, error) { return s.db.Schema(name) }
+
+// Exec parses and runs one SQL statement.
+func (s *Session) Exec(ctx context.Context, sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(ctx, stmt)
+}
+
+// ExecScript runs a semicolon-separated script, returning the last
+// statement's result. It stops at the first error.
+func (s *Session) ExecScript(ctx context.Context, sql string) (*Result, error) {
+	stmts, err := ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{Msg: "empty script"}, nil
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = s.ExecStmt(ctx, stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt runs one parsed statement.
+func (s *Session) ExecStmt(ctx context.Context, stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *Select:
+		return s.execSelect(ctx, st)
+	case *Insert:
+		return s.execInsert(ctx, st)
+	case *Update:
+		return s.execUpdate(ctx, st)
+	case *Delete:
+		return s.execDelete(ctx, st)
+	case *CreateTable:
+		return s.execCreateTable(ctx, st)
+	case *DropTable:
+		return s.execDropTable(ctx, st)
+	case *Begin:
+		if s.tx != nil {
+			return nil, fmt.Errorf("gsql: transaction already open")
+		}
+		tx, err := s.sess.Begin(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.tx = tx
+		return &Result{Msg: "BEGIN"}, nil
+	case *Commit:
+		if s.tx == nil {
+			return nil, fmt.Errorf("gsql: no open transaction")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(ctx); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "COMMIT"}, nil
+	case *Rollback:
+		if s.tx == nil {
+			return nil, fmt.Errorf("gsql: no open transaction")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Abort(ctx); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "ROLLBACK"}, nil
+	case *SetStaleness:
+		switch {
+		case st.None:
+			s.mode = readPrimary
+			s.staleness = 0
+		case st.Any:
+			s.mode = readReplicaAny
+			s.staleness = 0
+		default:
+			s.mode = readReplicaBound
+			s.staleness = st.Bound
+		}
+		return &Result{Msg: st.String()}, nil
+	case *Show:
+		return s.execShow(st)
+	case *Explain:
+		return s.execExplain(st)
+	default:
+		return nil, fmt.Errorf("gsql: unhandled statement %T", stmt)
+	}
+}
+
+func (s *Session) execExplain(e *Explain) (*Result, error) {
+	sel := e.Stmt.(*Select)
+	p, err := planSelect(s, sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range p.describe() {
+		res.Rows = append(res.Rows, []any{line})
+	}
+	return res, nil
+}
+
+func (s *Session) execShow(st *Show) (*Result, error) {
+	switch st.What {
+	case "TABLES":
+		res := &Result{Columns: []string{"table"}}
+		for _, name := range s.db.Tables() {
+			res.Rows = append(res.Rows, []any{name})
+		}
+		return res, nil
+	case "MODE":
+		return &Result{Columns: []string{"mode"}, Rows: [][]any{{s.db.Mode().String()}}}, nil
+	case "REGIONS":
+		res := &Result{Columns: []string{"region"}}
+		for _, r := range s.db.Regions() {
+			res.Rows = append(res.Rows, []any{r})
+		}
+		return res, nil
+	case "STALENESS":
+		return &Result{Columns: []string{"staleness"}, Rows: [][]any{{s.Staleness()}}}, nil
+	default:
+		return nil, fmt.Errorf("gsql: unknown SHOW %q", st.What)
+	}
+}
+
+// execSelect plans and runs a SELECT. Inside an explicit transaction the
+// query reads from shard primaries at the transaction snapshot (and sees
+// its own writes). Outside a transaction it reads primaries at a fresh
+// snapshot by default; SET STALENESS or a per-statement AS OF STALENESS
+// routes it to asynchronous replicas at the RCP (read-on-replica).
+func (s *Session) execSelect(ctx context.Context, sel *Select) (*Result, error) {
+	p, err := planSelect(s, sel)
+	if err != nil {
+		return nil, err
+	}
+	if s.tx != nil {
+		return execSelect(ctx, s.tx, p)
+	}
+	if sel.Staleness == 0 && s.mode == readPrimary {
+		// Fresh read: an autocommit (read-only) transaction on primaries.
+		tx, err := s.sess.Begin(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res, err := execSelect(ctx, tx, p)
+		if err != nil {
+			_ = tx.Abort(ctx)
+			return nil, err
+		}
+		if err := tx.Commit(ctx); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	bound := globaldb.AnyStaleness
+	switch {
+	case sel.Staleness > 0:
+		bound = sel.Staleness
+	case s.mode == readReplicaBound:
+		bound = s.staleness
+	}
+	tables := []string{sel.From.Table}
+	if sel.Join != nil {
+		tables = append(tables, sel.Join.Table)
+	}
+	q, err := s.sess.ReadOnly(ctx, bound, tables...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := execSelect(ctx, q, p)
+	if err != nil {
+		return nil, err
+	}
+	res.OnReplicas = q.OnReplicas()
+	return res, nil
+}
+
+// withWriteTxn runs fn inside the session transaction, or an autocommit
+// transaction when none is open.
+func (s *Session) withWriteTxn(ctx context.Context, fn func(tx *globaldb.Tx) (int, error)) (int, error) {
+	if s.tx != nil {
+		return fn(s.tx)
+	}
+	tx, err := s.sess.Begin(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fn(tx)
+	if err != nil {
+		_ = tx.Abort(ctx)
+		return 0, err
+	}
+	if err := tx.Commit(ctx); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (s *Session) execInsert(ctx context.Context, ins *Insert) (*Result, error) {
+	sch, err := s.db.Schema(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the column list (or schema order) to positions.
+	positions := make([]int, 0, len(sch.Columns))
+	if len(ins.Cols) == 0 {
+		for i := range sch.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range ins.Cols {
+			ci := sch.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("gsql: table %s has no column %q", ins.Table, name)
+			}
+			positions = append(positions, ci)
+		}
+	}
+	var rows []globaldb.Row
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("gsql: INSERT has %d values for %d columns", len(exprRow), len(positions))
+		}
+		row := make(globaldb.Row, len(sch.Columns))
+		for i, e := range exprRow {
+			v, err := evalExpr(e, &rowEnv{}) // constants only: no columns in scope
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceValue(sch, positions[i], v)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = cv
+		}
+		rows = append(rows, row)
+	}
+	n, err := s.withWriteTxn(ctx, func(tx *globaldb.Tx) (int, error) {
+		for _, row := range rows {
+			if err := tx.Insert(ctx, ins.Table, row); err != nil {
+				return 0, err
+			}
+		}
+		return len(rows), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("INSERT %d", n)}, nil
+}
+
+// matchingRows plans and evaluates a single-table WHERE for UPDATE/DELETE,
+// returning full rows at the transaction's snapshot.
+func matchingRows(ctx context.Context, s *Session, tx *globaldb.Tx, tableName string, where Expr) ([]table.Row, *selectPlan, error) {
+	sel := &Select{
+		Items: []SelectItem{{Expr: &Star{}}},
+		From:  TableRef{Table: tableName, Alias: tableName},
+		Where: where,
+		Limit: -1,
+	}
+	p, err := planSelect(s, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	combined, err := joinRows(ctx, tx, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]table.Row, len(combined))
+	for i, c := range combined {
+		rows[i] = c[0]
+	}
+	return rows, p, nil
+}
+
+func (s *Session) execUpdate(ctx context.Context, u *Update) (*Result, error) {
+	sch, err := s.db.Schema(u.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Reject PK and indexed-column updates (index entries are rewritten in
+	// place, not migrated — the same restriction GaussDB's distribution
+	// keys have).
+	frozen := map[int]bool{}
+	for _, p := range sch.PK {
+		frozen[p] = true
+	}
+	for _, ix := range sch.Indexes {
+		for _, c := range ix.Cols {
+			frozen[c] = true
+		}
+	}
+	type binding struct {
+		col  int
+		expr Expr
+	}
+	var bindings []binding
+	for _, a := range u.Set {
+		ci := sch.ColIndex(a.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("gsql: table %s has no column %q", u.Table, a.Col)
+		}
+		if frozen[ci] {
+			return nil, fmt.Errorf("gsql: cannot update primary-key or indexed column %q", a.Col)
+		}
+		bindings = append(bindings, binding{col: ci, expr: a.Expr})
+	}
+	n, err := s.withWriteTxn(ctx, func(tx *globaldb.Tx) (int, error) {
+		rows, p, err := matchingRows(ctx, s, tx, u.Table, u.Where)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range rows {
+			updated := make(globaldb.Row, len(row))
+			copy(updated, row)
+			env := &rowEnv{tables: p.tables, rows: []table.Row{row}}
+			for _, b := range bindings {
+				v, err := evalExpr(b.expr, env)
+				if err != nil {
+					return 0, err
+				}
+				cv, err := coerceValue(sch, b.col, v)
+				if err != nil {
+					return 0, err
+				}
+				updated[b.col] = cv
+			}
+			if err := tx.Update(ctx, u.Table, updated); err != nil {
+				return 0, err
+			}
+		}
+		return len(rows), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+func (s *Session) execDelete(ctx context.Context, d *Delete) (*Result, error) {
+	sch, err := s.db.Schema(d.Table)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.withWriteTxn(ctx, func(tx *globaldb.Tx) (int, error) {
+		rows, _, err := matchingRows(ctx, s, tx, d.Table, d.Where)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range rows {
+			pkVals := make([]any, len(sch.PK))
+			for i, p := range sch.PK {
+				pkVals[i] = row[p]
+			}
+			if err := tx.Delete(ctx, d.Table, pkVals); err != nil {
+				return 0, err
+			}
+		}
+		return len(rows), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n, Msg: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// sqlKinds maps normalized SQL type names to column kinds.
+var sqlKinds = map[string]table.Kind{
+	"BIGINT": table.Int64,
+	"DOUBLE": table.Float64,
+	"TEXT":   table.String,
+	"BYTES":  table.Bytes,
+	"BOOL":   table.Bool,
+}
+
+func (s *Session) execCreateTable(ctx context.Context, ct *CreateTable) (*Result, error) {
+	if s.tx != nil {
+		return nil, fmt.Errorf("gsql: DDL is not allowed inside a transaction")
+	}
+	sch := &table.Schema{Name: ct.Name}
+	for _, col := range ct.Columns {
+		kind, ok := sqlKinds[col.Type]
+		if !ok {
+			return nil, fmt.Errorf("gsql: unsupported type %q", col.Type)
+		}
+		sch.Columns = append(sch.Columns, table.Column{Name: col.Name, Kind: kind})
+	}
+	for _, pk := range ct.PK {
+		ci := sch.ColIndex(pk)
+		if ci < 0 {
+			return nil, fmt.Errorf("gsql: PRIMARY KEY column %q does not exist", pk)
+		}
+		sch.PK = append(sch.PK, ci)
+	}
+	if ct.ShardBy != "" {
+		ci := sch.ColIndex(ct.ShardBy)
+		if ci < 0 {
+			return nil, fmt.Errorf("gsql: SHARD BY column %q does not exist", ct.ShardBy)
+		}
+		inPK := false
+		for _, p := range sch.PK {
+			if p == ci {
+				inPK = true
+			}
+		}
+		if !inPK {
+			return nil, fmt.Errorf("gsql: SHARD BY column %q must be part of the primary key", ct.ShardBy)
+		}
+		sch.ShardBy = ci
+	} else {
+		sch.ShardBy = sch.PK[0]
+	}
+	for _, ixd := range ct.Indexes {
+		ix := table.Index{Name: ixd.Name}
+		for _, col := range ixd.Cols {
+			ci := sch.ColIndex(col)
+			if ci < 0 {
+				return nil, fmt.Errorf("gsql: INDEX %s column %q does not exist", ixd.Name, col)
+			}
+			ix.Cols = append(ix.Cols, ci)
+		}
+		sch.Indexes = append(sch.Indexes, ix)
+	}
+	sch.SyncReplicated = ct.Sync
+	if err := s.db.CreateTable(ctx, sch); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "CREATE TABLE " + ct.Name}, nil
+}
+
+func (s *Session) execDropTable(ctx context.Context, dt *DropTable) (*Result, error) {
+	if s.tx != nil {
+		return nil, fmt.Errorf("gsql: DDL is not allowed inside a transaction")
+	}
+	if err := s.db.DropTable(ctx, dt.Name); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "DROP TABLE " + dt.Name}, nil
+}
+
+// FormatTable renders a result as an aligned text table for CLIs.
+func FormatTable(res *Result) string {
+	if len(res.Columns) == 0 {
+		return res.Msg + "\n"
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			txt := "NULL"
+			if v != nil {
+				txt = fmt.Sprintf("%v", v)
+			}
+			cells[ri][ci] = txt
+			if ci < len(widths) && len(txt) > widths[ci] {
+				widths[ci] = len(txt)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		sb.WriteString("|")
+		for i, v := range vals {
+			sb.WriteString(" " + v + strings.Repeat(" ", widths[i]-len(v)) + " |")
+		}
+		sb.WriteString("\n")
+	}
+	sep := "+"
+	for _, w := range widths {
+		sep += strings.Repeat("-", w+2) + "+"
+	}
+	sb.WriteString(sep + "\n")
+	writeRow(res.Columns)
+	sb.WriteString(sep + "\n")
+	for _, row := range cells {
+		writeRow(row)
+	}
+	sb.WriteString(sep + "\n")
+	sb.WriteString(fmt.Sprintf("(%d rows)\n", len(res.Rows)))
+	return sb.String()
+}

@@ -1,0 +1,349 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func mustFail(t *testing.T, sql string) error {
+	t.Helper()
+	_, err := Parse(sql)
+	if err == nil {
+		t.Fatalf("Parse(%q) succeeded, want error", sql)
+	}
+	return err
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND y <> 'it''s';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "b2", "FROM", "t", "WHERE", "x", ">=", "1.5", "AND", "y", "<>", "it's", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Fatal("missing EOF token")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("SELECT 1 -- trailing\n/* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.text)
+	}
+	if strings.Join(texts, " ") != "SELECT 1 + 2" {
+		t.Fatalf("got %v", texts)
+	}
+}
+
+func TestLexNormalizesOperators(t *testing.T) {
+	toks, _ := lex("a != b == c")
+	if toks[1].text != "<>" || toks[3].text != "=" {
+		t.Fatalf("got %q %q", toks[1].text, toks[3].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+	if _, err := lex("SELECT a ? b"); err == nil {
+		t.Fatal("bad character must fail")
+	}
+}
+
+func TestLexNumberForms(t *testing.T) {
+	for _, src := range []string{"1", "12.5", ".5", "1e9", "2.5E-3", "7e+2"} {
+		toks, err := lex(src)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", src, err)
+		}
+		if toks[0].kind != tokNumber {
+			t.Fatalf("lex(%q): kind %v", src, toks[0].kind)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE accounts (
+		id BIGINT, owner VARCHAR(32), balance DOUBLE,
+		PRIMARY KEY (id),
+		INDEX accounts_owner (id, owner)
+	) SHARD BY id WITH SYNC REPLICATION`)
+	ct := stmt.(*CreateTable)
+	if ct.Name != "accounts" || len(ct.Columns) != 3 {
+		t.Fatalf("bad create: %+v", ct)
+	}
+	if ct.Columns[1].Type != "TEXT" {
+		t.Fatalf("VARCHAR must normalize to TEXT, got %s", ct.Columns[1].Type)
+	}
+	if len(ct.PK) != 1 || ct.PK[0] != "id" {
+		t.Fatalf("PK = %v", ct.PK)
+	}
+	if len(ct.Indexes) != 1 || ct.Indexes[0].Name != "accounts_owner" || len(ct.Indexes[0].Cols) != 2 {
+		t.Fatalf("indexes = %v", ct.Indexes)
+	}
+	if ct.ShardBy != "id" || !ct.Sync {
+		t.Fatalf("shard/sync = %q %v", ct.ShardBy, ct.Sync)
+	}
+}
+
+func TestParseCreateTableRequiresPK(t *testing.T) {
+	mustFail(t, "CREATE TABLE t (a BIGINT)")
+}
+
+func TestParseCreateTableTypeLengths(t *testing.T) {
+	stmt := mustParse(t, "CREATE TABLE t (a DECIMAL(10,2), b CHAR(1), PRIMARY KEY (a))")
+	ct := stmt.(*CreateTable)
+	if ct.Columns[0].Type != "DOUBLE" || ct.Columns[1].Type != "TEXT" {
+		t.Fatalf("types = %+v", ct.Columns)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)")
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("bad insert: %+v", ins)
+	}
+	if v := ins.Rows[0][0].(*Literal).Val; v != int64(1) {
+		t.Fatalf("value = %v (%T)", v, v)
+	}
+	if ins.Rows[1][1].(*Literal).Val != nil {
+		t.Fatal("expected NULL literal")
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	stmt := mustParse(t, `SELECT w_id, COUNT(*) AS n, SUM(amount) total
+		FROM orders o JOIN lines l ON o.w_id = l.w_id
+		WHERE o.status = 'open' AND amount > 10
+		GROUP BY w_id HAVING COUNT(*) > 2
+		ORDER BY n DESC, w_id LIMIT 10 AS OF STALENESS '250ms'`)
+	sel := stmt.(*Select)
+	if len(sel.Items) != 3 || sel.Items[1].Alias != "n" || sel.Items[2].Alias != "total" {
+		t.Fatalf("items: %+v", sel.Items)
+	}
+	if sel.Join == nil || sel.Join.Table != "lines" || sel.Join.Alias != "l" {
+		t.Fatalf("join: %+v", sel.Join)
+	}
+	if sel.On == nil || sel.Where == nil || sel.Having == nil {
+		t.Fatal("missing clauses")
+	}
+	if len(sel.GroupBy) != 1 || len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("group/order: %v %v", sel.GroupBy, sel.OrderBy)
+	}
+	if sel.Limit != 10 || sel.Staleness != 250*time.Millisecond {
+		t.Fatalf("limit/staleness: %d %v", sel.Limit, sel.Staleness)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t").(*Select)
+	if len(sel.Items) != 1 {
+		t.Fatal("want one item")
+	}
+	if _, ok := sel.Items[0].Expr.(*Star); !ok {
+		t.Fatalf("want star, got %T", sel.Items[0].Expr)
+	}
+	if sel.Limit != -1 {
+		t.Fatalf("default limit = %d", sel.Limit)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	u := mustParse(t, "UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").(*Update)
+	if u.Table != "t" || len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update: %+v", u)
+	}
+	d := mustParse(t, "DELETE FROM t WHERE id IN (1, 2, 3)").(*Delete)
+	if d.Table != "t" || d.Where == nil {
+		t.Fatalf("delete: %+v", d)
+	}
+	d2 := mustParse(t, "DELETE FROM t").(*Delete)
+	if d2.Where != nil {
+		t.Fatal("unfiltered delete must have nil Where")
+	}
+}
+
+func TestParseTxnAndSession(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Fatal("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*Commit); !ok {
+		t.Fatal("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*Rollback); !ok {
+		t.Fatal("ROLLBACK")
+	}
+	if _, ok := mustParse(t, "ABORT").(*Rollback); !ok {
+		t.Fatal("ABORT")
+	}
+	ss := mustParse(t, "SET STALENESS = '100ms'").(*SetStaleness)
+	if ss.Bound != 100*time.Millisecond || ss.Any {
+		t.Fatalf("staleness: %+v", ss)
+	}
+	ss2 := mustParse(t, "SET STALENESS = any").(*SetStaleness)
+	if !ss2.Any {
+		t.Fatal("ANY staleness")
+	}
+	sh := mustParse(t, "SHOW TABLES").(*Show)
+	if sh.What != "TABLES" {
+		t.Fatalf("show: %+v", sh)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	e := mustParse(t, "EXPLAIN SELECT * FROM t").(*Explain)
+	if _, ok := e.Stmt.(*Select); !ok {
+		t.Fatal("explain must wrap a select")
+	}
+	mustFail(t, "EXPLAIN INSERT INTO t VALUES (1)")
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a + b * c FROM t").(*Select)
+	top := sel.Items[0].Expr.(*BinaryExpr)
+	if top.Op != "+" {
+		t.Fatalf("top op %q", top.Op)
+	}
+	if right := top.Right.(*BinaryExpr); right.Op != "*" {
+		t.Fatalf("right op %q", right.Op)
+	}
+
+	sel2 := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*Select)
+	or := sel2.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top where op %q", or.Op)
+	}
+	and := or.Right.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("right where op %q", and.Op)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		sel := mustParse(t, "SELECT * FROM t WHERE a "+op+" 1").(*Select)
+		if b := sel.Where.(*BinaryExpr); b.Op != op {
+			t.Fatalf("op %q parsed as %q", op, b.Op)
+		}
+	}
+	sel := mustParse(t, "SELECT * FROM t WHERE a IS NOT NULL AND b IS NULL").(*Select)
+	and := sel.Where.(*BinaryExpr)
+	if l := and.Left.(*IsNullExpr); !l.Neg {
+		t.Fatal("IS NOT NULL")
+	}
+	if r := and.Right.(*IsNullExpr); r.Neg {
+		t.Fatal("IS NULL")
+	}
+	between := mustParse(t, "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5").(*Select)
+	if b := between.Where.(*BetweenExpr); !b.Neg {
+		t.Fatal("NOT BETWEEN")
+	}
+	in := mustParse(t, "SELECT * FROM t WHERE a NOT IN (1, 2)").(*Select)
+	if b := in.Where.(*InExpr); !b.Neg || len(b.List) != 2 {
+		t.Fatal("NOT IN")
+	}
+	like := mustParse(t, "SELECT * FROM t WHERE name LIKE 'a%'").(*Select)
+	if b := like.Where.(*BinaryExpr); b.Op != "LIKE" {
+		t.Fatal("LIKE")
+	}
+}
+
+func TestParseNegativeNumbersFold(t *testing.T) {
+	sel := mustParse(t, "SELECT -5, -2.5 FROM t").(*Select)
+	if v := sel.Items[0].Expr.(*Literal).Val; v != int64(-5) {
+		t.Fatalf("got %v (%T)", v, v)
+	}
+	if v := sel.Items[1].Expr.(*Literal).Val; v != -2.5 {
+		t.Fatalf("got %v (%T)", v, v)
+	}
+}
+
+func TestParseFuncCalls(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*), COUNT(DISTINCT a), COALESCE(a, 0) FROM t").(*Select)
+	c0 := sel.Items[0].Expr.(*FuncExpr)
+	if c0.Name != "COUNT" {
+		t.Fatal("COUNT(*)")
+	}
+	if _, ok := c0.Args[0].(*Star); !ok {
+		t.Fatal("COUNT(*) arg")
+	}
+	c1 := sel.Items[1].Expr.(*FuncExpr)
+	if !c1.Distinct {
+		t.Fatal("DISTINCT flag")
+	}
+	c2 := sel.Items[2].Expr.(*FuncExpr)
+	if c2.Name != "COALESCE" || len(c2.Args) != 2 {
+		t.Fatal("COALESCE")
+	}
+	mustFail(t, "SELECT NOSUCHFN(a) FROM t")
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll("BEGIN; INSERT INTO t VALUES (1); COMMIT;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	if _, err := ParseAll("SELECT 1 FROM t SELECT"); err == nil {
+		t.Fatal("missing semicolon must fail")
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	err := mustFail(t, "SELECT FROM t")
+	if !strings.Contains(err.Error(), "1:") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to an equivalent statement.
+	sources := []string{
+		"SELECT a, b AS x FROM t WHERE a = 1 ORDER BY a DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+		"SELECT * FROM a x JOIN b y ON x.id = y.id WHERE x.v > 2",
+		"INSERT INTO t (a, b) VALUES (1, 'two')",
+		"UPDATE t SET a = 2 WHERE b = 'z'",
+		"DELETE FROM t WHERE a BETWEEN 1 AND 9",
+		"CREATE TABLE t (a BIGINT, b TEXT, PRIMARY KEY (a), INDEX i (a, b)) SHARD BY a",
+	}
+	for _, src := range sources {
+		first := mustParse(t, src)
+		second := mustParse(t, first.String())
+		if first.String() != second.String() {
+			t.Fatalf("round trip diverged:\n  src: %s\n  1st: %s\n  2nd: %s", src, first.String(), second.String())
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"globaldb/internal/table"
+)
+
+// fakeCatalog serves schemas for planner unit tests without a cluster.
+type fakeCatalog map[string]*table.Schema
+
+func (c fakeCatalog) Schema(name string) (*table.Schema, error) {
+	s, ok := c[name]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return s, nil
+}
+
+func testCatalog() fakeCatalog {
+	orders := &table.Schema{
+		ID:   1,
+		Name: "orders",
+		Columns: []table.Column{
+			{Name: "w_id", Kind: table.Int64},
+			{Name: "o_id", Kind: table.Int64},
+			{Name: "c_id", Kind: table.Int64},
+			{Name: "amount", Kind: table.Float64},
+		},
+		PK:      []int{0, 1},
+		ShardBy: 0,
+		Indexes: []table.Index{
+			{ID: 11, Name: "orders_cust", Cols: []int{0, 2}},
+		},
+	}
+	lines := &table.Schema{
+		ID:   2,
+		Name: "lines",
+		Columns: []table.Column{
+			{Name: "w_id", Kind: table.Int64},
+			{Name: "o_id", Kind: table.Int64},
+			{Name: "n", Kind: table.Int64},
+			{Name: "item", Kind: table.String},
+		},
+		PK:      []int{0, 1, 2},
+		ShardBy: 0,
+	}
+	return fakeCatalog{"orders": orders, "lines": lines}
+}
+
+func plan(t *testing.T, sql string) *selectPlan {
+	t.Helper()
+	stmt := mustParse(t, sql)
+	p, err := planSelect(testCatalog(), stmt.(*Select))
+	if err != nil {
+		t.Fatalf("plan(%q): %v", sql, err)
+	}
+	return p
+}
+
+func planErr(t *testing.T, sql string) error {
+	t.Helper()
+	stmt := mustParse(t, sql)
+	_, err := planSelect(testCatalog(), stmt.(*Select))
+	if err == nil {
+		t.Fatalf("plan(%q) succeeded, want error", sql)
+	}
+	return err
+}
+
+func TestPlanPointGet(t *testing.T) {
+	p := plan(t, "SELECT * FROM orders WHERE w_id = 1 AND o_id = 2")
+	if p.outer.kind != accessPoint {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+	if len(p.outer.keyExprs) != 2 {
+		t.Fatalf("keyExprs = %v", p.outer.keyExprs)
+	}
+}
+
+func TestPlanPointGetReversedPredicates(t *testing.T) {
+	p := plan(t, "SELECT * FROM orders WHERE 2 = o_id AND 1 = w_id")
+	if p.outer.kind != accessPoint {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+}
+
+func TestPlanPKPrefix(t *testing.T) {
+	p := plan(t, "SELECT * FROM orders WHERE w_id = 1 AND amount > 5")
+	if p.outer.kind != accessPKPrefix {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+	if len(p.outer.keyExprs) != 1 {
+		t.Fatalf("keyExprs = %v", p.outer.keyExprs)
+	}
+}
+
+func TestPlanIndexScan(t *testing.T) {
+	p := plan(t, "SELECT * FROM orders WHERE w_id = 1 AND c_id = 9")
+	if p.outer.kind != accessIndex || p.outer.index != "orders_cust" {
+		t.Fatalf("kind = %v index = %q", p.outer.kind, p.outer.index)
+	}
+	if len(p.outer.keyExprs) != 2 {
+		t.Fatalf("keyExprs = %v", p.outer.keyExprs)
+	}
+}
+
+func TestPlanFullScanFallbacks(t *testing.T) {
+	// No predicate at all.
+	if p := plan(t, "SELECT * FROM orders"); p.outer.kind != accessFull {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+	// Equality that misses the distribution column cannot be single-shard.
+	if p := plan(t, "SELECT * FROM orders WHERE o_id = 2"); p.outer.kind != accessFull {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+	// Inequality binds nothing.
+	if p := plan(t, "SELECT * FROM orders WHERE w_id > 1"); p.outer.kind != accessFull {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+	// OR disjuncts bind nothing (no conjunct extraction through OR).
+	if p := plan(t, "SELECT * FROM orders WHERE w_id = 1 OR w_id = 2"); p.outer.kind != accessFull {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+}
+
+func TestPlanSelfEqualityDoesNotBind(t *testing.T) {
+	// w_id = o_id references the target on both sides; unusable for keys.
+	p := plan(t, "SELECT * FROM orders WHERE w_id = o_id")
+	if p.outer.kind != accessFull {
+		t.Fatalf("kind = %v", p.outer.kind)
+	}
+}
+
+func TestPlanJoinInnerLookup(t *testing.T) {
+	p := plan(t, `SELECT o.o_id, l.item FROM orders o JOIN lines l
+		ON l.w_id = o.w_id AND l.o_id = o.o_id WHERE o.w_id = 3`)
+	if p.inner == nil {
+		t.Fatal("no inner scan")
+	}
+	if p.outer.kind != accessPKPrefix {
+		t.Fatalf("outer kind = %v", p.outer.kind)
+	}
+	// Inner binds (w_id, o_id) from the outer row: a PK prefix of lines.
+	if p.inner.kind != accessPKPrefix {
+		t.Fatalf("inner kind = %v", p.inner.kind)
+	}
+	if len(p.inner.keyExprs) != 2 {
+		t.Fatalf("inner keyExprs = %v", p.inner.keyExprs)
+	}
+}
+
+func TestPlanJoinDuplicateAliasRejected(t *testing.T) {
+	planErr(t, "SELECT * FROM orders JOIN orders ON orders.w_id = orders.w_id")
+}
+
+func TestPlanStarExpansion(t *testing.T) {
+	p := plan(t, "SELECT * FROM orders o JOIN lines l ON l.w_id = o.w_id")
+	if len(p.outCols) != 8 {
+		t.Fatalf("outCols = %v", p.outCols)
+	}
+	if p.outCols[0] != "w_id" || p.outCols[7] != "item" {
+		t.Fatalf("outCols = %v", p.outCols)
+	}
+}
+
+func TestPlanOutputNaming(t *testing.T) {
+	p := plan(t, "SELECT o_id, amount * 2 AS dbl, COUNT(*) FROM orders GROUP BY o_id, amount * 2")
+	if p.outCols[0] != "o_id" || p.outCols[1] != "dbl" {
+		t.Fatalf("outCols = %v", p.outCols)
+	}
+	if !strings.HasPrefix(p.outCols[2], "COUNT") {
+		t.Fatalf("outCols = %v", p.outCols)
+	}
+}
+
+func TestPlanGroupingRules(t *testing.T) {
+	// Aggregate without GROUP BY: bare column is an error.
+	planErr(t, "SELECT o_id, COUNT(*) FROM orders")
+	// Grouped column is fine.
+	p := plan(t, "SELECT w_id, COUNT(*) FROM orders GROUP BY w_id")
+	if !p.grouped || len(p.aggs) != 1 {
+		t.Fatalf("grouped=%v aggs=%d", p.grouped, len(p.aggs))
+	}
+	// Output not in GROUP BY is an error.
+	planErr(t, "SELECT o_id FROM orders GROUP BY w_id")
+	// Duplicate aggregates share one slot.
+	p2 := plan(t, "SELECT COUNT(*), COUNT(*) + 1 FROM orders")
+	if len(p2.aggs) != 1 {
+		t.Fatalf("aggs = %d, want 1 (deduplicated)", len(p2.aggs))
+	}
+}
+
+func TestPlanHavingForcesGrouping(t *testing.T) {
+	p := plan(t, "SELECT w_id FROM orders GROUP BY w_id HAVING COUNT(*) > 1")
+	if !p.grouped || len(p.aggs) != 1 {
+		t.Fatalf("grouped=%v aggs=%d", p.grouped, len(p.aggs))
+	}
+}
+
+func TestPlanUnknownColumnRejected(t *testing.T) {
+	planErr(t, "SELECT nope FROM orders")
+	planErr(t, "SELECT * FROM orders WHERE nope = 1")
+	planErr(t, "SELECT * FROM orders ORDER BY nope")
+	planErr(t, "SELECT o.nope FROM orders o")
+}
+
+func TestPlanAmbiguousColumnRejected(t *testing.T) {
+	err := planErr(t, "SELECT o_id FROM orders o JOIN lines l ON l.w_id = o.w_id")
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlanOrderByAlias(t *testing.T) {
+	p := plan(t, "SELECT amount * 2 AS dbl FROM orders ORDER BY dbl DESC")
+	if len(p.orderBy) != 1 || !p.orderBy[0].Desc {
+		t.Fatalf("orderBy = %v", p.orderBy)
+	}
+	if p.orderBy[0].Expr.String() != "(amount * 2)" {
+		t.Fatalf("alias not rewritten: %s", p.orderBy[0].Expr)
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	p := plan(t, "SELECT w_id, COUNT(*) FROM orders WHERE w_id = 1 GROUP BY w_id ORDER BY w_id LIMIT 5")
+	text := strings.Join(p.describe(), "\n")
+	for _, want := range []string{"aggregate", "pk-prefix-scan", "filter", "order by", "limit: 5"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("describe lacks %q:\n%s", want, text)
+		}
+	}
+}

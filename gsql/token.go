@@ -1,0 +1,279 @@
+// Package gsql is a SQL front-end for GlobalDB. It implements the query
+// layer that GaussDB computing nodes provide in the real system: a lexer,
+// a recursive-descent parser, a cost-aware planner that picks between
+// point gets, primary-key prefix scans, secondary-index scans and full
+// table scans, and an executor that runs read-write statements inside
+// GlobalDB transactions and read-only statements on asynchronous replicas
+// at the Replica Consistency Point.
+//
+// The dialect covers the shapes the paper's workloads need: CREATE/DROP
+// TABLE (with PRIMARY KEY, secondary INDEXes, SHARD BY and SYNC
+// REPLICATION), INSERT, single-table and two-table (inner join) SELECT
+// with WHERE/GROUP BY/ORDER BY/LIMIT and the usual aggregates, UPDATE,
+// DELETE, explicit transactions, and session staleness control for
+// read-on-replica queries:
+//
+//	SET STALENESS = '50ms';
+//	SELECT o_id, o_entry_d FROM orders WHERE o_w_id = 3 ORDER BY o_id DESC LIMIT 5;
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token. Keywords keep their uppercased text; string
+// literals hold the unquoted, unescaped text.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) become tokKeyword with uppercased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "DROP": true, "TABLE": true,
+	"PRIMARY": true, "KEY": true, "INDEX": true, "SHARD": true,
+	"BY": true, "SYNC": true, "REPLICATION": true, "WITH": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "IS": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "AS": true, "JOIN": true,
+	"INNER": true, "ON": true, "GROUP": true, "ORDER": true,
+	"HAVING": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "ABORT": true,
+	"SHOW": true, "TABLES": true, "STALENESS": true, "MODE": true,
+	"BIGINT": true, "INT": true, "INTEGER": true, "DOUBLE": true,
+	"FLOAT": true, "TEXT": true, "VARCHAR": true, "CHAR": true,
+	"BYTES": true, "BLOB": true, "BOOL": true, "BOOLEAN": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true, "OF": true, "OFFSET": true, "REGIONS": true, "EXPLAIN": true,
+	"DECIMAL": true, "NUMERIC": true, "TIMESTAMP": true,
+}
+
+// lexer splits a SQL string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning the full token stream (ending with tokEOF).
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+// errAt builds a position-annotated parse error.
+func errAt(pos int, src string, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("gsql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) run() error {
+	for {
+		lx.skipSpaceAndComments()
+		if lx.pos >= len(lx.src) {
+			lx.toks = append(lx.toks, token{kind: tokEOF, pos: lx.pos})
+			return nil
+		}
+		c := lx.src[lx.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			lx.lexWord()
+		case c >= '0' && c <= '9':
+			if err := lx.lexNumber(); err != nil {
+				return err
+			}
+		case c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+			if err := lx.lexNumber(); err != nil {
+				return err
+			}
+		case c == '\'':
+			if err := lx.lexString(); err != nil {
+				return err
+			}
+		default:
+			if err := lx.lexSymbol(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) lexWord() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		lx.toks = append(lx.toks, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	lx.toks = append(lx.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+}
+
+func (lx *lexer) lexNumber() error {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.pos]
+	if text == "." {
+		return errAt(start, lx.src, "malformed number")
+	}
+	lx.toks = append(lx.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+// lexString scans a single-quoted string; ” escapes a quote (standard SQL).
+func (lx *lexer) lexString() error {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			lx.toks = append(lx.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return errAt(start, lx.src, "unterminated string literal")
+}
+
+// twoCharSymbols are the multi-byte operators, longest match first.
+var twoCharSymbols = []string{"<=", ">=", "<>", "!=", "=="}
+
+func (lx *lexer) lexSymbol() error {
+	start := lx.pos
+	rest := lx.src[lx.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			lx.pos += len(s)
+			text := s
+			if s == "!=" || s == "==" {
+				// Normalize to the canonical SQL spellings.
+				if s == "!=" {
+					text = "<>"
+				} else {
+					text = "="
+				}
+			}
+			lx.toks = append(lx.toks, token{kind: tokSymbol, text: text, pos: start})
+			return nil
+		}
+	}
+	switch c := lx.src[lx.pos]; c {
+	case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '%', '.':
+		lx.pos++
+		lx.toks = append(lx.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	default:
+		return errAt(start, lx.src, "unexpected character %q", string(c))
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"globaldb/internal/ts"
+)
+
+// gcState tracks the version-GC watermark. Versions older than the newest
+// version at or below the watermark can never be read again: read-write
+// transactions use fresh snapshots and read-only queries use the monotonic
+// RCP, so pruning below a *previously published* RCP is safe even for
+// queries still in flight.
+type gcState struct {
+	mu      sync.Mutex
+	prevRCP ts.Timestamp // RCP observed at the previous GC round
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// PruneOnce prunes MVCC version chains on every primary and replica store
+// up to the RCP observed at the previous call, and returns the number of
+// versions removed. The one-round delay guarantees no in-flight query holds
+// a snapshot below the prune watermark.
+func (c *Cluster) PruneOnce() int {
+	c.gc.mu.Lock()
+	watermark := c.gc.prevRCP
+	c.gc.prevRCP = c.Collector.RCP()
+	c.gc.mu.Unlock()
+	if watermark == 0 {
+		return 0
+	}
+	removed := 0
+	for _, p := range c.primaries {
+		removed += p.Store().Prune(watermark)
+	}
+	for shard := range c.replicas {
+		for _, rep := range c.replicas[shard] {
+			removed += rep.Applier().Store().Prune(watermark)
+		}
+	}
+	return removed
+}
+
+// StartGC launches periodic version garbage collection. Returns a stop
+// function. Calling it twice is an error guarded by the caller (Open starts
+// it only when configured).
+func (c *Cluster) StartGC(interval time.Duration) (stop func()) {
+	c.gc.mu.Lock()
+	c.gc.stop = make(chan struct{})
+	c.gc.done = make(chan struct{})
+	stopCh, doneCh := c.gc.stop, c.gc.done
+	c.gc.mu.Unlock()
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.PruneOnce()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-doneCh
+		})
+	}
+}

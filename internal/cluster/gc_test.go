@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPruneOnceBoundsVersionChains(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	// Hammer one key with updates.
+	var lastSnap = c.Collector.RCP()
+	k := key(0, 1)
+	for i := 0; i < 50; i++ {
+		txn, err := cn.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Put(bg, 0, k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(bg); err != nil {
+			t.Fatal(err)
+		}
+		lastSnap = txn.Snapshot()
+	}
+	before := len(c.Primaries()[0].Store().Versions(k))
+	if before < 40 {
+		t.Fatalf("expected a long version chain, got %d", before)
+	}
+	// Two GC rounds with RCP advancement in between: the first records the
+	// watermark, the second prunes.
+	waitRCP(t, c, lastSnap)
+	c.PruneOnce()
+	time.Sleep(10 * time.Millisecond)
+	removed := c.PruneOnce()
+	if removed == 0 {
+		t.Fatal("GC removed nothing")
+	}
+	after := len(c.Primaries()[0].Store().Versions(k))
+	if after >= before {
+		t.Fatalf("chain did not shrink: %d -> %d", before, after)
+	}
+	// Fresh reads still see the newest value.
+	txn, _ := cn.Begin(bg)
+	v, found, err := txn.Get(bg, 0, k)
+	if err != nil || !found || v[0] != 49 {
+		t.Fatalf("read after GC: %v %v %v", v, found, err)
+	}
+	txn.Commit(bg)
+	// ROR reads at the current RCP still work.
+	ro, err := cn.ReadOnly(bg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ro.Get(bg, 0, k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartGCLoop(t *testing.T) {
+	c := open(t, smallCfg())
+	stop := c.StartGC(5 * time.Millisecond)
+	defer stop()
+	cn := c.CN("xian")
+	k := key(1, 2)
+	var lastSnap = c.Collector.RCP()
+	for i := 0; i < 30; i++ {
+		txn, _ := cn.Begin(bg)
+		txn.Put(bg, 1, k, []byte{byte(i)})
+		if err := txn.Commit(bg); err != nil {
+			t.Fatal(err)
+		}
+		lastSnap = txn.Snapshot()
+	}
+	waitRCP(t, c, lastSnap)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := len(c.Primaries()[1].Store().Versions(k)); n < 30 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GC loop never pruned; chain still %d", len(c.Primaries()[1].Store().Versions(k)))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -1,0 +1,17 @@
+package cluster
+
+import (
+	"globaldb/internal/table"
+)
+
+// testSchema builds a simple keyed table for tests.
+func testSchema(name string) *table.Schema {
+	return &table.Schema{
+		Name: name,
+		Columns: []table.Column{
+			{Name: "id", Kind: table.Int64},
+			{Name: "val", Kind: table.String},
+		},
+		PK: []int{0},
+	}
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"globaldb/internal/coordinator"
+)
+
+// TestTxnDoubleFinish checks that a transaction rejects operations after it
+// finished, whichever way it finished.
+func TestTxnDoubleFinish(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+
+	tx, err := cn.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(bg, 0, key(0, 1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(bg); !errors.Is(err, coordinator.ErrTxnDone) {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := tx.Put(bg, 0, key(0, 2), []byte("v")); !errors.Is(err, coordinator.ErrTxnDone) {
+		t.Fatalf("write after commit: %v", err)
+	}
+	if _, _, err := tx.Get(bg, 0, key(0, 1)); !errors.Is(err, coordinator.ErrTxnDone) {
+		t.Fatalf("read after commit: %v", err)
+	}
+
+	tx2, _ := cn.Begin(bg)
+	if err := tx2.Abort(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(bg); !errors.Is(err, coordinator.ErrTxnDone) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+// TestEmptyTxnCommit commits a transaction that wrote nothing: no shard is
+// touched, no timestamp fetched, and the commit succeeds immediately.
+func TestEmptyTxnCommit(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	tx, err := cn.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if tx.CommitTS() != 0 {
+		t.Fatalf("read-only commit TS = %v, want 0", tx.CommitTS())
+	}
+}
+
+// TestAbortReleasesLocksPromptly verifies a conflicting writer succeeds
+// immediately after the holder aborts.
+func TestAbortReleasesLocksPromptly(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	holder, _ := cn.Begin(bg)
+	if err := holder.Put(bg, 1, key(1, 7), []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	contender, _ := cn.Begin(bg)
+	if err := contender.Put(bg, 1, key(1, 7), []byte("c")); err == nil {
+		t.Fatal("conflicting write must fail while the intent is held")
+	}
+	_ = contender.Abort(bg)
+	if err := holder.Abort(bg); err != nil {
+		t.Fatal(err)
+	}
+	retry, _ := cn.Begin(bg)
+	if err := retry.Put(bg, 1, key(1, 7), []byte("r")); err != nil {
+		t.Fatalf("write after abort: %v", err)
+	}
+	if err := retry.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitTimestampsStrictlyOrderWithSnapshots checks R.1 through the
+// coordinator: a transaction that begins after another committed (same CN)
+// gets a snapshot at or above the earlier commit timestamp and sees its
+// write.
+func TestCommitTimestampsStrictlyOrderWithSnapshots(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	w, _ := cn.Begin(bg)
+	if err := w.Put(bg, 2, key(2, 9), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := cn.Begin(bg)
+	if r.Snapshot() < w.CommitTS() {
+		t.Fatalf("snapshot %v below prior commit %v", r.Snapshot(), w.CommitTS())
+	}
+	v, found, err := r.Get(bg, 2, key(2, 9))
+	if err != nil || !found || string(v) != "x" {
+		t.Fatalf("R.1 violated: %q %v %v", v, found, err)
+	}
+	r.Commit(bg)
+}
+
+// TestMultiShardCommitTimestampUniform checks that a 2PC transaction's
+// versions land at one commit timestamp on every shard (no torn timestamps).
+func TestMultiShardCommitTimestampUniform(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	tx, _ := cn.Begin(bg)
+	shards := []int{0, 1, 2}
+	for _, s := range shards {
+		if err := tx.Put(bg, s, key(s, 77), []byte("multi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	want := tx.CommitTS()
+	if want == 0 {
+		t.Fatal("no commit timestamp")
+	}
+	for _, s := range shards {
+		versions := c.Primaries()[s].Store().Versions(key(s, 77))
+		if len(versions) != 1 || versions[0].CommitTS != want {
+			t.Fatalf("shard %d versions %v, want single at %v", s, versions, want)
+		}
+	}
+}

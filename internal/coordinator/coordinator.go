@@ -1,0 +1,455 @@
+// Package coordinator implements GlobalDB's computing node (CN): the
+// stateless front end that begins and commits transactions, routes reads
+// and writes to shard primaries, coordinates two-phase commit across
+// shards, and serves read-only queries from asynchronous replicas at the
+// RCP snapshot with skyline node selection (Secs. II-A, III, IV).
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb/internal/datanode"
+	"globaldb/internal/placement"
+	"globaldb/internal/rcp"
+	"globaldb/internal/ror"
+	"globaldb/internal/storage/mvcc"
+	"globaldb/internal/table"
+	"globaldb/internal/ts"
+	"globaldb/internal/tso"
+)
+
+// Errors.
+var (
+	// ErrTxnDone means the transaction already committed or aborted.
+	ErrTxnDone = errors.New("coordinator: transaction already finished")
+	// ErrNoReplica means no node qualified to serve a replica read.
+	ErrNoReplica = errors.New("coordinator: no node qualifies for replica read")
+)
+
+// Routing maps shards to node endpoints. It is shared by every CN and
+// mutable for failover.
+type Routing struct {
+	mu        sync.RWMutex
+	primaries []string
+	replicas  [][]string
+}
+
+// NewRouting builds routing for numShards shards.
+func NewRouting(numShards int) *Routing {
+	return &Routing{primaries: make([]string, numShards), replicas: make([][]string, numShards)}
+}
+
+// NumShards returns the shard count.
+func (r *Routing) NumShards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.primaries)
+}
+
+// SetPrimary installs the primary endpoint for a shard (also used by
+// failover promotion).
+func (r *Routing) SetPrimary(shard int, node string) {
+	r.mu.Lock()
+	r.primaries[shard] = node
+	r.mu.Unlock()
+}
+
+// AddReplica registers a replica endpoint for a shard.
+func (r *Routing) AddReplica(shard int, node string) {
+	r.mu.Lock()
+	r.replicas[shard] = append(r.replicas[shard], node)
+	r.mu.Unlock()
+}
+
+// Reset atomically replaces the whole routing table (failover re-wiring).
+func (r *Routing) Reset(primaries []string, replicas [][]string) {
+	r.mu.Lock()
+	r.primaries = primaries
+	r.replicas = replicas
+	r.mu.Unlock()
+}
+
+// Primary returns the shard's primary endpoint.
+func (r *Routing) Primary(shard int) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.primaries[shard]
+}
+
+// Replicas returns the shard's replica endpoints.
+func (r *Routing) Replicas(shard int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.replicas[shard]))
+	copy(out, r.replicas[shard])
+	return out
+}
+
+// Stats counts CN-level outcomes.
+type Stats struct {
+	Commits      int64
+	Aborts       int64
+	ReplicaReads int64
+	PrimaryReads int64
+	RORFallbacks int64
+}
+
+// Config tunes a CN.
+type Config struct {
+	// TrackerRefresh is how often ROR metrics are refreshed from the
+	// collector's statuses.
+	TrackerRefresh time.Duration
+	// GTMRatePerSec estimates timestamp growth for staleness estimation in
+	// GTM mode (Sec. IV-B); measured dynamically once traffic flows.
+	GTMRatePerSec float64
+}
+
+// DefaultConfig returns CN defaults.
+func DefaultConfig() Config {
+	return Config{TrackerRefresh: 2 * time.Millisecond, GTMRatePerSec: 10000}
+}
+
+// CN is one computing node.
+type CN struct {
+	cfg     Config
+	name    string
+	region  string
+	cnID    uint64
+	client  *datanode.Client
+	oracle  *tso.Oracle
+	routing *Routing
+	catalog *table.Catalog
+
+	depMu   sync.RWMutex // guards col and tracker, swappable on failover
+	col     *rcp.Collector
+	tracker *ror.Tracker
+
+	txnSeq atomic.Uint64
+
+	trackerMu   sync.Mutex
+	lastRefresh time.Time
+	lastMaxTS   ts.Timestamp // for GTM-mode staleness rate estimation
+	lastMaxAt   time.Time
+	gtmRate     float64 // timestamps per second
+
+	commits      atomic.Int64
+	aborts       atomic.Int64
+	replicaReads atomic.Int64
+	primaryReads atomic.Int64
+	rorFallbacks atomic.Int64
+
+	// placement, when set, accumulates per-shard geographic access counts
+	// for the load-balancing advisor (the paper's future-work feature).
+	placement *placement.Tracker
+}
+
+// New creates a CN. cnID must be unique across CNs (it namespaces
+// transaction IDs). The RCP collector and ROR tracker are installed
+// afterwards with SetCollector and SetTracker once the cluster topology is
+// known.
+func New(cfg Config, name, region string, cnID uint64, client *datanode.Client, oracle *tso.Oracle,
+	routing *Routing, catalog *table.Catalog) *CN {
+	if cfg.TrackerRefresh <= 0 {
+		cfg.TrackerRefresh = 2 * time.Millisecond
+	}
+	if cfg.GTMRatePerSec <= 0 {
+		cfg.GTMRatePerSec = 10000
+	}
+	return &CN{
+		cfg: cfg, name: name, region: region, cnID: cnID,
+		client: client, oracle: oracle, routing: routing,
+		tracker: ror.NewTracker(), catalog: catalog,
+		gtmRate: cfg.GTMRatePerSec,
+	}
+}
+
+// Name returns the CN's name.
+func (c *CN) Name() string { return c.name }
+
+// Region returns the CN's region.
+func (c *CN) Region() string { return c.region }
+
+// Oracle exposes the timestamp oracle (transitions, tests).
+func (c *CN) Oracle() *tso.Oracle { return c.oracle }
+
+// Catalog exposes the CN's catalog.
+func (c *CN) Catalog() *table.Catalog { return c.catalog }
+
+// Routing exposes the shared routing table.
+func (c *CN) Routing() *Routing { return c.routing }
+
+// Tracker exposes the ROR tracker (tests, observability).
+func (c *CN) Tracker() *ror.Tracker {
+	c.depMu.RLock()
+	defer c.depMu.RUnlock()
+	return c.tracker
+}
+
+// SetTracker replaces the ROR tracker (failover re-wiring).
+func (c *CN) SetTracker(t *ror.Tracker) {
+	c.depMu.Lock()
+	c.tracker = t
+	c.depMu.Unlock()
+}
+
+// Collector returns the RCP collector in use.
+func (c *CN) Collector() *rcp.Collector {
+	c.depMu.RLock()
+	defer c.depMu.RUnlock()
+	return c.col
+}
+
+// SetCollector installs the RCP collector (set once at cluster start, and
+// replaced when the designated collector CN fails over).
+func (c *CN) SetCollector(col *rcp.Collector) {
+	c.depMu.Lock()
+	c.col = col
+	c.depMu.Unlock()
+}
+
+// SetPlacementTracker installs the shared geographic access tracker.
+func (c *CN) SetPlacementTracker(tr *placement.Tracker) { c.placement = tr }
+
+// Stats returns a snapshot of the CN's counters.
+func (c *CN) Stats() Stats {
+	return Stats{
+		Commits:      c.commits.Load(),
+		Aborts:       c.aborts.Load(),
+		ReplicaReads: c.replicaReads.Load(),
+		PrimaryReads: c.primaryReads.Load(),
+		RORFallbacks: c.rorFallbacks.Load(),
+	}
+}
+
+// Begin starts a read-write transaction.
+func (c *CN) Begin(ctx context.Context) (*Txn, error) {
+	tt, err := c.oracle.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	id := c.cnID<<40 | c.txnSeq.Add(1)
+	return &Txn{cn: c, id: id, ts: tt, touched: make(map[int]bool)}, nil
+}
+
+// Txn is a read-write transaction coordinated by one CN.
+type Txn struct {
+	cn       *CN
+	id       uint64
+	ts       tso.TxnTS
+	touched  map[int]bool
+	done     bool
+	sync     bool // wait for replica acknowledgement at commit
+	commitTS ts.Timestamp
+}
+
+// CommitTS returns the transaction's commit timestamp, or zero before a
+// successful Commit (read-only transactions never acquire one).
+func (t *Txn) CommitTS() ts.Timestamp { return t.commitTS }
+
+// RequireSyncCommit marks the transaction as writing a synchronously
+// replicated table: its commit waits for replica acknowledgement even under
+// asynchronous cluster replication.
+func (t *Txn) RequireSyncCommit() { t.sync = true }
+
+// ID returns the cluster-wide transaction ID.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (t *Txn) Snapshot() ts.Timestamp { return t.ts.Snap }
+
+// WriteBatch stages a batch of mutations on one shard.
+func (t *Txn) WriteBatch(ctx context.Context, shard int, ops []datanode.WriteOp) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	node := t.cn.routing.Primary(shard)
+	if err := t.cn.client.Write(ctx, node, t.id, t.ts.Snap, ops); err != nil {
+		return err
+	}
+	t.touched[shard] = true
+	if tr := t.cn.placement; tr != nil {
+		tr.RecordWrite(shard, t.cn.region)
+	}
+	return nil
+}
+
+// Put stages one write.
+func (t *Txn) Put(ctx context.Context, shard int, key, value []byte) error {
+	return t.WriteBatch(ctx, shard, []datanode.WriteOp{{Key: key, Value: value}})
+}
+
+// Delete stages one deletion.
+func (t *Txn) Delete(ctx context.Context, shard int, key []byte) error {
+	return t.WriteBatch(ctx, shard, []datanode.WriteOp{{Delete: true, Key: key}})
+}
+
+// Get reads a key from the shard primary at the transaction's snapshot,
+// observing the transaction's own writes.
+func (t *Txn) Get(ctx context.Context, shard int, key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	t.cn.primaryReads.Add(1)
+	if tr := t.cn.placement; tr != nil {
+		tr.RecordRead(shard, t.cn.region)
+	}
+	return t.cn.client.Read(ctx, t.cn.routing.Primary(shard), key, t.ts.Snap, t.id)
+}
+
+// Scan range-scans a shard primary at the transaction's snapshot.
+func (t *Txn) Scan(ctx context.Context, shard int, start, end []byte, limit int) ([]mvcc.KV, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	t.cn.primaryReads.Add(1)
+	if tr := t.cn.placement; tr != nil {
+		tr.RecordRead(shard, t.cn.region)
+	}
+	return t.cn.client.Scan(ctx, t.cn.routing.Primary(shard), start, end, t.ts.Snap, limit, t.id)
+}
+
+// Commit finishes the transaction: the single-shard fast path writes
+// PENDING COMMIT then COMMIT; the multi-shard path runs two-phase commit.
+// The commit wait completes before Commit returns (external consistency).
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	shards := t.shards()
+	if len(shards) == 0 {
+		return nil // read-only: nothing to resolve
+	}
+
+	if len(shards) == 1 {
+		shard := shards[0]
+		node := t.cn.routing.Primary(shard)
+		// PENDING COMMIT precedes the commit-timestamp fetch (Sec. IV-A).
+		if err := t.cn.client.Pending(ctx, node, t.id); err != nil {
+			t.abortShards(shards)
+			return err
+		}
+		commitTS, finish, err := t.cn.oracle.Commit(ctx, t.ts.Mode)
+		if err != nil {
+			t.abortShards(shards)
+			return err
+		}
+		if err := t.cn.client.Commit(ctx, node, t.id, commitTS, t.sync); err != nil {
+			// The commit record was not applied (or the apply raced a
+			// cancellation); the transaction must not stay pending forever.
+			t.abortShards(shards)
+			return fmt.Errorf("coordinator: commit apply: %w", err)
+		}
+		if err := finish(ctx); err != nil {
+			return err
+		}
+		t.commitTS = commitTS
+		t.cn.commits.Add(1)
+		return nil
+	}
+
+	// Two-phase commit. Phase 1: prepare everywhere in parallel.
+	if err := t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
+		return t.cn.client.Prepare(ctx, node, t.id)
+	}); err != nil {
+		t.abortPrepared(shards)
+		return fmt.Errorf("coordinator: prepare: %w", err)
+	}
+	commitTS, finish, err := t.cn.oracle.Commit(ctx, t.ts.Mode)
+	if err != nil {
+		t.abortPrepared(shards)
+		return err
+	}
+	// Phase 2: commit everywhere. Once every participant prepared, the
+	// outcome is decided: the resolution runs on a cleanup context immune
+	// to caller cancellation and retries until participants acknowledge —
+	// prepared tuples block readers until this completes (Sec. IV-A).
+	if err := t.resolvePrepared(shards, commitTS); err != nil {
+		return fmt.Errorf("coordinator: commit prepared: %w", err)
+	}
+	if err := finish(ctx); err != nil {
+		return err
+	}
+	t.commitTS = commitTS
+	t.cn.commits.Add(1)
+	return nil
+}
+
+// resolvePrepared drives 2PC phase two to completion with bounded retries.
+func (t *Txn) resolvePrepared(shards []int, commitTS ts.Timestamp) error {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		lastErr = t.forEachShard(cctx, shards, func(ctx context.Context, node string) error {
+			err := t.cn.client.CommitPrepared(ctx, node, t.id, commitTS, t.sync)
+			if errors.Is(err, mvcc.ErrTxnNotFound) {
+				return nil // already resolved by an earlier attempt
+			}
+			return err
+		})
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
+	return lastErr
+}
+
+// Abort rolls back the transaction on every touched shard.
+func (t *Txn) Abort(ctx context.Context) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.abortShards(t.shards())
+	t.cn.aborts.Add(1)
+	return nil
+}
+
+func (t *Txn) shards() []int {
+	out := make([]int, 0, len(t.touched))
+	for s := range t.touched {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (t *Txn) forEachShard(ctx context.Context, shards []int, fn func(context.Context, string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			errs[i] = fn(ctx, t.cn.routing.Primary(s))
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// abortShards rolls back on a cleanup context so a canceled caller cannot
+// leave intents behind to block future readers and writers.
+func (t *Txn) abortShards(shards []int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
+		return t.cn.client.Abort(ctx, node, t.id)
+	})
+	t.cn.aborts.Add(1)
+}
+
+func (t *Txn) abortPrepared(shards []int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
+		return t.cn.client.AbortPrepared(ctx, node, t.id)
+	})
+	t.cn.aborts.Add(1)
+}

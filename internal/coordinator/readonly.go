@@ -1,0 +1,234 @@
+package coordinator
+
+import (
+	"context"
+	"time"
+
+	"globaldb/internal/storage/mvcc"
+	"globaldb/internal/ts"
+)
+
+// AnyStaleness disables the freshness bound: the query accepts whatever the
+// RCP currently offers.
+const AnyStaleness = time.Duration(-1)
+
+// ROTxn is a read-only query context. Reads are served from replicas at the
+// RCP snapshot when the staleness bound and the DDL gate allow it, and fall
+// back to primaries at a fresh snapshot otherwise (Sec. IV).
+type ROTxn struct {
+	cn    *CN
+	snap  ts.Timestamp
+	bound time.Duration
+	// replicaMode is decided once at creation so every read in the query
+	// sees one snapshot on one class of nodes (no torn mixed reads).
+	replicaMode bool
+}
+
+// ReadOnly starts a read-only query with a staleness bound. tableIDs are
+// the tables the query will touch, for the DDL visibility gate; pass none
+// to gate on the global maximum DDL timestamp only.
+func (c *CN) ReadOnly(ctx context.Context, bound time.Duration, tableIDs ...uint64) (*ROTxn, error) {
+	rcpTS := c.Collector().RCP()
+	replicaMode := true
+
+	// DDL gate (Sec. IV-A): every involved table's schema must have
+	// reached the replicas.
+	if !c.catalog.RORAllowed(rcpTS, tableIDs...) {
+		replicaMode = false
+		c.rorFallbacks.Add(1)
+	}
+	// Freshness gate: the RCP itself must satisfy the bound.
+	if replicaMode && bound >= 0 && c.rcpStaleness(rcpTS) > bound {
+		replicaMode = false
+		c.rorFallbacks.Add(1)
+	}
+
+	if replicaMode {
+		c.maybeRefreshTracker()
+		return &ROTxn{cn: c, snap: rcpTS, bound: bound, replicaMode: true}, nil
+	}
+	// Fresh snapshot on primaries: the single-shard fast path
+	// (SnapshotNoWait) applies under GClock; centralized modes fetch from
+	// the GTM server.
+	snap := c.oracle.SnapshotNoWait()
+	if snap.Snap == 0 {
+		tt, err := c.oracle.Begin(ctx)
+		if err != nil {
+			return nil, err
+		}
+		snap = tt
+	}
+	return &ROTxn{cn: c, snap: snap.Snap, bound: bound}, nil
+}
+
+// Snapshot returns the query's snapshot timestamp.
+func (r *ROTxn) Snapshot() ts.Timestamp { return r.snap }
+
+// OnReplicas reports whether the query reads from replicas.
+func (r *ROTxn) OnReplicas() bool { return r.replicaMode }
+
+// Get reads one key.
+func (r *ROTxn) Get(ctx context.Context, shard int, key []byte) ([]byte, bool, error) {
+	node, replica, err := r.pick(shard)
+	if err != nil {
+		return nil, false, err
+	}
+	start := time.Now()
+	v, found, err := r.cn.client.Read(ctx, node, key, r.snap, 0)
+	r.observe(node, replica, start, err)
+	if err != nil && replica {
+		// One retry on the primary: the replica crashed mid-query.
+		r.cn.primaryReads.Add(1)
+		return r.cn.client.Read(ctx, r.cn.routing.Primary(shard), key, r.snap, 0)
+	}
+	return v, found, err
+}
+
+// Scan range-scans one shard.
+func (r *ROTxn) Scan(ctx context.Context, shard int, start, end []byte, limit int) ([]mvcc.KV, error) {
+	node, replica, err := r.pick(shard)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	kvs, err := r.cn.client.Scan(ctx, node, start, end, r.snap, limit, 0)
+	r.observe(node, replica, t0, err)
+	if err != nil && replica {
+		r.cn.primaryReads.Add(1)
+		return r.cn.client.Scan(ctx, r.cn.routing.Primary(shard), start, end, r.snap, limit, 0)
+	}
+	return kvs, err
+}
+
+// pick chooses the serving node for a shard.
+func (r *ROTxn) pick(shard int) (node string, replica bool, err error) {
+	if !r.replicaMode {
+		return r.cn.routing.Primary(shard), false, nil
+	}
+	r.cn.maybeRefreshTracker()
+	// Pure skyline cost selection (Fig. 5): the primary competes with the
+	// replicas, so a home-shard read takes the local primary while a
+	// remote-shard read takes the local replica — the routing that yields
+	// the paper's read speedups.
+	best, ok := r.cn.Tracker().Pick(shard, r.bound, false)
+	if !ok {
+		// Everything is dark; the primary is the last resort.
+		return r.cn.routing.Primary(shard), false, nil
+	}
+	return best.Node, !best.Primary, nil
+}
+
+func (r *ROTxn) observe(node string, replica bool, start time.Time, err error) {
+	rtt := time.Since(start)
+	if replica {
+		r.cn.replicaReads.Add(1)
+	} else {
+		r.cn.primaryReads.Add(1)
+	}
+	if err != nil {
+		r.cn.Tracker().MarkFailed(node)
+		return
+	}
+	r.cn.Tracker().ObserveLatency(node, rtt)
+}
+
+// rcpStaleness estimates how far the RCP lags real time. Under GClock the
+// clock answers directly; under GTM the CN estimates from the rate at which
+// timestamps have been growing (Sec. IV-B).
+func (c *CN) rcpStaleness(rcpTS ts.Timestamp) time.Duration {
+	if c.oracle.Mode() == ts.ModeGClock {
+		now := c.oracle.Clock().Now().Clock
+		if now <= rcpTS {
+			return 0
+		}
+		return now.Sub(rcpTS)
+	}
+	return c.estimateCounterStaleness(rcpTS)
+}
+
+// estimateCounterStaleness converts a counter gap into time using the
+// observed issue rate.
+func (c *CN) estimateCounterStaleness(rcpTS ts.Timestamp) time.Duration {
+	c.trackerMu.Lock()
+	defer c.trackerMu.Unlock()
+	maxSeen := c.lastMaxTS
+	if rcpTS >= maxSeen {
+		return 0
+	}
+	gap := float64(maxSeen - rcpTS)
+	rate := c.gtmRate
+	if rate <= 0 {
+		rate = 1
+	}
+	return time.Duration(gap / rate * float64(time.Second))
+}
+
+// maybeRefreshTracker pulls fresh replica statuses from the collector into
+// the ROR tracker, rate-limited to cfg.TrackerRefresh.
+func (c *CN) maybeRefreshTracker() {
+	c.trackerMu.Lock()
+	if time.Since(c.lastRefresh) < c.cfg.TrackerRefresh {
+		c.trackerMu.Unlock()
+		return
+	}
+	c.lastRefresh = time.Now()
+	prevMax, prevAt := c.lastMaxTS, c.lastMaxAt
+	c.trackerMu.Unlock()
+
+	statuses := c.Collector().Statuses()
+	gclock := c.oracle.Mode() == ts.ModeGClock
+	var now ts.Timestamp
+	if gclock {
+		now = c.oracle.Clock().Now().Clock
+	}
+	var maxSeen ts.Timestamp
+	for _, st := range statuses {
+		if st.MaxCommitTS > maxSeen {
+			maxSeen = st.MaxCommitTS
+		}
+	}
+	for _, st := range statuses {
+		var staleness time.Duration
+		switch {
+		case st.Primary:
+			// Primaries always serve fresh data.
+		case gclock:
+			if now > st.MaxCommitTS {
+				staleness = now.Sub(st.MaxCommitTS)
+			}
+		default:
+			staleness = c.counterGapToTime(maxSeen, st.MaxCommitTS, prevMax, prevAt)
+		}
+		c.Tracker().UpdateStatus(st.Node, staleness, st.Load, st.Healthy)
+	}
+
+	c.trackerMu.Lock()
+	if maxSeen > c.lastMaxTS {
+		// Update the GTM-mode issue-rate estimate.
+		if !c.lastMaxAt.IsZero() {
+			dt := time.Since(c.lastMaxAt).Seconds()
+			if dt > 0 {
+				inst := float64(maxSeen-c.lastMaxTS) / dt
+				c.gtmRate = 0.7*c.gtmRate + 0.3*inst
+			}
+		}
+		c.lastMaxTS = maxSeen
+		c.lastMaxAt = time.Now()
+	}
+	c.trackerMu.Unlock()
+}
+
+func (c *CN) counterGapToTime(maxSeen, nodeTS, prevMax ts.Timestamp, prevAt time.Time) time.Duration {
+	if nodeTS >= maxSeen {
+		return 0
+	}
+	c.trackerMu.Lock()
+	rate := c.gtmRate
+	c.trackerMu.Unlock()
+	if rate <= 0 {
+		rate = 1
+	}
+	_ = prevMax
+	_ = prevAt
+	return time.Duration(float64(maxSeen-nodeTS) / rate * float64(time.Second))
+}

@@ -1,0 +1,579 @@
+// Package datanode implements GlobalDB's data node (DN) roles.
+//
+// A primary DN owns one shard: it stages write intents, appends redo
+// records, participates in two-phase commit, and ships its log to replicas.
+// A replica DN replays redo and serves read-only queries at RCP-consistent
+// snapshots (Sec. IV). Both roles are reachable only through simulated
+// network endpoints, so every CN↔DN interaction pays WAN cost.
+//
+// Per-operation atomicity between the MVCC store and the redo log is
+// guaranteed by a node-level mutex: the log order of heap and control
+// records always matches the store's intent order, which is what makes
+// replica replay conflict-free.
+package datanode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"globaldb/internal/netsim"
+	"globaldb/internal/redo"
+	"globaldb/internal/repl"
+	"globaldb/internal/storage/mvcc"
+	"globaldb/internal/ts"
+	"globaldb/internal/wal"
+)
+
+// WriteOp is one staged mutation.
+type WriteOp struct {
+	// Delete marks a deletion; Value is ignored.
+	Delete bool
+	// Key is the full encoded key.
+	Key []byte
+	// Value is the encoded row or index entry.
+	Value []byte
+}
+
+// Wire size approximation for a write op.
+func (op WriteOp) size() int { return len(op.Key) + len(op.Value) + 8 }
+
+// Request/response payloads. All travel as netsim message payloads.
+type (
+	// WriteReq stages intents for a transaction.
+	WriteReq struct {
+		Txn    uint64
+		SnapTS ts.Timestamp
+		Ops    []WriteOp
+	}
+	// WriteResp acknowledges staged intents.
+	WriteResp struct{}
+
+	// ReadReq is a point read at a snapshot.
+	ReadReq struct {
+		Key    []byte
+		SnapTS ts.Timestamp
+		Txn    uint64 // non-zero: read own writes
+	}
+	// ReadResp returns the value if found.
+	ReadResp struct {
+		Value []byte
+		Found bool
+	}
+
+	// ScanReq is a range scan at a snapshot.
+	ScanReq struct {
+		Start, End []byte
+		SnapTS     ts.Timestamp
+		Limit      int
+		Txn        uint64
+	}
+	// ScanResp returns the visible pairs.
+	ScanResp struct {
+		KVs []mvcc.KV
+	}
+
+	// PendingReq writes the PENDING COMMIT record before the commit
+	// timestamp fetch (Sec. IV-A).
+	PendingReq struct{ Txn uint64 }
+	// CommitReq commits a single-shard transaction at TS. Sync forces a
+	// replica-quorum wait even under asynchronous replication (per-table
+	// synchronous replication).
+	CommitReq struct {
+		Txn  uint64
+		TS   ts.Timestamp
+		Sync bool
+	}
+	// AbortReq aborts a transaction.
+	AbortReq struct{ Txn uint64 }
+	// PrepareReq is 2PC phase one.
+	PrepareReq struct{ Txn uint64 }
+	// CommitPreparedReq is 2PC phase two (commit). Sync as in CommitReq.
+	CommitPreparedReq struct {
+		Txn  uint64
+		TS   ts.Timestamp
+		Sync bool
+	}
+	// AbortPreparedReq is 2PC phase two (abort).
+	AbortPreparedReq struct{ Txn uint64 }
+
+	// HeartbeatReq advances replicas' max commit timestamp on idle shards.
+	HeartbeatReq struct{ TS ts.Timestamp }
+	// DDLReq records a catalog change in the redo stream. Table carries
+	// the table ID; Schema the serialized schema (may be nil for drops).
+	DDLReq struct {
+		Table  uint64
+		TS     ts.Timestamp
+		Schema []byte
+	}
+
+	// StatusReq asks a node for its health/freshness metrics.
+	StatusReq struct{}
+	// StatusResp reports them.
+	StatusResp struct {
+		// LastCommitTS is the node's visibility watermark.
+		LastCommitTS ts.Timestamp
+		// AppliedLSN is the replica's replay position (0 on primaries).
+		AppliedLSN uint64
+		// Load is the number of in-flight requests.
+		Load int64
+		// Primary reports the node role.
+		Primary bool
+	}
+
+	// GenericResp acknowledges control operations.
+	GenericResp struct{}
+)
+
+// ErrBadRequest is returned for unknown payload types.
+var ErrBadRequest = errors.New("datanode: bad request payload")
+
+// Primary is a shard's read-write node.
+type Primary struct {
+	id     string
+	region string
+	shard  int
+
+	mu    sync.Mutex // serializes store mutation + log append pairs
+	store *mvcc.Store
+	log   *redo.Log
+	mgr   *repl.Manager
+
+	ep       *netsim.Endpoint
+	inflight atomic.Int64
+}
+
+// NewPrimary creates a primary DN and registers its endpoint under id.
+func NewPrimary(n *netsim.Network, id, region string, shard int, mode repl.Mode, quorum int) *Primary {
+	p := &Primary{
+		id:     id,
+		region: region,
+		shard:  shard,
+		store:  mvcc.NewStore(),
+		log:    redo.NewLog(),
+	}
+	p.mgr = repl.NewManager(p.log, mode, quorum)
+	p.ep = n.Register(id, region, p.handle)
+	return p
+}
+
+// NewPrimaryFromStore builds a primary over an existing store (replica
+// promotion during failover). The log starts fresh; surviving replicas must
+// be re-seeded from the store.
+func NewPrimaryFromStore(n *netsim.Network, id, region string, shard int, store *mvcc.Store, mode repl.Mode, quorum int) *Primary {
+	p := &Primary{id: id, region: region, shard: shard, store: store, log: redo.NewLog()}
+	p.mgr = repl.NewManager(p.log, mode, quorum)
+	p.ep = n.Register(id, region, p.handle)
+	return p
+}
+
+// AttachWAL starts archiving this primary's redo log to an on-disk WAL in
+// dir, giving the node crash durability (GaussDB's XLOG). Returns a closer
+// that drains and closes the WAL.
+func (p *Primary) AttachWAL(dir string) (io.Closer, error) {
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return wal.NewArchiver(p.log, w), nil
+}
+
+// RecoverPrimary rebuilds a crashed primary from its WAL directory: the
+// surviving redo stream is replayed into a fresh store (the same replay
+// path replicas use), the in-memory log is re-seeded with identical LSNs so
+// replica shippers resume where they left off, and archiving continues into
+// the same directory. The returned closer stops the WAL.
+func RecoverPrimary(n *netsim.Network, id, region string, shard int, dir string, mode repl.Mode, quorum int) (*Primary, io.Closer, error) {
+	recs, err := wal.Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	applier := repl.NewApplier(mvcc.NewStore())
+	if _, err := applier.Apply(recs); err != nil {
+		return nil, nil, fmt.Errorf("datanode: recovery replay: %w", err)
+	}
+	p := &Primary{id: id, region: region, shard: shard, store: applier.Store(), log: redo.NewLog()}
+	// A fresh log assigns LSNs from 1; re-appending the recovered records
+	// reproduces their original contiguous LSNs.
+	p.log.AppendBatch(recs)
+	p.mgr = repl.NewManager(p.log, mode, quorum)
+	p.ep = n.Register(id, region, p.handle)
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, wal.NewArchiver(p.log, w), nil
+}
+
+// ID returns the node's endpoint name.
+func (p *Primary) ID() string { return p.id }
+
+// Region returns the node's region.
+func (p *Primary) Region() string { return p.region }
+
+// Shard returns the shard this node owns.
+func (p *Primary) Shard() int { return p.shard }
+
+// Store exposes the MVCC store (loader, tests, promotion).
+func (p *Primary) Store() *mvcc.Store { return p.store }
+
+// Log exposes the redo log (shippers).
+func (p *Primary) Log() *redo.Log { return p.log }
+
+// Repl exposes the replication manager.
+func (p *Primary) Repl() *repl.Manager { return p.mgr }
+
+// Endpoint exposes the network endpoint (failure injection).
+func (p *Primary) Endpoint() *netsim.Endpoint { return p.ep }
+
+func (p *Primary) handle(ctx context.Context, m netsim.Message) (netsim.Message, error) {
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+	switch req := m.Payload.(type) {
+	case WriteReq:
+		if err := p.execWrite(req); err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: WriteResp{}, Size: 8}, nil
+	case ReadReq:
+		v, found, err := p.store.Get(ctx, req.Key, req.SnapTS, mvcc.TxnID(req.Txn))
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ReadResp{Value: v, Found: found}, Size: len(v) + 8}, nil
+	case ScanReq:
+		kvs, err := p.store.Scan(ctx, req.Start, req.End, req.SnapTS, req.Limit, mvcc.TxnID(req.Txn))
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
+	case PendingReq:
+		p.mu.Lock()
+		err := p.store.MarkPending(mvcc.TxnID(req.Txn))
+		if err == nil {
+			p.log.Append(redo.Record{Type: redo.TypePendingCommit, Txn: req.Txn})
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case CommitReq:
+		if err := p.commit(ctx, req.Txn, req.TS, redo.TypeCommit, req.Sync); err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case AbortReq:
+		p.mu.Lock()
+		err := p.store.Abort(mvcc.TxnID(req.Txn))
+		if err == nil {
+			p.log.Append(redo.Record{Type: redo.TypeAbort, Txn: req.Txn})
+		}
+		p.mu.Unlock()
+		if err != nil && !errors.Is(err, mvcc.ErrTxnNotFound) {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case PrepareReq:
+		p.mu.Lock()
+		err := p.store.MarkPrepared(mvcc.TxnID(req.Txn))
+		if err == nil {
+			p.log.Append(redo.Record{Type: redo.TypePrepare, Txn: req.Txn})
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case CommitPreparedReq:
+		if err := p.commit(ctx, req.Txn, req.TS, redo.TypeCommitPrepared, req.Sync); err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case AbortPreparedReq:
+		p.mu.Lock()
+		err := p.store.Abort(mvcc.TxnID(req.Txn))
+		if err == nil {
+			p.log.Append(redo.Record{Type: redo.TypeAbortPrepared, Txn: req.Txn})
+		}
+		p.mu.Unlock()
+		if err != nil && !errors.Is(err, mvcc.ErrTxnNotFound) {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case HeartbeatReq:
+		p.mu.Lock()
+		p.log.Append(redo.Record{Type: redo.TypeHeartbeat, TS: req.TS})
+		p.store.AdvanceCommitWatermark(req.TS)
+		p.mu.Unlock()
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case DDLReq:
+		p.mu.Lock()
+		p.log.Append(redo.Record{Type: redo.TypeDDL, Txn: req.Table, TS: req.TS, Value: req.Schema})
+		p.store.AdvanceCommitWatermark(req.TS)
+		p.mu.Unlock()
+		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case StatusReq:
+		return netsim.Message{Payload: StatusResp{
+			LastCommitTS: p.store.LastCommitTS(),
+			Load:         p.inflight.Load(),
+			Primary:      true,
+		}, Size: 32}, nil
+	default:
+		return netsim.Message{}, fmt.Errorf("%w: %T", ErrBadRequest, m.Payload)
+	}
+}
+
+func (p *Primary) execWrite(req WriteReq) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	txn := mvcc.TxnID(req.Txn)
+	recs := make([]redo.Record, 0, len(req.Ops))
+	for _, op := range req.Ops {
+		if op.Delete {
+			if err := p.store.Delete(txn, op.Key, req.SnapTS); err != nil {
+				p.appendLocked(recs)
+				return err
+			}
+			recs = append(recs, redo.Record{Type: redo.TypeHeapDelete, Txn: req.Txn, Key: op.Key})
+		} else {
+			if err := p.store.Put(txn, op.Key, op.Value, req.SnapTS); err != nil {
+				p.appendLocked(recs)
+				return err
+			}
+			recs = append(recs, redo.Record{Type: redo.TypeHeapUpdate, Txn: req.Txn, Key: op.Key, Value: op.Value})
+		}
+	}
+	p.appendLocked(recs)
+	return nil
+}
+
+func (p *Primary) appendLocked(recs []redo.Record) {
+	if len(recs) > 0 {
+		p.log.AppendBatch(recs)
+	}
+}
+
+// commit applies the commit and, under synchronous replication (cluster
+// mode or per-table sync), waits for the quorum before returning
+// (Sec. II-A).
+func (p *Primary) commit(ctx context.Context, txn uint64, commitTS ts.Timestamp, typ redo.Type, sync bool) error {
+	p.mu.Lock()
+	err := p.store.Commit(mvcc.TxnID(txn), commitTS)
+	var lsn uint64
+	if err == nil {
+		lsn = p.log.Append(redo.Record{Type: typ, Txn: txn, TS: commitTS})
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if sync {
+		return p.mgr.WaitReplicated(ctx, lsn)
+	}
+	return p.mgr.WaitDurable(ctx, lsn)
+}
+
+func scanSize(kvs []mvcc.KV) int {
+	n := 16
+	for _, kv := range kvs {
+		n += len(kv.Key) + len(kv.Value)
+	}
+	return n
+}
+
+// Replica is a shard's read-only node.
+type Replica struct {
+	id     string
+	region string
+	shard  int
+
+	applier *repl.Applier
+	ep      *netsim.Endpoint
+	replEp  *netsim.Endpoint
+
+	inflight atomic.Int64
+}
+
+// ReplEndpointName returns the replication endpoint name for a replica id.
+func ReplEndpointName(id string) string { return "repl:" + id }
+
+// NewReplica creates a replica DN, registering both its read endpoint (id)
+// and its replication endpoint (ReplEndpointName(id)).
+func NewReplica(n *netsim.Network, id, region string, shard int) *Replica {
+	return NewReplicaFromStore(n, id, region, shard, mvcc.NewStore())
+}
+
+// NewReplicaFromStore creates a replica over a pre-seeded store (failover
+// re-seeding after a promotion); the applier expects the new primary's
+// fresh log from LSN 1.
+func NewReplicaFromStore(n *netsim.Network, id, region string, shard int, store *mvcc.Store) *Replica {
+	r := &Replica{id: id, region: region, shard: shard, applier: repl.NewApplier(store)}
+	r.ep = n.Register(id, region, r.handle)
+	r.replEp = repl.ServeApplier(n, ReplEndpointName(id), region, r.applier, repl.Flate{})
+	return r
+}
+
+// ID returns the replica's read endpoint name.
+func (r *Replica) ID() string { return r.id }
+
+// Region returns the node's region.
+func (r *Replica) Region() string { return r.region }
+
+// Shard returns the shard this node replicates.
+func (r *Replica) Shard() int { return r.shard }
+
+// Applier exposes the replay state.
+func (r *Replica) Applier() *repl.Applier { return r.applier }
+
+// Endpoint exposes the read endpoint (failure injection).
+func (r *Replica) Endpoint() *netsim.Endpoint { return r.ep }
+
+// ReplEndpoint exposes the replication endpoint (failure injection).
+func (r *Replica) ReplEndpoint() *netsim.Endpoint { return r.replEp }
+
+// SetDown marks both endpoints up or down.
+func (r *Replica) SetDown(down bool) {
+	r.ep.SetDown(down)
+	r.replEp.SetDown(down)
+}
+
+func (r *Replica) handle(ctx context.Context, m netsim.Message) (netsim.Message, error) {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	store := r.applier.Store()
+	switch req := m.Payload.(type) {
+	case ReadReq:
+		v, found, err := store.Get(ctx, req.Key, req.SnapTS, 0)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ReadResp{Value: v, Found: found}, Size: len(v) + 8}, nil
+	case ScanReq:
+		kvs, err := store.Scan(ctx, req.Start, req.End, req.SnapTS, req.Limit, 0)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
+	case StatusReq:
+		return netsim.Message{Payload: StatusResp{
+			LastCommitTS: r.applier.MaxCommitTS(),
+			AppliedLSN:   r.applier.AppliedLSN(),
+			Load:         r.inflight.Load(),
+		}, Size: 32}, nil
+	default:
+		return netsim.Message{}, fmt.Errorf("%w: %T", ErrBadRequest, m.Payload)
+	}
+}
+
+// Client is a typed RPC client for data nodes, homed in a region.
+type Client struct {
+	net    *netsim.Network
+	region string
+}
+
+// NewClient returns a client that calls from region.
+func NewClient(n *netsim.Network, region string) *Client {
+	return &Client{net: n, region: region}
+}
+
+// Region returns the client's home region.
+func (c *Client) Region() string { return c.region }
+
+func (c *Client) call(ctx context.Context, node string, payload any, size int) (any, error) {
+	resp, err := c.net.Call(ctx, c.region, node, netsim.Message{Payload: payload, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// Write stages ops on node for txn.
+func (c *Client) Write(ctx context.Context, node string, txn uint64, snap ts.Timestamp, ops []WriteOp) error {
+	size := 24
+	for _, op := range ops {
+		size += op.size()
+	}
+	_, err := c.call(ctx, node, WriteReq{Txn: txn, SnapTS: snap, Ops: ops}, size)
+	return err
+}
+
+// Read performs a point read.
+func (c *Client) Read(ctx context.Context, node string, key []byte, snap ts.Timestamp, txn uint64) ([]byte, bool, error) {
+	p, err := c.call(ctx, node, ReadReq{Key: key, SnapTS: snap, Txn: txn}, len(key)+24)
+	if err != nil {
+		return nil, false, err
+	}
+	r := p.(ReadResp)
+	return r.Value, r.Found, nil
+}
+
+// Scan performs a range scan.
+func (c *Client) Scan(ctx context.Context, node string, start, end []byte, snap ts.Timestamp, limit int, txn uint64) ([]mvcc.KV, error) {
+	p, err := c.call(ctx, node, ScanReq{Start: start, End: end, SnapTS: snap, Limit: limit, Txn: txn}, len(start)+len(end)+32)
+	if err != nil {
+		return nil, err
+	}
+	return p.(ScanResp).KVs, nil
+}
+
+// Pending writes the PENDING COMMIT record for txn.
+func (c *Client) Pending(ctx context.Context, node string, txn uint64) error {
+	_, err := c.call(ctx, node, PendingReq{Txn: txn}, 16)
+	return err
+}
+
+// Commit commits a single-shard transaction. sync forces a replica wait
+// (per-table synchronous replication).
+func (c *Client) Commit(ctx context.Context, node string, txn uint64, commitTS ts.Timestamp, sync bool) error {
+	_, err := c.call(ctx, node, CommitReq{Txn: txn, TS: commitTS, Sync: sync}, 24)
+	return err
+}
+
+// Abort aborts a transaction.
+func (c *Client) Abort(ctx context.Context, node string, txn uint64) error {
+	_, err := c.call(ctx, node, AbortReq{Txn: txn}, 16)
+	return err
+}
+
+// Prepare runs 2PC phase one on node.
+func (c *Client) Prepare(ctx context.Context, node string, txn uint64) error {
+	_, err := c.call(ctx, node, PrepareReq{Txn: txn}, 16)
+	return err
+}
+
+// CommitPrepared commits a prepared transaction. sync as in Commit.
+func (c *Client) CommitPrepared(ctx context.Context, node string, txn uint64, commitTS ts.Timestamp, sync bool) error {
+	_, err := c.call(ctx, node, CommitPreparedReq{Txn: txn, TS: commitTS, Sync: sync}, 24)
+	return err
+}
+
+// AbortPrepared aborts a prepared transaction.
+func (c *Client) AbortPrepared(ctx context.Context, node string, txn uint64) error {
+	_, err := c.call(ctx, node, AbortPreparedReq{Txn: txn}, 16)
+	return err
+}
+
+// Heartbeat advances the shard's commit watermark.
+func (c *Client) Heartbeat(ctx context.Context, node string, t ts.Timestamp) error {
+	_, err := c.call(ctx, node, HeartbeatReq{TS: t}, 16)
+	return err
+}
+
+// DDL records a catalog change on node.
+func (c *Client) DDL(ctx context.Context, node string, tableID uint64, t ts.Timestamp, schema []byte) error {
+	_, err := c.call(ctx, node, DDLReq{Table: tableID, TS: t, Schema: schema}, 24+len(schema))
+	return err
+}
+
+// Status fetches a node's metrics.
+func (c *Client) Status(ctx context.Context, node string) (StatusResp, error) {
+	p, err := c.call(ctx, node, StatusReq{}, 8)
+	if err != nil {
+		return StatusResp{}, err
+	}
+	return p.(StatusResp), nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+var bg = context.Background()
+
+// tiny returns the smallest parameter set that still exercises every code
+// path; used to smoke-test each figure's pipeline.
+func tiny() Params {
+	p := Quick()
+	p.Clients = 8
+	p.Duration = 300 * time.Millisecond
+	p.Warmup = 100 * time.Millisecond
+	p.RTTs = []time.Duration{0, 80 * time.Millisecond}
+	p.TPCC.Warehouses = 3
+	p.TPCC.Districts = 2
+	p.TPCC.CustomersPerDistrict = 8
+	p.TPCC.Items = 15
+	p.TPCC.InitialOrdersPerDistrict = 4
+	p.Sysbench.Tables = 2
+	p.Sysbench.RowsPerTable = 60
+	p.Shards = 3
+	return p
+}
+
+func TestFig1aShape(t *testing.T) {
+	s, err := Fig1a(bg, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("results = %d", len(s.Results))
+	}
+	lowRTT, highRTT := s.Results[0], s.Results[1]
+	if lowRTT.Ops == 0 || highRTT.Ops == 0 {
+		t.Fatalf("empty measurements: %+v %+v", lowRTT, highRTT)
+	}
+	// The baseline must degrade with latency (Fig. 1a's whole point).
+	if highRTT.Throughput >= lowRTT.Throughput {
+		t.Fatalf("baseline did not degrade: %0.f -> %0.f tx/s", lowRTT.Throughput, highRTT.Throughput)
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	series, err := Fig6b(bg, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	base, gdb := series[0], series[1]
+	// At the highest RTT, GlobalDB must beat the baseline decisively: the
+	// baseline pays two GTM round trips per transaction.
+	bHigh := base.Results[len(base.Results)-1].Throughput
+	gHigh := gdb.Results[len(gdb.Results)-1].Throughput
+	if gHigh <= bHigh {
+		t.Fatalf("GClock (%.0f tx/s) must beat the baseline (%.0f tx/s) at high RTT", gHigh, bHigh)
+	}
+}
+
+func TestFig6cShape(t *testing.T) {
+	series, err := Fig6c(bg, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, gdb := series[0], series[1]
+	bHigh := base.Results[len(base.Results)-1].Throughput
+	gHigh := gdb.Results[len(gdb.Results)-1].Throughput
+	if gHigh <= bHigh {
+		t.Fatalf("ROR (%.0f q/s) must beat primary reads (%.0f q/s) at high RTT", gHigh, bHigh)
+	}
+}
+
+func TestFig6dShape(t *testing.T) {
+	series, err := Fig6d(bg, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, gdb := series[0], series[1]
+	bHigh := base.Results[len(base.Results)-1].Throughput
+	gHigh := gdb.Results[len(gdb.Results)-1].Throughput
+	if gHigh <= bHigh {
+		t.Fatalf("ROR point select (%.0f q/s) must beat baseline (%.0f q/s)", gHigh, bHigh)
+	}
+}
+
+func TestFig6aRuns(t *testing.T) {
+	p := tiny()
+	s, err := Fig6a(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 4 {
+		t.Fatalf("results = %d", len(s.Results))
+	}
+	for _, r := range s.Results {
+		if r.Ops == 0 {
+			t.Fatalf("empty measurement: %+v", r)
+		}
+	}
+}
+
+func TestTransitionTimelineNoDowntime(t *testing.T) {
+	p := tiny()
+	p.Clients = 6
+	counts, err := TransitionTimeline(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, c := range counts {
+		if c == 0 {
+			t.Fatalf("window %d committed nothing: downtime during transition (%v)", w, counts)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package gtm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"globaldb/internal/netsim"
+	"globaldb/internal/ts"
+)
+
+var bg = context.Background()
+
+func TestGTMModeCounter(t *testing.T) {
+	s := NewServer()
+	for i := 1; i <= 5; i++ {
+		resp, err := s.Handle(Request{Mode: ts.ModeGTM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.TS != ts.Timestamp(i) {
+			t.Fatalf("TS %d, want %d", resp.TS, i)
+		}
+		if resp.Wait != 0 {
+			t.Fatal("GTM mode must not require waits")
+		}
+	}
+	if s.Stats().IssuedGTM != 5 {
+		t.Fatalf("counter stats: %+v", s.Stats())
+	}
+}
+
+func TestDualTimestampDominatesBoth(t *testing.T) {
+	s := NewServer()
+	// Consume some GTM timestamps.
+	for i := 0; i < 10; i++ {
+		s.Handle(Request{Mode: ts.ModeGTM})
+	}
+	s.SetMode(ts.ModeDUAL)
+	// A DUAL request with a huge clock upper bound: TS must exceed it.
+	iv := ts.Interval{Clock: 1_000_000, Err: 100 * time.Nanosecond}
+	resp, err := s.Handle(Request{Mode: ts.ModeDUAL, GClock: iv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TS <= iv.Upper() || resp.TS <= 10 {
+		t.Fatalf("TS_DUAL=%d must exceed clock upper %d and GTM max 10", resp.TS, iv.Upper())
+	}
+	// Wait is |TS_GClock - TS_DUAL|.
+	if want := time.Duration(resp.TS - iv.Clock); resp.Wait != want {
+		t.Fatalf("Wait=%v want %v", resp.Wait, want)
+	}
+	// A subsequent small-clock request still gets a larger TS (monotonic).
+	resp2, _ := s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 5}})
+	if resp2.TS <= resp.TS {
+		t.Fatalf("DUAL timestamps must be monotonic: %d then %d", resp.TS, resp2.TS)
+	}
+}
+
+func TestDualTracksTerrMax(t *testing.T) {
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 100, Err: 50 * time.Microsecond}})
+	s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 200, Err: 300 * time.Microsecond}})
+	s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 300, Err: 10 * time.Microsecond}})
+	if got := s.TerrMax(); got != 300*time.Microsecond {
+		t.Fatalf("TerrMax = %v", got)
+	}
+	// Entering DUAL again resets tracking.
+	s.SetMode(ts.ModeGClock)
+	s.SetMode(ts.ModeDUAL)
+	if got := s.TerrMax(); got != 0 {
+		t.Fatalf("TerrMax after re-entry = %v", got)
+	}
+}
+
+func TestGTMRequestDuringDualWaits(t *testing.T) {
+	// Listing 1's safeguard: a GTM-mode transaction committing while the
+	// server is in DUAL receives a wait of 2×Terrmax.
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 1000, Err: 200 * time.Microsecond}})
+	resp, err := s.Handle(Request{Mode: ts.ModeGTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Wait != 400*time.Microsecond {
+		t.Fatalf("GTM-in-DUAL wait = %v, want 2×200µs", resp.Wait)
+	}
+	if resp.TS <= 1001 {
+		t.Fatalf("GTM-in-DUAL TS=%d must exceed the DUAL timestamp", resp.TS)
+	}
+}
+
+func TestGClockModeAbortsOldGTM(t *testing.T) {
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	s.SetMode(ts.ModeGClock)
+	_, err := s.Handle(Request{Mode: ts.ModeGTM})
+	if !errors.Is(err, ErrOldModeAborted) {
+		t.Fatalf("old GTM txn: %v", err)
+	}
+	// DUAL requests must still be served (Fig. 2).
+	resp, err := s.Handle(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 777}})
+	if err != nil || resp.TS <= 777 {
+		t.Fatalf("DUAL in GClock mode: %v %v", resp, err)
+	}
+}
+
+func TestReportRaisesTSMaxAndTerrMax(t *testing.T) {
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	iv := ts.Interval{Clock: 5000, Err: time.Millisecond}
+	if _, err := s.Handle(Request{Mode: ts.ModeGClock, GClock: iv, Report: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.TSMax() != iv.Upper() {
+		t.Fatalf("TSMax = %v, want %v", s.TSMax(), iv.Upper())
+	}
+	if s.TerrMax() != time.Millisecond {
+		t.Fatalf("TerrMax = %v", s.TerrMax())
+	}
+	if s.Stats().Reports != 1 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
+
+func TestDualToGTMSetsFloor(t *testing.T) {
+	// Fig. 3: after a GClock→GTM transition, the first GTM timestamp must
+	// exceed the largest GClock timestamp ever reported.
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	s.Handle(Request{Mode: ts.ModeGClock, GClock: ts.Interval{Clock: 1 << 40}, Report: true})
+	s.SetMode(ts.ModeGTM)
+	resp, err := s.Handle(Request{Mode: ts.ModeGTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TS <= 1<<40 {
+		t.Fatalf("GTM TS %d must exceed reported GClock max %d", resp.TS, 1<<40)
+	}
+}
+
+func TestMonotonicAcrossModeChanges(t *testing.T) {
+	s := NewServer()
+	var last ts.Timestamp
+	issue := func(req Request) {
+		t.Helper()
+		resp, err := s.Handle(req)
+		if err != nil {
+			return
+		}
+		if resp.TS <= last {
+			t.Fatalf("timestamp went backwards: %d after %d (mode %v)", resp.TS, last, s.Mode())
+		}
+		last = resp.TS
+	}
+	issue(Request{Mode: ts.ModeGTM})
+	issue(Request{Mode: ts.ModeGTM})
+	s.SetMode(ts.ModeDUAL)
+	issue(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 10_000, Err: time.Microsecond}})
+	issue(Request{Mode: ts.ModeGTM})
+	s.SetMode(ts.ModeGClock)
+	issue(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 20_000, Err: time.Microsecond}})
+	s.SetMode(ts.ModeDUAL)
+	issue(Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: 1, Err: time.Microsecond}})
+	s.SetMode(ts.ModeGTM)
+	issue(Request{Mode: ts.ModeGTM})
+}
+
+func TestConcurrentMixedRequests(t *testing.T) {
+	s := NewServer()
+	s.SetMode(ts.ModeDUAL)
+	var mu sync.Mutex
+	seen := make(map[ts.Timestamp]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var req Request
+				if w%2 == 0 {
+					req = Request{Mode: ts.ModeGTM}
+				} else {
+					req = Request{Mode: ts.ModeDUAL, GClock: ts.Interval{Clock: ts.Timestamp(i), Err: time.Microsecond}}
+				}
+				resp, err := s.Handle(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[resp.TS] {
+					t.Errorf("duplicate timestamp %d", resp.TS)
+				}
+				seen[resp.TS] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestServiceOverNetwork(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	n.SetLink("beijing", "xian", 20*time.Millisecond, 0)
+	s := NewServer()
+	svc := Serve(n, "beijing", s)
+
+	remote := NewClient(n, "xian")
+	start := time.Now()
+	resp, err := remote.Call(bg, Request{Mode: ts.ModeGTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TS != 1 {
+		t.Fatalf("TS = %d", resp.TS)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("remote fetch must pay the WAN round trip")
+	}
+
+	local := NewClient(n, "beijing")
+	start = time.Now()
+	if _, err := local.Call(bg, Request{Mode: ts.ModeGTM}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatal("local fetch must be fast")
+	}
+
+	// Crash the GTM endpoint: calls fail.
+	svc.Endpoint().SetDown(true)
+	if _, err := local.Call(bg, Request{Mode: ts.ModeGTM}); !errors.Is(err, netsim.ErrEndpointDown) {
+		t.Fatalf("down GTM: %v", err)
+	}
+}
+
+func TestClientReport(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	n.AddRegion("r")
+	s := NewServer()
+	Serve(n, "r", s)
+	c := NewClient(n, "r")
+	if err := c.Report(bg, ts.Interval{Clock: 999, Err: time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if s.TSMax() < 999 {
+		t.Fatalf("report not applied: TSMax=%v", s.TSMax())
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunCountsOps(t *testing.T) {
+	r := Run(context.Background(), Options{Name: "noop", Clients: 4, Duration: 50 * time.Millisecond},
+		func(ctx context.Context, client int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if r.Ops == 0 {
+		t.Fatal("no ops measured")
+	}
+	if r.Errors != 0 {
+		t.Fatalf("errors = %d", r.Errors)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	// 4 clients, 1ms per op, 50ms window: roughly 200 ops; allow slack.
+	if r.Ops < 50 || r.Ops > 400 {
+		t.Fatalf("ops = %d, outside plausible range", r.Ops)
+	}
+	if r.P50 < 500*time.Microsecond {
+		t.Fatalf("p50 = %v", r.P50)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	fail := errors.New("abort")
+	n := 0
+	r := Run(context.Background(), Options{Clients: 1, Duration: 20 * time.Millisecond},
+		func(ctx context.Context, client int) error {
+			n++
+			time.Sleep(100 * time.Microsecond)
+			if n%2 == 0 {
+				return fail
+			}
+			return nil
+		})
+	if r.Errors == 0 {
+		t.Fatal("errors must be counted")
+	}
+	if r.Ops == 0 {
+		t.Fatal("successes must be counted")
+	}
+}
+
+func TestWarmupNotMeasured(t *testing.T) {
+	var calls int64
+	r := Run(context.Background(), Options{Clients: 1, Duration: 20 * time.Millisecond, Warmup: 20 * time.Millisecond},
+		func(ctx context.Context, client int) error {
+			calls++
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	// Total calls span warmup+measure; measured ops must be roughly half.
+	if r.Ops >= calls {
+		t.Fatalf("measured %d of %d calls; warmup leaked into measurement", r.Ops, calls)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	Run(ctx, Options{Clients: 2, Duration: 10 * time.Second},
+		func(ctx context.Context, client int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled run did not stop early")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := Series{Label: "fig", Results: []Result{{Name: "row", Ops: 10, Throughput: 100}}}
+	out := s.Table()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "row") {
+		t.Fatalf("table output: %q", out)
+	}
+}

@@ -1,0 +1,361 @@
+// Package netsim simulates the wide-area network between GlobalDB regions.
+//
+// The paper evaluates two clusters: one region with tc-injected latency, and
+// three cities (Xi'an, Langzhong, Dongguan) forming a 25/35/55 ms RTT
+// triangle. This package reproduces both: a Network holds regions and
+// per-pair one-way latency and bandwidth, and everything that crosses a
+// region boundary — CN↔GTM timestamp fetches, CN↔DN reads and writes,
+// primary→replica redo shipping — pays the simulated cost with real
+// (optionally scaled) sleeps.
+//
+// A global time-scale factor shrinks every delay proportionally so a 100 ms
+// RTT sweep finishes in seconds while preserving the relative shape of the
+// results.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrPartitioned means the two regions are currently partitioned.
+	ErrPartitioned = errors.New("netsim: network partition")
+	// ErrNoRoute means one of the regions is unknown.
+	ErrNoRoute = errors.New("netsim: no route between regions")
+)
+
+type pair struct{ a, b string }
+
+func normPair(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Config describes a network.
+type Config struct {
+	// TimeScale multiplies every simulated delay. 1.0 is real time; 0.1
+	// makes a nominal 100 ms round trip cost 10 ms of wall time. Zero
+	// defaults to 1.0.
+	TimeScale float64
+	// JitterFrac adds uniform random jitter of ±JitterFrac × latency.
+	JitterFrac float64
+	// Seed seeds the jitter source. Zero uses a fixed default, keeping
+	// simulations reproducible.
+	Seed int64
+}
+
+// Network is a set of regions and the links between them.
+type Network struct {
+	cfg Config
+
+	mu          sync.RWMutex
+	regions     map[string]bool
+	latency     map[pair]time.Duration // one-way
+	bandwidth   map[pair]float64       // bytes/sec, 0 = unlimited
+	partitioned map[pair]bool
+	eps         map[string]*Endpoint
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1.0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 20240101
+	}
+	return &Network{
+		cfg:         cfg,
+		regions:     make(map[string]bool),
+		latency:     make(map[pair]time.Duration),
+		bandwidth:   make(map[pair]float64),
+		partitioned: make(map[pair]bool),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddRegion registers a region. Links inside a region default to zero
+// latency until SetLink overrides them.
+func (n *Network) AddRegion(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.regions[name] = true
+}
+
+// Regions returns the registered region names.
+func (n *Network) Regions() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.regions))
+	for r := range n.regions {
+		out = append(out, r)
+	}
+	return out
+}
+
+// SetLink sets the round-trip latency and bandwidth between two regions.
+// Latency is stored as one-way (rtt/2). bandwidthBytesPerSec 0 means
+// unlimited.
+func (n *Network) SetLink(a, b string, rtt time.Duration, bandwidthBytesPerSec float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.regions[a] = true
+	n.regions[b] = true
+	p := normPair(a, b)
+	n.latency[p] = rtt / 2
+	n.bandwidth[p] = bandwidthBytesPerSec
+}
+
+// SetPartitioned opens or heals a partition between two regions.
+func (n *Network) SetPartitioned(a, b string, partitioned bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[normPair(a, b)] = partitioned
+}
+
+// OneWay returns the simulated one-way delay for a message of size bytes
+// from region a to region b, including jitter and time scaling.
+func (n *Network) OneWay(a, b string, size int) (time.Duration, error) {
+	n.mu.RLock()
+	if !n.regions[a] || !n.regions[b] {
+		n.mu.RUnlock()
+		return 0, fmt.Errorf("%w: %s->%s", ErrNoRoute, a, b)
+	}
+	p := normPair(a, b)
+	if n.partitioned[p] {
+		n.mu.RUnlock()
+		return 0, fmt.Errorf("%w: %s->%s", ErrPartitioned, a, b)
+	}
+	lat := n.latency[p]
+	bw := n.bandwidth[p]
+	n.mu.RUnlock()
+
+	d := lat
+	if bw > 0 && size > 0 {
+		d += time.Duration(float64(size) / bw * float64(time.Second))
+	}
+	if n.cfg.JitterFrac > 0 && d > 0 {
+		n.rngMu.Lock()
+		j := (n.rng.Float64()*2 - 1) * n.cfg.JitterFrac
+		n.rngMu.Unlock()
+		d += time.Duration(float64(d) * j)
+	}
+	return time.Duration(float64(d) * n.cfg.TimeScale), nil
+}
+
+// sleep waits for d, honoring ctx cancellation.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Delay blocks for the one-way delay from a to b for a message of the given
+// size. It is the building block for request/response calls.
+func (n *Network) Delay(ctx context.Context, a, b string, size int) error {
+	d, err := n.OneWay(a, b, size)
+	if err != nil {
+		return err
+	}
+	return sleep(ctx, d)
+}
+
+// Message is a payload with an explicit wire size for bandwidth accounting.
+type Message struct {
+	Payload any
+	Size    int
+}
+
+// Handler processes a request at the server side of an Endpoint.
+type Handler func(ctx context.Context, req Message) (Message, error)
+
+// Endpoint is a named service attached to a region.
+type Endpoint struct {
+	net     *Network
+	region  string
+	name    string
+	mu      sync.RWMutex
+	handler Handler
+	down    bool
+}
+
+// Register attaches a handler to the network under name in region.
+func (n *Network) Register(name, region string, h Handler) *Endpoint {
+	ep := &Endpoint{net: n, region: region, name: name, handler: h}
+	n.mu.Lock()
+	if n.eps == nil {
+		n.eps = make(map[string]*Endpoint)
+	}
+	n.eps[name] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// SetDown marks the endpoint crashed; calls fail immediately after the
+// request propagation delay, like a TCP RST from a dead host.
+func (ep *Endpoint) SetDown(down bool) {
+	ep.mu.Lock()
+	ep.down = down
+	ep.mu.Unlock()
+}
+
+// Down reports whether the endpoint is marked crashed.
+func (ep *Endpoint) Down() bool {
+	ep.mu.RLock()
+	defer ep.mu.RUnlock()
+	return ep.down
+}
+
+// Region returns the endpoint's region.
+func (ep *Endpoint) Region() string { return ep.region }
+
+// ErrEndpointDown is returned when calling a crashed endpoint.
+var ErrEndpointDown = errors.New("netsim: endpoint down")
+
+// ErrUnknownEndpoint is returned when dialing an unregistered name.
+var ErrUnknownEndpoint = errors.New("netsim: unknown endpoint")
+
+// Call performs a simulated RPC from fromRegion to the named endpoint:
+// request propagation + handler execution + response propagation.
+func (n *Network) Call(ctx context.Context, fromRegion, name string, req Message) (Message, error) {
+	n.mu.RLock()
+	ep := n.eps[name]
+	n.mu.RUnlock()
+	if ep == nil {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	if err := n.Delay(ctx, fromRegion, ep.region, req.Size); err != nil {
+		return Message{}, err
+	}
+	ep.mu.RLock()
+	down, h := ep.down, ep.handler
+	ep.mu.RUnlock()
+	if down {
+		return Message{}, fmt.Errorf("%w: %q", ErrEndpointDown, name)
+	}
+	resp, err := h(ctx, req)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := n.Delay(ctx, ep.region, fromRegion, resp.Size); err != nil {
+		return Message{}, err
+	}
+	return resp, nil
+}
+
+// Stream delivers messages from one region to another in FIFO order, each
+// delayed by latency plus serialization time. Redo shipping uses it: batches
+// must arrive in log order regardless of per-message delays.
+type Stream struct {
+	net      *Network
+	from, to string
+
+	mu     sync.Mutex
+	queue  []streamMsg
+	wake   chan struct{}
+	closed bool
+
+	deliver func(payload any)
+}
+
+type streamMsg struct {
+	payload any
+	size    int
+}
+
+// NewStream creates a stream; deliver runs on the stream's goroutine for
+// every message, in order.
+func (n *Network) NewStream(from, to string, deliver func(payload any)) *Stream {
+	s := &Stream{net: n, from: from, to: to, wake: make(chan struct{}, 1), deliver: deliver}
+	go s.run()
+	return s
+}
+
+// Send enqueues a message. It never blocks; the queue is unbounded, which
+// models the primary buffering redo while the WAN is slow (the paper's
+// "Redo logs are buffered for longer before they can be transmitted").
+func (s *Stream) Send(payload any, size int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, streamMsg{payload, size})
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops delivery. Messages not yet delivered are dropped, like a
+// severed TCP connection.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// QueueLen reports how many messages are waiting, a proxy for replication
+// backlog.
+func (s *Stream) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+func (s *Stream) run() {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		msg := s.queue[0]
+		s.queue = append(s.queue[:0], s.queue[1:]...)
+		s.mu.Unlock()
+
+		d, err := s.net.OneWay(s.from, s.to, msg.size)
+		if err != nil {
+			// Partitioned: drop and retry-wait; the shipper above detects
+			// lag and resends from its cursor once healed. Here we simply
+			// park until the next send or a short probe interval.
+			time.Sleep(time.Duration(float64(5*time.Millisecond) * s.net.cfg.TimeScale))
+			s.mu.Lock()
+			s.queue = append([]streamMsg{msg}, s.queue...)
+			s.mu.Unlock()
+			continue
+		}
+		time.Sleep(d)
+		s.deliver(msg.payload)
+	}
+}

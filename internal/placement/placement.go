@@ -1,0 +1,162 @@
+// Package placement implements the paper's future-work "transparent load
+// balancing based on geographical access patterns" (Sec. VI): computing
+// nodes record which region drives each shard's traffic, and an advisor
+// recommends relocating shard primaries toward their dominant access
+// region. Writes weigh more than reads because they must always reach the
+// primary, while reads can be absorbed by local replicas.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Access counts one region's traffic against one shard.
+type Access struct {
+	Reads  int64
+	Writes int64
+}
+
+// Tracker accumulates per-shard, per-region access counts. All methods are
+// safe for concurrent use; every CN in the cluster shares one tracker.
+type Tracker struct {
+	mu     sync.Mutex
+	counts map[int]map[string]*Access
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{counts: make(map[int]map[string]*Access)}
+}
+
+// RecordRead notes a primary read of shard issued from region.
+func (t *Tracker) RecordRead(shard int, region string) { t.record(shard, region, 1, 0) }
+
+// RecordWrite notes a write to shard issued from region.
+func (t *Tracker) RecordWrite(shard int, region string) { t.record(shard, region, 0, 1) }
+
+func (t *Tracker) record(shard int, region string, reads, writes int64) {
+	t.mu.Lock()
+	m, ok := t.counts[shard]
+	if !ok {
+		m = make(map[string]*Access)
+		t.counts[shard] = m
+	}
+	a, ok := m[region]
+	if !ok {
+		a = &Access{}
+		m[region] = a
+	}
+	a.Reads += reads
+	a.Writes += writes
+	t.mu.Unlock()
+}
+
+// Snapshot copies the current counts.
+func (t *Tracker) Snapshot() map[int]map[string]Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]map[string]Access, len(t.counts))
+	for shard, m := range t.counts {
+		cm := make(map[string]Access, len(m))
+		for region, a := range m {
+			cm[region] = *a
+		}
+		out[shard] = cm
+	}
+	return out
+}
+
+// Reset clears the counts (start of a new observation window).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.counts = make(map[int]map[string]*Access)
+	t.mu.Unlock()
+}
+
+// Config tunes the advisor.
+type Config struct {
+	// WriteWeight multiplies writes relative to reads when scoring a
+	// region's interest in a shard. Writes must reach the primary, so they
+	// dominate; reads can be served by local replicas.
+	WriteWeight float64
+	// MinAccesses ignores shards with less total (weighted) traffic.
+	MinAccesses float64
+	// MinAdvantage requires the dominant region's score to exceed the
+	// current primary region's score by this factor before recommending a
+	// move (hysteresis against flapping).
+	MinAdvantage float64
+}
+
+// DefaultConfig returns conservative advisor settings.
+func DefaultConfig() Config {
+	return Config{WriteWeight: 4, MinAccesses: 16, MinAdvantage: 2}
+}
+
+// Move is one recommended primary relocation.
+type Move struct {
+	Shard int
+	From  string
+	To    string
+	// Score is the weighted access of the target region.
+	Score float64
+	// CurrentScore is the weighted access of the current primary region.
+	CurrentScore float64
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("shard %d: %s -> %s (%.0f vs %.0f)", m.Shard, m.From, m.To, m.Score, m.CurrentScore)
+}
+
+// Advise scans an access snapshot and recommends moving each shard whose
+// dominant region clearly out-weighs the current primary region. Moves
+// come back sorted by descending advantage.
+func Advise(snapshot map[int]map[string]Access, primaryRegion map[int]string, cfg Config) []Move {
+	if cfg.WriteWeight <= 0 {
+		cfg.WriteWeight = 1
+	}
+	if cfg.MinAdvantage <= 0 {
+		cfg.MinAdvantage = 1
+	}
+	score := func(a Access) float64 {
+		return float64(a.Reads) + cfg.WriteWeight*float64(a.Writes)
+	}
+	var moves []Move
+	for shard, byRegion := range snapshot {
+		cur, ok := primaryRegion[shard]
+		if !ok {
+			continue
+		}
+		total := 0.0
+		bestRegion, bestScore := "", 0.0
+		for region, a := range byRegion {
+			s := score(a)
+			total += s
+			// Deterministic tie-break by region name.
+			if s > bestScore || (s == bestScore && region < bestRegion) {
+				bestRegion, bestScore = region, s
+			}
+		}
+		if total < cfg.MinAccesses || bestRegion == "" || bestRegion == cur {
+			continue
+		}
+		curScore := score(byRegion[cur])
+		if bestScore < cfg.MinAdvantage*curScore || bestScore <= curScore {
+			continue
+		}
+		moves = append(moves, Move{
+			Shard: shard, From: cur, To: bestRegion,
+			Score: bestScore, CurrentScore: curScore,
+		})
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		ai := moves[i].Score - moves[i].CurrentScore
+		aj := moves[j].Score - moves[j].CurrentScore
+		if ai != aj {
+			return ai > aj
+		}
+		return moves[i].Shard < moves[j].Shard
+	})
+	return moves
+}

@@ -1,0 +1,160 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackerCountsAndSnapshot(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordWrite(0, "east")
+	tr.RecordWrite(0, "east")
+	tr.RecordRead(0, "west")
+	tr.RecordRead(1, "east")
+	snap := tr.Snapshot()
+	if a := snap[0]["east"]; a.Writes != 2 || a.Reads != 0 {
+		t.Fatalf("shard 0 east: %+v", a)
+	}
+	if a := snap[0]["west"]; a.Reads != 1 {
+		t.Fatalf("shard 0 west: %+v", a)
+	}
+	if a := snap[1]["east"]; a.Reads != 1 {
+		t.Fatalf("shard 1 east: %+v", a)
+	}
+	// Snapshot is a copy: mutating it does not affect the tracker.
+	snap[0]["east"] = Access{Reads: 99}
+	if a := tr.Snapshot()[0]["east"]; a.Writes != 2 {
+		t.Fatalf("tracker mutated through snapshot: %+v", a)
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Fatal("reset must clear counts")
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := fmt.Sprintf("r%d", w%2)
+			for i := 0; i < 1000; i++ {
+				tr.RecordWrite(i%4, region)
+				tr.RecordRead(i%4, region)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var writes int64
+	for _, m := range tr.Snapshot() {
+		for _, a := range m {
+			writes += a.Writes
+		}
+	}
+	if writes != 8000 {
+		t.Fatalf("writes = %d, want 8000", writes)
+	}
+}
+
+func TestAdviseRecommendsDominantRegion(t *testing.T) {
+	snap := map[int]map[string]Access{
+		0: {"east": {Writes: 100}, "west": {Writes: 5}},
+		1: {"east": {Writes: 5}, "west": {Writes: 100}},
+	}
+	primary := map[int]string{0: "west", 1: "west"}
+	moves := Advise(snap, primary, DefaultConfig())
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0].Shard != 0 || moves[0].To != "east" || moves[0].From != "west" {
+		t.Fatalf("move = %+v", moves[0])
+	}
+}
+
+func TestAdviseHysteresis(t *testing.T) {
+	// 1.5x advantage is below the 2x threshold: no move.
+	snap := map[int]map[string]Access{
+		0: {"east": {Writes: 30}, "west": {Writes: 20}},
+	}
+	primary := map[int]string{0: "west"}
+	if moves := Advise(snap, primary, DefaultConfig()); len(moves) != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+	// 3x advantage clears it.
+	snap[0]["east"] = Access{Writes: 60}
+	if moves := Advise(snap, primary, DefaultConfig()); len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestAdviseIgnoresColdShards(t *testing.T) {
+	snap := map[int]map[string]Access{
+		0: {"east": {Writes: 2}}, // weighted 8 < MinAccesses 16
+	}
+	primary := map[int]string{0: "west"}
+	if moves := Advise(snap, primary, DefaultConfig()); len(moves) != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestAdviseWriteWeightDominates(t *testing.T) {
+	// West has many reads; east has fewer but heavier writes.
+	snap := map[int]map[string]Access{
+		0: {"west": {Reads: 40}, "east": {Writes: 30}}, // east score 120 vs 40
+	}
+	primary := map[int]string{0: "west"}
+	moves := Advise(snap, primary, DefaultConfig())
+	if len(moves) != 1 || moves[0].To != "east" {
+		t.Fatalf("moves = %v", moves)
+	}
+	// With WriteWeight 1 the reads win and no move is advised.
+	cfg := DefaultConfig()
+	cfg.WriteWeight = 1
+	if moves := Advise(snap, primary, cfg); len(moves) != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestAdviseOrdersByAdvantage(t *testing.T) {
+	snap := map[int]map[string]Access{
+		0: {"east": {Writes: 50}, "west": {Writes: 1}},
+		1: {"east": {Writes: 500}, "west": {Writes: 1}},
+	}
+	primary := map[int]string{0: "west", 1: "west"}
+	moves := Advise(snap, primary, DefaultConfig())
+	if len(moves) != 2 || moves[0].Shard != 1 || moves[1].Shard != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestAdviseNeverMovesToCurrentRegion(t *testing.T) {
+	// Property: no advised move has To == From, and every move's target
+	// strictly beats the current region under the configured threshold.
+	f := func(eastW, westW, northW uint16) bool {
+		snap := map[int]map[string]Access{
+			0: {
+				"east":  {Writes: int64(eastW % 500)},
+				"west":  {Writes: int64(westW % 500)},
+				"north": {Writes: int64(northW % 500)},
+			},
+		}
+		primary := map[int]string{0: "west"}
+		cfg := DefaultConfig()
+		for _, m := range Advise(snap, primary, cfg) {
+			if m.To == m.From {
+				return false
+			}
+			if m.Score < cfg.MinAdvantage*m.CurrentScore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

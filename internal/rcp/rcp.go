@@ -1,0 +1,276 @@
+// Package rcp computes and publishes the Replica Consistency Point — the
+// largest commit timestamp available on the asynchronous replicas, the
+// snapshot at which read-on-replica queries are guaranteed consistent
+// (Sec. IV-A, Fig. 4).
+//
+// A designated CN polls every replica's maximum applied commit timestamp.
+// For each shard it takes the freshest replica, and the RCP is the minimum
+// across shards; queries then route to replicas that have reached the RCP.
+// The published value is monotonic from the client's point of view, and a
+// replacement collector (after a CN failure) can never regress it because
+// replica watermarks only grow.
+//
+// Heartbeat transactions keep idle shards moving: the collector
+// periodically stamps every primary's log with a fresh commit timestamp so
+// "a replica node's maximum timestamp could lag behind when it does not
+// receive any transactions to replay" never pins the RCP.
+package rcp
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"globaldb/internal/datanode"
+	"globaldb/internal/ts"
+)
+
+// ReplicaStatus is one replica's last observed state.
+type ReplicaStatus struct {
+	// Node is the replica's read endpoint.
+	Node string
+	// Shard is the shard it replicates.
+	Shard int
+	// MaxCommitTS is its applied-commit watermark.
+	MaxCommitTS ts.Timestamp
+	// Primary marks the shard primary (polled for load/health, not RCP).
+	Primary bool
+	// Load is its in-flight request count at poll time.
+	Load int64
+	// RTT is the observed status-poll round trip.
+	RTT time.Duration
+	// Healthy is false when the poll failed (crash, partition).
+	Healthy bool
+	// PolledAt is when the status was observed.
+	PolledAt time.Time
+}
+
+// Topology maps shards to their replica endpoints and primary endpoint.
+type Topology struct {
+	// Primaries maps shard -> primary endpoint name.
+	Primaries map[int]string
+	// Replicas maps shard -> replica endpoint names.
+	Replicas map[int][]string
+}
+
+// TSProvider supplies fresh commit timestamps for heartbeat transactions.
+type TSProvider func(ctx context.Context) (ts.Timestamp, error)
+
+// Config tunes the collector.
+type Config struct {
+	// PollInterval is how often replica watermarks are collected.
+	PollInterval time.Duration
+	// HeartbeatInterval is how often heartbeat transactions are issued.
+	HeartbeatInterval time.Duration
+	// PollTimeout bounds each status RPC.
+	PollTimeout time.Duration
+}
+
+// DefaultConfig returns collector timing suitable for the simulator.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:      2 * time.Millisecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+		PollTimeout:       2 * time.Second,
+	}
+}
+
+// Collector computes the RCP. It is shared by every CN in the cluster —
+// the in-process analogue of the designated CN distributing the RCP.
+type Collector struct {
+	cfg    Config
+	client *datanode.Client
+	topo   Topology
+	tsp    TSProvider
+
+	mu       sync.RWMutex
+	rcp      ts.Timestamp
+	statuses map[string]ReplicaStatus
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewCollector creates a collector polling through client (homed at the
+// designated CN's region).
+func NewCollector(cfg Config, client *datanode.Client, topo Topology, tsp TSProvider) *Collector {
+	return &Collector{
+		cfg:      cfg,
+		client:   client,
+		topo:     topo,
+		tsp:      tsp,
+		statuses: make(map[string]ReplicaStatus),
+	}
+}
+
+// Start launches the poll and heartbeat loops.
+func (c *Collector) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	c.done = make(chan struct{})
+	go c.run(ctx)
+}
+
+// Stop terminates the loops.
+func (c *Collector) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+		<-c.done
+	}
+}
+
+// RCP returns the current replica consistency point. It is monotonic.
+func (c *Collector) RCP() ts.Timestamp {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rcp
+}
+
+// Statuses returns the last observed per-replica states (for node
+// selection).
+func (c *Collector) Statuses() map[string]ReplicaStatus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]ReplicaStatus, len(c.statuses))
+	for k, v := range c.statuses {
+		out[k] = v
+	}
+	return out
+}
+
+// PollOnce collects every replica's watermark and recomputes the RCP,
+// returning the new value. Exposed for tests and for a takeover CN that
+// wants an immediate value.
+func (c *Collector) PollOnce(ctx context.Context) ts.Timestamp {
+	type result struct {
+		node    string
+		shard   int
+		primary bool
+		status  datanode.StatusResp
+		rtt     time.Duration
+		err     error
+	}
+	var wg sync.WaitGroup
+	results := make(chan result, 64)
+	poll := func(shard int, node string, primary bool) {
+		defer wg.Done()
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.PollTimeout)
+		defer cancel()
+		start := time.Now()
+		st, err := c.client.Status(cctx, node)
+		results <- result{node: node, shard: shard, primary: primary, status: st, rtt: time.Since(start), err: err}
+	}
+	for shard, nodes := range c.topo.Replicas {
+		for _, node := range nodes {
+			wg.Add(1)
+			go poll(shard, node, false)
+		}
+	}
+	// Primaries are polled for load and health (node selection), but never
+	// contribute to the RCP.
+	for shard, node := range c.topo.Primaries {
+		wg.Add(1)
+		go poll(shard, node, true)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	bestPerShard := make(map[int]ts.Timestamp)
+	now := time.Now()
+	c.mu.Lock()
+	for r := range results {
+		st := ReplicaStatus{
+			Node: r.node, Shard: r.shard, Primary: r.primary, RTT: r.rtt, PolledAt: now, Healthy: r.err == nil,
+		}
+		if r.err == nil {
+			st.MaxCommitTS = r.status.LastCommitTS
+			st.Load = r.status.Load
+			if !r.primary {
+				if best, ok := bestPerShard[r.shard]; !ok || st.MaxCommitTS > best {
+					bestPerShard[r.shard] = st.MaxCommitTS
+				}
+			}
+		} else if prev, ok := c.statuses[r.node]; ok {
+			st.MaxCommitTS = prev.MaxCommitTS // remember last known watermark
+		}
+		c.statuses[r.node] = st
+	}
+	// RCP = min over shards of the freshest replica (Fig. 4). A shard with
+	// no reachable replica pins the RCP at its last known value.
+	candidate := ts.Max
+	for shard := range c.topo.Replicas {
+		best, ok := bestPerShard[shard]
+		if !ok {
+			candidate = c.rcp
+			break
+		}
+		if best < candidate {
+			candidate = best
+		}
+	}
+	if candidate != ts.Max && candidate > c.rcp {
+		c.rcp = candidate
+	}
+	out := c.rcp
+	c.mu.Unlock()
+	return out
+}
+
+// HeartbeatOnce stamps every primary with a fresh commit timestamp.
+func (c *Collector) HeartbeatOnce(ctx context.Context) error {
+	t, err := c.tsp(ctx)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for _, primary := range c.topo.Primaries {
+		wg.Add(1)
+		go func(primary string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.PollTimeout)
+			defer cancel()
+			_ = c.client.Heartbeat(cctx, primary, t) // a dead primary just lags
+		}(primary)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (c *Collector) run(ctx context.Context) {
+	defer close(c.done)
+	poll := time.NewTicker(c.cfg.PollInterval)
+	hb := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer poll.Stop()
+	defer hb.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-poll.C:
+			c.PollOnce(ctx)
+		case <-hb.C:
+			_ = c.HeartbeatOnce(ctx) // provider failures retry next tick
+		}
+	}
+}
+
+// ComputeRCP is the pure Fig. 4 calculation over per-replica maximum commit
+// timestamps grouped by shard: min over shards of (max over that shard's
+// replicas). It returns Zero for an empty input.
+func ComputeRCP(perShard map[int][]ts.Timestamp) ts.Timestamp {
+	if len(perShard) == 0 {
+		return ts.Zero
+	}
+	out := ts.Max
+	for _, reps := range perShard {
+		best := ts.Zero
+		for _, t := range reps {
+			if t > best {
+				best = t
+			}
+		}
+		if best < out {
+			out = best
+		}
+	}
+	return out
+}

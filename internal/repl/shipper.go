@@ -1,0 +1,260 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb/internal/netsim"
+	"globaldb/internal/redo"
+)
+
+// Batch is the wire unit of log shipping.
+type Batch struct {
+	// From is the LSN of the first record in Data.
+	From uint64
+	// Count is the number of records in Data.
+	Count int
+	// Compressed marks Data as codec-encoded.
+	Compressed bool
+	// Codec names the compressor used.
+	Codec string
+	// Data holds the marshaled (and possibly compressed) records.
+	Data []byte
+}
+
+// Ack is the replica's response to a batch.
+type Ack struct {
+	// AppliedLSN is the replica's new applied position. On a gap it tells
+	// the shipper where to rewind.
+	AppliedLSN uint64
+}
+
+// ShipperConfig tunes a shipper.
+type ShipperConfig struct {
+	// BatchMax bounds records per batch.
+	BatchMax int
+	// FlushDelay is how long the shipper lingers after the first pending
+	// record to accumulate a fuller batch — the knob that models Nagle-less
+	// aggressive flushing (GlobalDB) versus buffered shipping (baseline).
+	FlushDelay time.Duration
+	// Compressor encodes batches; Noop for the baseline, Flate for
+	// GlobalDB's LZ4-style compression.
+	Compressor Compressor
+	// RetryDelay is the pause after a failed send (replica down, partition).
+	RetryDelay time.Duration
+}
+
+// DefaultShipperConfig returns GlobalDB's optimized shipping parameters.
+func DefaultShipperConfig() ShipperConfig {
+	return ShipperConfig{
+		BatchMax:   512,
+		FlushDelay: 200 * time.Microsecond,
+		Compressor: Flate{},
+		RetryDelay: 5 * time.Millisecond,
+	}
+}
+
+// BaselineShipperConfig returns the unoptimized baseline: no compression and
+// sluggish flushing.
+func BaselineShipperConfig() ShipperConfig {
+	return ShipperConfig{
+		BatchMax:   512,
+		FlushDelay: 2 * time.Millisecond,
+		Compressor: Noop{},
+		RetryDelay: 5 * time.Millisecond,
+	}
+}
+
+// ShipperStats are cumulative shipping counters.
+type ShipperStats struct {
+	Batches      int64
+	Records      int64
+	RawBytes     int64
+	WireBytes    int64
+	SendFailures int64
+	AckedLSN     uint64
+}
+
+// Shipper tails a primary's redo log and streams batches to one replica
+// endpoint over the simulated network, tracking the replica's applied LSN.
+type Shipper struct {
+	cfg      ShipperConfig
+	net      *netsim.Network
+	from     string // primary's region
+	endpoint string // replica's replication endpoint
+
+	log    *redo.Log
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	acked atomic.Uint64
+	onAck func(lsn uint64)
+
+	mu    sync.Mutex
+	stats ShipperStats
+}
+
+// NewShipper creates a shipper from a primary log in region from to the
+// replica's endpoint. onAck (optional) fires on every acknowledgement.
+func NewShipper(cfg ShipperConfig, n *netsim.Network, from, endpoint string, log *redo.Log, onAck func(uint64)) *Shipper {
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 512
+	}
+	if cfg.Compressor == nil {
+		cfg.Compressor = Noop{}
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 5 * time.Millisecond
+	}
+	return &Shipper{cfg: cfg, net: n, from: from, endpoint: endpoint, log: log, onAck: onAck}
+}
+
+// Start launches the shipping loop.
+func (s *Shipper) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go s.run(ctx)
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (s *Shipper) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+		<-s.done
+	}
+}
+
+// AckedLSN returns the replica's last acknowledged applied LSN.
+func (s *Shipper) AckedLSN() uint64 { return s.acked.Load() }
+
+// Stats returns a snapshot of shipping counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.AckedLSN = s.acked.Load()
+	return st
+}
+
+// Lag returns how many records the replica is behind the primary log.
+func (s *Shipper) Lag() uint64 {
+	last := s.log.LastLSN()
+	acked := s.acked.Load()
+	if acked >= last {
+		return 0
+	}
+	return last - acked
+}
+
+func (s *Shipper) run(ctx context.Context) {
+	defer close(s.done)
+	cursor := uint64(1)
+	for {
+		recs, err := s.log.ReadFrom(cursor, s.cfg.BatchMax)
+		if err != nil {
+			// Truncated past our cursor: jump forward. In a production
+			// system this replica would need a full rebuild; the manager
+			// only truncates below the minimum acked LSN, so this is a
+			// defensive path.
+			cursor = s.acked.Load() + 1
+			continue
+		}
+		if len(recs) == 0 {
+			notify := s.log.NotifyAppend()
+			if recs, _ = s.log.ReadFrom(cursor, s.cfg.BatchMax); len(recs) == 0 {
+				select {
+				case <-notify:
+					continue
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+		// Linger to accumulate a fuller batch (baseline buffers longer).
+		if s.cfg.FlushDelay > 0 && len(recs) < s.cfg.BatchMax {
+			timer := time.NewTimer(s.cfg.FlushDelay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			}
+			if more, _ := s.log.ReadFrom(cursor, s.cfg.BatchMax); len(more) > len(recs) {
+				recs = more
+			}
+		}
+
+		raw := redo.Marshal(recs)
+		wire, cerr := s.cfg.Compressor.Compress(raw)
+		compressed := cerr == nil && len(wire) < len(raw)
+		if !compressed {
+			wire = raw
+		}
+		batch := Batch{From: recs[0].LSN, Count: len(recs), Compressed: compressed, Codec: s.cfg.Compressor.Name(), Data: wire}
+
+		resp, err := s.net.Call(ctx, s.from, s.endpoint, netsim.Message{Payload: batch, Size: len(wire) + 32})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return
+			}
+			s.mu.Lock()
+			s.stats.SendFailures++
+			s.mu.Unlock()
+			select {
+			case <-time.After(s.cfg.RetryDelay):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		ack := resp.Payload.(Ack)
+		s.acked.Store(ack.AppliedLSN)
+		cursor = ack.AppliedLSN + 1
+
+		s.mu.Lock()
+		s.stats.Batches++
+		s.stats.Records += int64(len(recs))
+		s.stats.RawBytes += int64(len(raw))
+		s.stats.WireBytes += int64(len(wire))
+		s.mu.Unlock()
+		if s.onAck != nil {
+			s.onAck(ack.AppliedLSN)
+		}
+	}
+}
+
+// ServeApplier registers a replication endpoint that replays incoming
+// batches into applier and acknowledges the applied LSN. It returns the
+// endpoint for failure injection.
+func ServeApplier(n *netsim.Network, name, region string, applier *Applier, comp Compressor) *netsim.Endpoint {
+	if comp == nil {
+		comp = Flate{}
+	}
+	return n.Register(name, region, func(_ context.Context, m netsim.Message) (netsim.Message, error) {
+		batch, ok := m.Payload.(Batch)
+		if !ok {
+			return netsim.Message{}, errors.New("repl: bad batch payload")
+		}
+		data := batch.Data
+		if batch.Compressed {
+			var err error
+			if data, err = comp.Decompress(data); err != nil {
+				return netsim.Message{}, err
+			}
+		}
+		recs, err := redo.Unmarshal(data)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		applied, err := applier.ApplyParallel(recs)
+		if err != nil {
+			// Gap: tell the shipper where we are so it rewinds.
+			return netsim.Message{Payload: Ack{AppliedLSN: applied}, Size: 16}, nil
+		}
+		return netsim.Message{Payload: Ack{AppliedLSN: applied}, Size: 16}, nil
+	})
+}

@@ -1,0 +1,244 @@
+package ror
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+// fig5Candidates builds the node set of Fig. 5.
+func fig5Candidates() []Candidate {
+	return []Candidate{
+		{Node: "local-primary", Primary: true, Staleness: 0, Latency: ms(1), Healthy: false}, // crash recovery
+		{Node: "local-replica", Staleness: ms(20), Latency: ms(1), Healthy: true},            // best replica
+		{Node: "nearby-replica", Staleness: ms(10), Latency: ms(12), Healthy: true},          // fresher but slower
+		{Node: "nearby-replica-busy", Staleness: ms(9), Latency: ms(12), Load: 40, Healthy: true},
+		{Node: "remote-primary", Primary: true, Staleness: 0, Latency: ms(28), Healthy: true}, // freshest, slowest
+		{Node: "remote-replica", Staleness: ms(50), Latency: ms(27), Healthy: true},
+	}
+}
+
+func names(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Node
+	}
+	return out
+}
+
+func contains(cands []Candidate, node string) bool {
+	for _, c := range cands {
+		if c.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSkylinePaperScenario(t *testing.T) {
+	sky := Skyline(fig5Candidates())
+	// Crashed local primary must be excluded.
+	if contains(sky, "local-primary") {
+		t.Fatalf("crashed node on skyline: %v", names(sky))
+	}
+	// The remote primary (staleness 0) anchors the fresh end.
+	if !contains(sky, "remote-primary") {
+		t.Fatalf("remote primary missing: %v", names(sky))
+	}
+	// The local replica (cheapest) anchors the fast end.
+	if !contains(sky, "local-replica") {
+		t.Fatalf("local replica missing: %v", names(sky))
+	}
+	// The remote replica is dominated by the local replica (fresher AND
+	// cheaper) and must not appear.
+	if contains(sky, "remote-replica") {
+		t.Fatalf("dominated node on skyline: %v", names(sky))
+	}
+	// The busy nearby replica is dominated by the idle one on cost and by
+	// the remote primary on staleness: Cost(busy) = 12ms*44/4 = 132ms.
+	if contains(sky, "nearby-replica-busy") {
+		t.Fatalf("overloaded node on skyline: %v", names(sky))
+	}
+}
+
+func TestSelectRespectsStalenessBound(t *testing.T) {
+	cands := fig5Candidates()
+	// Loose bound: the cheap local replica wins.
+	best, ok := Select(cands, ms(100))
+	if !ok || best.Node != "local-replica" {
+		t.Fatalf("loose bound picked %v", best.Node)
+	}
+	// Bound tighter than the local replica's lag: the nearby replica wins.
+	best, ok = Select(cands, ms(15))
+	if !ok || best.Node != "nearby-replica" {
+		t.Fatalf("15ms bound picked %v", best.Node)
+	}
+	// Zero staleness: only primaries qualify; the healthy one is remote.
+	best, ok = Select(cands, 0)
+	if !ok || best.Node != "remote-primary" {
+		t.Fatalf("zero bound picked %v", best.Node)
+	}
+	// Negative bound means any freshness.
+	best, ok = Select(cands, -1)
+	if !ok || best.Node != "local-replica" {
+		t.Fatalf("unbounded picked %v", best.Node)
+	}
+}
+
+func TestSelectAllUnhealthy(t *testing.T) {
+	cands := []Candidate{
+		{Node: "a", Healthy: false},
+		{Node: "b", Healthy: false},
+	}
+	if _, ok := Select(cands, -1); ok {
+		t.Fatal("selection from dead nodes must fail")
+	}
+	if len(Skyline(cands)) != 0 {
+		t.Fatal("skyline of dead nodes must be empty")
+	}
+}
+
+func TestSkylineDominanceProperty(t *testing.T) {
+	// No skyline member may dominate another: for any two members, the
+	// fresher one must be more expensive.
+	f := func(stales, lats []uint16, loads []uint8) bool {
+		n := len(stales)
+		if len(lats) < n {
+			n = len(lats)
+		}
+		if len(loads) < n {
+			n = len(loads)
+		}
+		var cands []Candidate
+		for i := 0; i < n; i++ {
+			cands = append(cands, Candidate{
+				Node:      string(rune('a' + i)),
+				Staleness: time.Duration(stales[i]) * time.Microsecond,
+				Latency:   time.Duration(lats[i]) * time.Microsecond,
+				Load:      int64(loads[i]),
+				Healthy:   true,
+			})
+		}
+		sky := Skyline(cands)
+		for i := range sky {
+			for j := range sky {
+				if i == j {
+					continue
+				}
+				if sky[i].Staleness <= sky[j].Staleness && sky[i].Cost() < sky[j].Cost() {
+					return false // j is dominated yet survived
+				}
+			}
+		}
+		// Every input candidate is either on the skyline or dominated by
+		// some skyline member (weakly).
+		for _, c := range cands {
+			if contains(sky, c.Node) {
+				continue
+			}
+			dominated := false
+			for _, s := range sky {
+				if s.Staleness <= c.Staleness && s.Cost() <= c.Cost() {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	tr.AddNode(0, "p", "east", true, ms(1))
+	tr.AddNode(0, "r-local", "east", false, ms(1))
+	tr.AddNode(0, "r-remote", "west", false, ms(25))
+	tr.UpdateStatus("r-local", ms(5), 0, true)
+	tr.UpdateStatus("r-remote", ms(2), 0, true)
+
+	// Replica-preferring pick takes the local replica.
+	best, ok := tr.Pick(0, ms(100), true)
+	if !ok || best.Node != "r-local" {
+		t.Fatalf("picked %v", best.Node)
+	}
+	// Tight bound: local replica too stale, remote replica wins over the
+	// primary because replicas are preferred.
+	best, ok = tr.Pick(0, ms(3), true)
+	if !ok || best.Node != "r-remote" {
+		t.Fatalf("tight bound picked %v", best.Node)
+	}
+	// Bound of zero: no replica qualifies; fall back to the primary.
+	best, ok = tr.Pick(0, 0, true)
+	if !ok || best.Node != "p" {
+		t.Fatalf("zero bound picked %v", best.Node)
+	}
+	// Local replica fails in-band: picks move elsewhere immediately.
+	tr.MarkFailed("r-local")
+	best, ok = tr.Pick(0, ms(100), true)
+	if !ok || best.Node == "r-local" {
+		t.Fatalf("failed node picked: %v", best.Node)
+	}
+	// A status poll heals it.
+	tr.UpdateStatus("r-local", ms(5), 0, true)
+	best, _ = tr.Pick(0, ms(100), true)
+	if best.Node != "r-local" {
+		t.Fatalf("healed node not picked: %v", best.Node)
+	}
+}
+
+func TestTrackerLatencyEWMA(t *testing.T) {
+	tr := NewTracker()
+	tr.AddNode(0, "n", "r", false, 0)
+	tr.ObserveLatency("n", ms(10))
+	c := tr.CandidatesFor(0)[0]
+	if c.Latency != ms(10) {
+		t.Fatalf("first sample must seed: %v", c.Latency)
+	}
+	tr.ObserveLatency("n", ms(20))
+	c = tr.CandidatesFor(0)[0]
+	if c.Latency <= ms(10) || c.Latency >= ms(20) {
+		t.Fatalf("EWMA out of range: %v", c.Latency)
+	}
+	// Unknown nodes are ignored, not panics.
+	tr.ObserveLatency("ghost", ms(1))
+	tr.UpdateStatus("ghost", 0, 0, true)
+	tr.MarkFailed("ghost")
+}
+
+func TestTrackerLoadSwapsNodeOut(t *testing.T) {
+	// The paper: "we may swap out a replica node for a different one if
+	// its response time goes up."
+	tr := NewTracker()
+	tr.AddNode(0, "a", "east", false, ms(2))
+	tr.AddNode(0, "b", "east", false, ms(3))
+	tr.UpdateStatus("a", ms(1), 0, true)
+	tr.UpdateStatus("b", ms(1), 0, true)
+	if best, _ := tr.Pick(0, -1, true); best.Node != "a" {
+		t.Fatalf("initially picked %v", best.Node)
+	}
+	// Node a becomes loaded: cost rises above b's.
+	tr.UpdateStatus("a", ms(1), 20, true)
+	if best, _ := tr.Pick(0, -1, true); best.Node != "b" {
+		t.Fatalf("after load picked %v", best.Node)
+	}
+}
+
+func TestCostGrowsWithLoad(t *testing.T) {
+	base := Candidate{Latency: ms(10)}
+	loaded := Candidate{Latency: ms(10), Load: 8}
+	if loaded.Cost() <= base.Cost() {
+		t.Fatal("load must raise cost")
+	}
+	neg := Candidate{Latency: ms(10), Load: -5}
+	if neg.Cost() != base.Cost() {
+		t.Fatal("negative load must clamp to zero")
+	}
+}

@@ -1,0 +1,135 @@
+// Package stats provides the measurement primitives the benchmark harness
+// uses: latency histograms with percentiles and exponential moving
+// averages.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports percentiles. It is safe
+// for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds a sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Merge folds another histogram's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	s := append([]time.Duration(nil), other.samples...)
+	other.mu.Unlock()
+	h.mu.Lock()
+	h.samples = append(h.samples, s...)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) ensureSortedLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. Zero with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSortedLocked()
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSortedLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary is a formatted percentile report.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// EWMA is an exponentially weighted moving average.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given weight for new samples.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Add folds in a sample.
+func (e *EWMA) Add(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value, e.init = v, true
+		return
+	}
+	e.value = e.value*(1-e.alpha) + v*e.alpha
+}
+
+// Value returns the current average.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}

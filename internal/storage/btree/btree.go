@@ -1,0 +1,310 @@
+// Package btree implements an in-memory B-tree keyed by byte slices.
+//
+// It is the ordered heap/index substrate for GlobalDB data nodes: rows and
+// index entries are stored under memcomparable keys (package keys) and range
+// scans iterate in key order. The tree is not safe for concurrent use; the
+// MVCC layer above provides locking.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// degree is the minimum number of children per internal node. Each node
+// holds between degree-1 and 2*degree-1 items (except the root).
+const degree = 32
+
+const maxItems = 2*degree - 1
+
+// Tree is a B-tree mapping byte-slice keys to values of type V.
+// The zero value is not usable; call New.
+type Tree[V any] struct {
+	root   *node[V]
+	length int
+}
+
+type item[V any] struct {
+	key   []byte
+	value V
+}
+
+type node[V any] struct {
+	items    []item[V]
+	children []*node[V] // nil for leaves
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{}}
+}
+
+// Len reports the number of keys stored.
+func (t *Tree[V]) Len() int { return t.length }
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key []byte) (V, bool) {
+	n := t.root
+	for {
+		i, found := n.search(key)
+		if found {
+			return n.items[i].value, true
+		}
+		if n.children == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// search returns the index of the first item >= key and whether it equals key.
+func (n *node[V]) search(key []byte) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) >= 0
+	})
+	if i < len(n.items) && bytes.Equal(n.items[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Set inserts or replaces the value under key, returning the previous value
+// if any. The key slice is stored as-is; callers must not mutate it after.
+func (t *Tree[V]) Set(key []byte, value V) (old V, replaced bool) {
+	if len(t.root.items) == maxItems {
+		// Split the root: the tree grows one level.
+		oldRoot := t.root
+		t.root = &node[V]{children: []*node[V]{oldRoot}}
+		t.root.splitChild(0)
+	}
+	old, replaced = t.root.set(key, value)
+	if !replaced {
+		t.length++
+	}
+	return old, replaced
+}
+
+func (n *node[V]) set(key []byte, value V) (old V, replaced bool) {
+	i, found := n.search(key)
+	if found {
+		old, replaced = n.items[i].value, true
+		n.items[i].value = value
+		return old, replaced
+	}
+	if n.children == nil {
+		n.items = append(n.items, item[V]{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item[V]{key: key, value: value}
+		var zero V
+		return zero, false
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		switch c := bytes.Compare(key, n.items[i].key); {
+		case c == 0:
+			old, replaced = n.items[i].value, true
+			n.items[i].value = value
+			return old, replaced
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].set(key, value)
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.items) / 2
+	median := child.items[mid]
+
+	right := &node[V]{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid:mid]
+	if child.children != nil {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[: mid+1 : mid+1]
+	}
+
+	n.items = append(n.items, item[V]{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key, returning the removed value if it was present.
+func (t *Tree[V]) Delete(key []byte) (V, bool) {
+	v, ok := t.root.delete(key)
+	if ok {
+		t.length--
+	}
+	if len(t.root.items) == 0 && t.root.children != nil {
+		t.root = t.root.children[0]
+	}
+	return v, ok
+}
+
+func (n *node[V]) delete(key []byte) (V, bool) {
+	i, found := n.search(key)
+	if n.children == nil {
+		if !found {
+			var zero V
+			return zero, false
+		}
+		v := n.items[i].value
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return v, true
+	}
+	if found {
+		// Replace with predecessor from the left subtree, then delete it
+		// there. Rebalance the child first so the recursive delete cannot
+		// underflow.
+		if len(n.children[i].items) >= degree {
+			pred := n.children[i].max()
+			v := n.items[i].value
+			n.items[i] = pred
+			n.children[i].delete(pred.key)
+			return v, true
+		}
+		if len(n.children[i+1].items) >= degree {
+			succ := n.children[i+1].min()
+			v := n.items[i].value
+			n.items[i] = succ
+			n.children[i+1].delete(succ.key)
+			return v, true
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(key)
+	}
+	// Key lives in subtree i; make sure that child has >= degree items.
+	if len(n.children[i].items) < degree {
+		i = n.rebalance(i)
+	}
+	return n.children[i].delete(key)
+}
+
+func (n *node[V]) min() item[V] {
+	for n.children != nil {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node[V]) max() item[V] {
+	for n.children != nil {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// rebalance ensures child i has at least degree items, borrowing from a
+// sibling or merging. It returns the index of the child that now covers the
+// original child's key range.
+func (n *node[V]) rebalance(i int) int {
+	if i > 0 && len(n.children[i-1].items) >= degree {
+		// Rotate right: left sibling's max -> separator -> child's front.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item[V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if left.children != nil {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
+		// Rotate left: right sibling's min -> separator -> child's back.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if right.children != nil {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges child i, separator i, and child i+1 into child i.
+func (n *node[V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendRange calls fn for every key in [start, end) in ascending order. A
+// nil start begins at the first key; a nil end scans to the last. fn
+// returning false stops the scan.
+func (t *Tree[V]) AscendRange(start, end []byte, fn func(key []byte, value V) bool) {
+	t.root.ascend(start, end, fn)
+}
+
+func (n *node[V]) ascend(start, end []byte, fn func([]byte, V) bool) bool {
+	i := 0
+	if start != nil {
+		i, _ = n.search(start)
+	}
+	for ; i < len(n.items); i++ {
+		if n.children != nil {
+			if !n.children[i].ascend(start, end, fn) {
+				return false
+			}
+		}
+		it := n.items[i]
+		if start != nil && bytes.Compare(it.key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(it.key, end) >= 0 {
+			return false
+		}
+		if !fn(it.key, it.value) {
+			return false
+		}
+		// Once past start, descendants to the right are all >= start.
+		start = nil
+	}
+	if n.children != nil {
+		return n.children[len(n.children)-1].ascend(start, end, fn)
+	}
+	return true
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[V]) Min() ([]byte, V, bool) {
+	if t.length == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	it := t.root.min()
+	return it.key, it.value, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[V]) Max() ([]byte, V, bool) {
+	if t.length == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	it := t.root.max()
+	return it.key, it.value, true
+}

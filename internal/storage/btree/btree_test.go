@@ -1,0 +1,309 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestSetGet(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i++ {
+		if _, replaced := tr.Set(key(i), i); replaced {
+			t.Fatalf("key %d must not pre-exist", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestSetReplace(t *testing.T) {
+	tr := New[string]()
+	tr.Set([]byte("a"), "one")
+	old, replaced := tr.Set([]byte("a"), "two")
+	if !replaced || old != "one" {
+		t.Fatalf("replace: old=%q replaced=%v", old, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	v, _ := tr.Get([]byte("a"))
+	if v != "two" {
+		t.Fatalf("value after replace = %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	// Delete odd keys.
+	for i := 1; i < n; i += 2 {
+		v, ok := tr.Delete(key(i))
+		if !ok || v != i {
+			t.Fatalf("Delete(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if _, ok := tr.Delete([]byte("missing")); ok {
+		t.Fatal("deleting a missing key must report false")
+	}
+}
+
+func TestDeleteAllShrinksRoot(t *testing.T) {
+	tr := New[int]()
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set(key(i), i)
+	}
+	for _, i := range perm {
+		if _, ok := tr.Delete(key(i)); !ok {
+			t.Fatalf("Delete(%d) lost key", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Set(key(i), i)
+	}
+	var got []int
+	tr.AscendRange(key(10), key(20), func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range [10,20): %d items: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 10+i {
+			t.Fatalf("range order wrong at %d: %v", i, got)
+		}
+	}
+}
+
+func TestAscendRangeFullAndEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 500; i++ {
+		tr.Set(key(i), i)
+	}
+	var all []int
+	tr.AscendRange(nil, nil, func(k []byte, v int) bool {
+		all = append(all, v)
+		return true
+	})
+	if len(all) != 500 || !sort.IntsAreSorted(all) {
+		t.Fatalf("full scan: %d items sorted=%v", len(all), sort.IntsAreSorted(all))
+	}
+	var first5 []int
+	tr.AscendRange(nil, nil, func(k []byte, v int) bool {
+		first5 = append(first5, v)
+		return len(first5) < 5
+	})
+	if len(first5) != 5 {
+		t.Fatalf("early stop returned %d items", len(first5))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int]()
+	for _, i := range rand.New(rand.NewSource(7)).Perm(300) {
+		tr.Set(key(i), i)
+	}
+	if k, v, ok := tr.Min(); !ok || v != 0 || !bytes.Equal(k, key(0)) {
+		t.Fatalf("Min = %s,%d,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || v != 299 || !bytes.Equal(k, key(299)) {
+		t.Fatalf("Max = %s,%d,%v", k, v, ok)
+	}
+}
+
+// TestModelRandomOps cross-checks the tree against a map + sort model under
+// a long random workload of inserts, deletes, lookups, and scans.
+func TestModelRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	model := map[string]int{}
+	keys := func() []string {
+		ks := make([]string, 0, len(model))
+		for k := range model {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert/update
+			v := rng.Int()
+			_, hadTree := tr.Set(k, v)
+			_, hadModel := model[string(k)]
+			if hadTree != hadModel {
+				t.Fatalf("op %d: Set replaced=%v model=%v", op, hadTree, hadModel)
+			}
+			model[string(k)] = v
+		case 5, 6, 7: // delete
+			vTree, okTree := tr.Delete(k)
+			vModel, okModel := model[string(k)]
+			if okTree != okModel || (okTree && vTree != vModel) {
+				t.Fatalf("op %d: Delete (%d,%v) model (%d,%v)", op, vTree, okTree, vModel, okModel)
+			}
+			delete(model, string(k))
+		case 8: // lookup
+			vTree, okTree := tr.Get(k)
+			vModel, okModel := model[string(k)]
+			if okTree != okModel || (okTree && vTree != vModel) {
+				t.Fatalf("op %d: Get (%d,%v) model (%d,%v)", op, vTree, okTree, vModel, okModel)
+			}
+		case 9: // occasional full-order check
+			if op%1000 != 9 {
+				continue
+			}
+			var scanned []string
+			tr.AscendRange(nil, nil, func(k []byte, v int) bool {
+				scanned = append(scanned, string(k))
+				return true
+			})
+			want := keys()
+			if len(scanned) != len(want) {
+				t.Fatalf("op %d: scan %d keys, model %d", op, len(scanned), len(want))
+			}
+			for i := range want {
+				if scanned[i] != want[i] {
+					t.Fatalf("op %d: scan order diverges at %d", op, i)
+				}
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("final Len=%d model=%d", tr.Len(), len(model))
+	}
+}
+
+func TestRangeMatchesModelProperty(t *testing.T) {
+	f := func(seed int64, loIdx, hiIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int]()
+		model := map[string]int{}
+		for i := 0; i < 200; i++ {
+			k := key(rng.Intn(256))
+			tr.Set(k, i)
+			model[string(k)] = i
+		}
+		lo, hi := key(int(loIdx)), key(int(hiIdx))
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var got []string
+		tr.AscendRange(lo, hi, func(k []byte, _ int) bool {
+			got = append(got, string(k))
+			return true
+		})
+		var want []string
+		for k := range model {
+			if k >= string(lo) && k < string(hi) {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAndReverseInsert(t *testing.T) {
+	for name, order := range map[string]func(i, n int) int{
+		"ascending":  func(i, n int) int { return i },
+		"descending": func(i, n int) int { return n - 1 - i },
+	} {
+		tr := New[int]()
+		const n = 10000
+		for i := 0; i < n; i++ {
+			tr.Set(key(order(i, n)), i)
+		}
+		if tr.Len() != n {
+			t.Fatalf("%s: Len=%d", name, tr.Len())
+		}
+		count := 0
+		prev := []byte(nil)
+		tr.AscendRange(nil, nil, func(k []byte, _ int) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("%s: out of order", name)
+			}
+			prev = bytes.Clone(k)
+			count++
+			return true
+		})
+		if count != n {
+			t.Fatalf("%s: scanned %d", name, count)
+		}
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New[int]()
+	ks := make([][]byte, b.N)
+	for i := range ks {
+		ks[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(ks[i], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int]()
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i & (n - 1)))
+	}
+}

@@ -1,0 +1,166 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"globaldb/internal/ts"
+)
+
+// Catalog tracks schemas and the commit timestamp of each table's last DDL.
+// The read-on-replica gate of Sec. IV-A allows a replica read only when the
+// RCP has passed either the global maximum DDL timestamp or the DDL
+// timestamps of every table the query touches.
+type Catalog struct {
+	mu       sync.RWMutex
+	byName   map[string]*Schema
+	byID     map[uint64]*Schema
+	ddlTS    map[uint64]ts.Timestamp // tableID -> last DDL commit timestamp
+	maxDDLTS ts.Timestamp
+	nextID   uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		byName: make(map[string]*Schema),
+		byID:   make(map[uint64]*Schema),
+		ddlTS:  make(map[uint64]ts.Timestamp),
+		nextID: 1,
+	}
+}
+
+// NextID allocates a unique ID for a table or index.
+func (c *Catalog) NextID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// Create registers a schema with the given DDL commit timestamp.
+func (c *Catalog) Create(s *Schema, ddlTS ts.Timestamp) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[s.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, s.Name)
+	}
+	c.byName[s.Name] = s
+	c.byID[s.ID] = s
+	c.noteDDLLocked(s.ID, ddlTS)
+	if s.ID >= c.nextID {
+		c.nextID = s.ID + 1
+	}
+	return nil
+}
+
+// Drop removes a table, recording the DDL timestamp.
+func (c *Catalog) Drop(name string, ddlTS ts.Timestamp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(c.byName, name)
+	delete(c.byID, s.ID)
+	c.noteDDLLocked(s.ID, ddlTS)
+	return nil
+}
+
+// NoteDDL records a DDL commit against a table (e.g. CREATE INDEX).
+func (c *Catalog) NoteDDL(tableID uint64, ddlTS ts.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noteDDLLocked(tableID, ddlTS)
+}
+
+func (c *Catalog) noteDDLLocked(tableID uint64, ddlTS ts.Timestamp) {
+	if ddlTS > c.ddlTS[tableID] {
+		c.ddlTS[tableID] = ddlTS
+	}
+	if ddlTS > c.maxDDLTS {
+		c.maxDDLTS = ddlTS
+	}
+}
+
+// Get returns the schema for name.
+func (c *Catalog) Get(name string) (*Schema, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// GetByID returns the schema for a table ID.
+func (c *Catalog) GetByID(id uint64) (*Schema, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Tables returns every schema, unordered.
+func (c *Catalog) Tables() []*Schema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Schema, 0, len(c.byName))
+	for _, s := range c.byName {
+		out = append(out, s)
+	}
+	return out
+}
+
+// MaxDDLTS returns the largest DDL commit timestamp recorded.
+func (c *Catalog) MaxDDLTS() ts.Timestamp {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.maxDDLTS
+}
+
+// DDLTSOf returns the last DDL commit timestamp of a table (zero if never).
+func (c *Catalog) DDLTSOf(tableID uint64) ts.Timestamp {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ddlTS[tableID]
+}
+
+// RORAllowed implements the two-condition DDL gate of Sec. IV-A: a
+// read-on-replica query over the given tables is allowed when the RCP has
+// passed all DDLs globally, or at least the DDLs of every involved table.
+func (c *Catalog) RORAllowed(rcp ts.Timestamp, tableIDs ...uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if rcp >= c.maxDDLTS {
+		return true
+	}
+	for _, id := range tableIDs {
+		if rcp < c.ddlTS[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalSchema serializes a schema for DDL redo records.
+func MarshalSchema(s *Schema) ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalSchema parses a schema from a DDL redo record.
+func UnmarshalSchema(b []byte) (*Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("table: decoding schema: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,106 @@
+// Package ts defines the timestamp domain shared by every transaction
+// management mode in GlobalDB.
+//
+// GTM timestamps are small integers handed out by the centralized Global
+// Transaction Manager (they start near zero and increment once per
+// transaction). GClock timestamps are nanoseconds of global epoch time read
+// from a synchronized clock. DUAL-mode timestamps bridge the two during an
+// online transition: max(GTM, GClock upper bound) + 1.
+//
+// All three live in the same signed 64-bit space so a single MVCC visibility
+// rule (commitTS <= snapshotTS) works across modes and across transitions.
+package ts
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timestamp is a cluster-wide commit/snapshot timestamp. Depending on the
+// transaction management mode it is either a GTM counter value or GClock
+// epoch nanoseconds. Higher is later.
+type Timestamp int64
+
+const (
+	// Zero is the timestamp before any transaction has committed.
+	Zero Timestamp = 0
+	// Max is the largest representable timestamp.
+	Max Timestamp = 1<<63 - 1
+)
+
+// FromTime converts wall-clock time into a GClock timestamp.
+func FromTime(t time.Time) Timestamp { return Timestamp(t.UnixNano()) }
+
+// Time converts a GClock timestamp back to wall-clock time. Only meaningful
+// for timestamps produced in GClock mode.
+func (t Timestamp) Time() time.Time { return time.Unix(0, int64(t)) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Timestamp) Before(u Timestamp) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Timestamp) After(u Timestamp) bool { return t > u }
+
+// Add returns the timestamp d later than t. d is interpreted in the
+// timestamp's own unit (nanoseconds under GClock).
+func (t Timestamp) Add(d time.Duration) Timestamp { return t + Timestamp(d) }
+
+// Sub returns the duration t-u, interpreting both as GClock nanoseconds.
+func (t Timestamp) Sub(u Timestamp) time.Duration { return time.Duration(t - u) }
+
+func (t Timestamp) String() string {
+	// GClock timestamps are huge (≈1.7e18); GTM counters are small. Render
+	// each in the way a human debugging the system wants to read it.
+	if t > Timestamp(1e15) {
+		return fmt.Sprintf("gclock(%s)", t.Time().UTC().Format("15:04:05.000000000"))
+	}
+	return fmt.Sprintf("gtm(%d)", int64(t))
+}
+
+// Interval is a GClock timestamp with its synchronization error bound, the
+// pair (Tclock, Terr) of Eq. (1) in the paper: TS = Tclock ± Terr where
+// Terr = Tsync + Tdrift.
+type Interval struct {
+	Clock Timestamp
+	Err   time.Duration
+}
+
+// Lower returns the earliest true time consistent with the reading.
+func (iv Interval) Lower() Timestamp { return iv.Clock.Add(-iv.Err) }
+
+// Upper returns the latest true time consistent with the reading.
+func (iv Interval) Upper() Timestamp { return iv.Clock.Add(iv.Err) }
+
+// DefinitelyBefore reports whether the entire interval precedes u's interval
+// with no overlap, i.e. the event at iv certainly happened before u.
+func (iv Interval) DefinitelyBefore(u Interval) bool { return iv.Upper() < u.Lower() }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("%v±%v", iv.Clock, iv.Err)
+}
+
+// Mode identifies how a transaction obtained its timestamps.
+type Mode uint8
+
+const (
+	// ModeGTM uses the centralized Global Transaction Manager counter.
+	ModeGTM Mode = iota
+	// ModeDUAL is the bridge mode used during online transitions:
+	// TS_DUAL = max(TS_GTM, TS_GClock) + 1, issued by the GTM server.
+	ModeDUAL
+	// ModeGClock uses decentralized synchronized-clock timestamps.
+	ModeGClock
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGTM:
+		return "GTM"
+	case ModeDUAL:
+		return "DUAL"
+	case ModeGClock:
+		return "GClock"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,103 @@
+package ts
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFromTimeRoundTrip(t *testing.T) {
+	now := time.Now()
+	got := FromTime(now).Time()
+	if !got.Equal(now) {
+		t.Fatalf("round trip: got %v want %v", got, now)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	a, b := Timestamp(10), Timestamp(20)
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("Before is wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Fatal("After is wrong")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Fatal("a timestamp must not be before/after itself")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Timestamp(1000)
+	if a.Add(time.Microsecond) != Timestamp(2000) {
+		t.Fatalf("Add: got %d", a.Add(time.Microsecond))
+	}
+	if a.Add(time.Microsecond).Sub(a) != time.Microsecond {
+		t.Fatal("Sub does not invert Add")
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	iv := Interval{Clock: 1_000_000, Err: 100 * time.Nanosecond}
+	if iv.Lower() != 999_900 {
+		t.Fatalf("Lower: got %d", iv.Lower())
+	}
+	if iv.Upper() != 1_000_100 {
+		t.Fatalf("Upper: got %d", iv.Upper())
+	}
+}
+
+func TestDefinitelyBefore(t *testing.T) {
+	a := Interval{Clock: 1000, Err: 100}
+	b := Interval{Clock: 1300, Err: 100}
+	c := Interval{Clock: 1150, Err: 100}
+	if !a.DefinitelyBefore(b) {
+		t.Fatal("disjoint intervals must order")
+	}
+	if a.DefinitelyBefore(c) {
+		t.Fatal("overlapping intervals must not order")
+	}
+	if b.DefinitelyBefore(a) {
+		t.Fatal("ordering must be antisymmetric")
+	}
+}
+
+func TestDefinitelyBeforeIrreflexive(t *testing.T) {
+	f := func(clock int64, errNS uint32) bool {
+		iv := Interval{Clock: Timestamp(clock), Err: time.Duration(errNS)}
+		return !iv.DefinitelyBefore(iv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalBoundsProperty(t *testing.T) {
+	// Lower <= Clock <= Upper for every non-negative error bound.
+	f := func(clock int64, errNS uint32) bool {
+		iv := Interval{Clock: Timestamp(clock), Err: time.Duration(errNS)}
+		return iv.Lower() <= iv.Clock && iv.Clock <= iv.Upper()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{ModeGTM: "GTM", ModeDUAL: "DUAL", ModeGClock: "GClock", Mode(9): "Mode(9)"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if s := Timestamp(42).String(); s != "gtm(42)" {
+		t.Fatalf("small timestamps must render as GTM counters, got %q", s)
+	}
+	big := FromTime(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	if s := big.String(); s == "" || s[:6] != "gclock" {
+		t.Fatalf("epoch timestamps must render as clock readings, got %q", s)
+	}
+}

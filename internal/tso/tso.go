@@ -1,0 +1,226 @@
+// Package tso implements the timestamp oracle each computing node uses to
+// begin and commit transactions.
+//
+// The oracle dispatches on the node's transaction management mode (Sec. III):
+//
+//	GTM    — fetch a counter timestamp from the central GTM server, paying
+//	         a network round trip (the baseline's bottleneck).
+//	GClock — read the local synchronized clock: TS = Tclock + Terr, wait at
+//	         invocation, commit-wait before acknowledging. No round trip.
+//	DUAL   — transition bridge: obtain a clock reading, exchange it with
+//	         the GTM server for TS_DUAL = max(TS_GTM, TS_GClock)+1, and
+//	         honor the server-prescribed wait (Figs. 2–3).
+//
+// Timestamps are always fetched under the node's *current* mode. A
+// transaction records the mode it began under only to enforce the one abort
+// rule of Fig. 2: a transaction that began under GTM and reaches commit
+// after the node has completed the switch to GClock must abort — its
+// counter-scale snapshot is incompatible with clock-scale commit
+// timestamps. Every other combination commits safely: an old DUAL or GClock
+// transaction committing on a GTM-mode node simply "gets TS_GTM and
+// commits" (Fig. 3), which the server's TSMax floor makes monotonic.
+//
+// Mode reads and local timestamp issuance happen under one lock, so the
+// transition controller's snapshot of ClockState() is guaranteed to cover
+// every timestamp this node issued before it switched modes — the property
+// that lets the GTM floor be computed without quiescing the cluster.
+package tso
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb/internal/clock"
+	"globaldb/internal/gtm"
+	"globaldb/internal/ts"
+)
+
+// TxnTS is the timestamp state a transaction carries from begin.
+type TxnTS struct {
+	// Snap is the snapshot (invocation) timestamp.
+	Snap ts.Timestamp
+	// Mode is the management mode the transaction began under.
+	Mode ts.Mode
+}
+
+// Oracle issues timestamps on one computing node.
+type Oracle struct {
+	name  string
+	clock *clock.Node
+	gtm   *gtm.Client
+
+	mu        sync.Mutex
+	mode      ts.Mode
+	maxIssued ts.Timestamp // largest local GClock timestamp issued here
+
+	reporting atomic.Bool // also forward GClock commits to the GTM server
+
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New returns an oracle in GTM mode.
+func New(name string, clk *clock.Node, client *gtm.Client) *Oracle {
+	return &Oracle{name: name, clock: clk, gtm: client, mode: ts.ModeGTM, sleep: sleepCtx}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Name identifies the oracle's node.
+func (o *Oracle) Name() string { return o.name }
+
+// Mode returns the node's current transaction management mode.
+func (o *Oracle) Mode() ts.Mode {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.mode
+}
+
+// SetMode switches the node's mode for subsequently issued timestamps.
+func (o *Oracle) SetMode(m ts.Mode) {
+	o.mu.Lock()
+	o.mode = m
+	o.mu.Unlock()
+}
+
+// SetReporting enables forwarding GClock commit timestamps to the GTM
+// server (Fig. 3's "Send TS_GClock, Terr — no response needed"). The floor
+// guarantee does not depend on it — ClockState() snapshots cover every
+// issued timestamp — but it mirrors the paper's wire protocol and gives the
+// server earlier visibility during GClock→GTM transitions.
+func (o *Oracle) SetReporting(on bool) { o.reporting.Store(on) }
+
+// ClockState returns the node's largest issued GClock timestamp merged with
+// its current clock reading and error bound. Because issuance happens under
+// the same lock as mode switches, a ClockState taken after SetMode covers
+// every timestamp issued under the previous mode.
+func (o *Oracle) ClockState() ts.Interval {
+	iv := o.clock.Now()
+	o.mu.Lock()
+	if o.maxIssued > iv.Clock {
+		iv.Clock = o.maxIssued
+	}
+	o.mu.Unlock()
+	return iv
+}
+
+// Clock exposes the node clock (health checks, commit waits in tests).
+func (o *Oracle) Clock() *clock.Node { return o.clock }
+
+// issueLocal atomically reads the mode and, if it is GClock, issues a local
+// timestamp. ok is false when the mode is not GClock.
+func (o *Oracle) issueLocal() (t ts.Timestamp, errBound time.Duration, mode ts.Mode, ok bool) {
+	iv := o.clock.Now()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.mode != ts.ModeGClock {
+		return 0, 0, o.mode, false
+	}
+	t = iv.Upper()
+	if t > o.maxIssued {
+		o.maxIssued = t
+	}
+	return t, iv.Err, ts.ModeGClock, true
+}
+
+// Begin obtains an invocation timestamp under the node's current mode,
+// performing the mode's invocation wait.
+func (o *Oracle) Begin(ctx context.Context) (TxnTS, error) {
+	if t, _, _, ok := o.issueLocal(); ok {
+		// "Invocation: wait until Tclock > TS_GClock and begin" — by the
+		// time work starts, true time has passed the snapshot, making
+		// concurrent writers' eventual commit timestamps exceed it.
+		if err := o.clock.WaitUntilAfter(ctx, t); err != nil {
+			return TxnTS{}, err
+		}
+		return TxnTS{Snap: t, Mode: ts.ModeGClock}, nil
+	}
+	mode := o.Mode()
+	resp, err := o.callGTM(ctx, mode)
+	if err != nil {
+		return TxnTS{}, err
+	}
+	return TxnTS{Snap: resp.TS, Mode: mode}, nil
+}
+
+// SnapshotNoWait returns a read snapshot without the invocation wait or any
+// network round trip. Callers must pair it with a data-node-local freshness
+// floor (the "single shard queries bypass this wait by using the node's last
+// committed transaction timestamp" fast path of Sec. III).
+func (o *Oracle) SnapshotNoWait() TxnTS {
+	if t, _, _, ok := o.issueLocal(); ok {
+		return TxnTS{Snap: t, Mode: ts.ModeGClock}
+	}
+	// Centralized modes have no local clock notion; the caller falls back
+	// to Begin.
+	return TxnTS{Mode: o.Mode()}
+}
+
+// Commit obtains a commit timestamp for a transaction begun under
+// beginMode, fetching under the node's *current* mode. The returned finish
+// function performs the commit wait and must run after the commit has
+// applied, before acknowledging the client.
+//
+// It returns gtm.ErrOldModeAborted when a GTM-mode transaction reaches
+// commit after the node has switched to GClock (Fig. 2's abort rule).
+func (o *Oracle) Commit(ctx context.Context, beginMode ts.Mode) (ts.Timestamp, func(context.Context) error, error) {
+	if t, errBound, _, ok := o.issueLocal(); ok {
+		if beginMode == ts.ModeGTM {
+			return 0, nil, gtm.ErrOldModeAborted
+		}
+		if o.reporting.Load() {
+			// One-way advisory report; never blocks the commit path.
+			go func() {
+				rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = o.gtm.Report(rctx, ts.Interval{Clock: t, Err: errBound})
+			}()
+		}
+		finish := func(fctx context.Context) error { return o.clock.WaitUntilAfter(fctx, t) }
+		return t, finish, nil
+	}
+	// Centralized path: GTM-begun transactions identify themselves so a
+	// DUAL-mode server applies the Listing 1 wait and a GClock-mode server
+	// aborts them; DUAL/GClock-begun transactions request DUAL timestamps.
+	reqMode := beginMode
+	if reqMode != ts.ModeGTM {
+		reqMode = ts.ModeDUAL
+	}
+	resp, err := o.callGTM(ctx, reqMode)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.TS, func(context.Context) error { return nil }, nil
+}
+
+// callGTM performs a timestamp fetch for GTM or DUAL mode, honoring the
+// server-prescribed anomaly-avoidance wait before returning.
+func (o *Oracle) callGTM(ctx context.Context, mode ts.Mode) (gtm.Response, error) {
+	req := gtm.Request{Mode: mode}
+	if mode == ts.ModeDUAL {
+		req.GClock = o.clock.Now()
+	}
+	resp, err := o.gtm.Call(ctx, req)
+	if err != nil {
+		return gtm.Response{}, err
+	}
+	if resp.Wait > 0 {
+		if err := o.sleep(ctx, resp.Wait); err != nil {
+			return gtm.Response{}, err
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,299 @@
+package tso
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"globaldb/internal/clock"
+	"globaldb/internal/gtm"
+	"globaldb/internal/netsim"
+	"globaldb/internal/ts"
+)
+
+var bg = context.Background()
+
+// rig wires a GTM server and n oracles over a zero-latency network.
+type rig struct {
+	net     *netsim.Network
+	server  *gtm.Server
+	oracles []*Oracle
+	stops   []func()
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{net: netsim.New(netsim.Config{}), server: gtm.NewServer()}
+	r.net.AddRegion("r")
+	gtm.Serve(r.net, "r", r.server)
+	for i := 0; i < n; i++ {
+		dev := clock.NewDevice("r", clock.Real())
+		nc := clock.NewNode(clock.DefaultNodeConfig(), clock.Real(), dev)
+		stop := nc.Start()
+		r.stops = append(r.stops, stop)
+		o := New("cn"+string(rune('0'+i)), nc, gtm.NewClient(r.net, "r"))
+		r.oracles = append(r.oracles, o)
+	}
+	t.Cleanup(func() {
+		for _, s := range r.stops {
+			s()
+		}
+	})
+	return r
+}
+
+func TestGTMModeBeginCommit(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	if o.Mode() != ts.ModeGTM {
+		t.Fatal("oracle must start in GTM mode")
+	}
+	b1, err := o.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, finish, err := o.Commit(bg, b1.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(bg); err != nil {
+		t.Fatal(err)
+	}
+	if c1 <= b1.Snap {
+		t.Fatalf("commit %v must exceed begin %v", c1, b1.Snap)
+	}
+	b2, _ := o.Begin(bg)
+	if b2.Snap <= c1 {
+		t.Fatalf("next begin %v must exceed previous commit %v", b2.Snap, c1)
+	}
+}
+
+func TestGClockModeLocalTimestamps(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	o.SetMode(ts.ModeGClock)
+	b, err := o.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Mode != ts.ModeGClock {
+		t.Fatalf("mode = %v", b.Mode)
+	}
+	// GClock timestamps are epoch-scale.
+	if b.Snap < ts.Timestamp(1e15) {
+		t.Fatalf("GClock snapshot %v is not epoch time", b.Snap)
+	}
+	c, finish, err := o.Commit(bg, b.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= b.Snap {
+		t.Fatalf("commit %v <= begin %v", c, b.Snap)
+	}
+	if err := finish(bg); err != nil {
+		t.Fatal(err)
+	}
+	// Commit wait completed: the clock's lower bound has passed c.
+	if o.Clock().Now().Lower() <= c {
+		t.Fatal("finish returned before the commit wait elapsed")
+	}
+	// No GTM requests were made.
+	if st := r.server.Stats(); st.IssuedGTM != 0 && st.IssuedDual != 0 {
+		t.Fatalf("GClock mode must not hit the GTM server: %+v", st)
+	}
+}
+
+func TestGClockExternalConsistencyAcrossNodes(t *testing.T) {
+	// R.1: commit-wait on node A finishes before node B begins => B's
+	// snapshot exceeds A's commit timestamp. Run many rounds alternating.
+	r := newRig(t, 2)
+	a, b := r.oracles[0], r.oracles[1]
+	a.SetMode(ts.ModeGClock)
+	b.SetMode(ts.ModeGClock)
+	for i := 0; i < 50; i++ {
+		w, x := a, b
+		if i%2 == 1 {
+			w, x = b, a
+		}
+		c, finish, err := w.Commit(bg, ts.ModeGClock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := finish(bg); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := x.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Snap <= c {
+			t.Fatalf("round %d: snapshot %v <= prior commit %v (R.1 violated)", i, snap.Snap, c)
+		}
+	}
+}
+
+func TestSnapshotNoWait(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	o.SetMode(ts.ModeGClock)
+	s := o.SnapshotNoWait()
+	if s.Mode != ts.ModeGClock || s.Snap == 0 {
+		t.Fatalf("SnapshotNoWait = %+v", s)
+	}
+	o.SetMode(ts.ModeGTM)
+	s = o.SnapshotNoWait()
+	if s.Snap != 0 {
+		t.Fatal("centralized modes must signal fallback with a zero snapshot")
+	}
+}
+
+func TestDualModeWaitsAndMonotonicity(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	r.server.SetMode(ts.ModeDUAL)
+	o.SetMode(ts.ModeDUAL)
+	var last ts.Timestamp
+	for i := 0; i < 10; i++ {
+		b, err := o.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Snap <= last {
+			t.Fatalf("DUAL timestamps not monotonic: %v after %v", b.Snap, last)
+		}
+		last = b.Snap
+		c, _, err := o.Commit(bg, b.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= b.Snap {
+			t.Fatalf("commit %v <= begin %v", c, b.Snap)
+		}
+		last = c
+	}
+	if r.server.Stats().IssuedDual != 20 {
+		t.Fatalf("server stats: %+v", r.server.Stats())
+	}
+}
+
+func TestOldGTMTxnAbortsAfterSwitch(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	b, err := o.Begin(bg) // GTM-mode txn
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster completes a transition while the txn runs.
+	r.server.SetMode(ts.ModeDUAL)
+	r.server.SetMode(ts.ModeGClock)
+	o.SetMode(ts.ModeGClock)
+	_, _, err = o.Commit(bg, b.Mode)
+	if !errors.Is(err, gtm.ErrOldModeAborted) {
+		t.Fatalf("stale GTM txn commit: %v", err)
+	}
+}
+
+func TestReportingForwardsCommits(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	o.SetMode(ts.ModeGClock)
+	o.SetReporting(true)
+	c, finish, err := o.Commit(bg, ts.ModeGClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(bg)
+	// The report is async; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.server.TSMax() < c {
+		if time.Now().After(deadline) {
+			t.Fatalf("server TSMax %v never reached commit %v", r.server.TSMax(), c)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClockStateCoversIssued(t *testing.T) {
+	r := newRig(t, 1)
+	o := r.oracles[0]
+	o.SetMode(ts.ModeGClock)
+	c, _, err := o.Commit(bg, ts.ModeGClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.ClockState()
+	if st.Upper() < c {
+		t.Fatalf("ClockState upper %v below issued commit %v", st.Upper(), c)
+	}
+}
+
+func TestGTMFetchPaysNetworkLatency(t *testing.T) {
+	// The heart of the baseline's Fig. 1a problem: a remote CN pays the
+	// round trip per timestamp in GTM mode and nothing in GClock mode.
+	n := netsim.New(netsim.Config{})
+	n.SetLink("hub", "edge", 30*time.Millisecond, 0)
+	server := gtm.NewServer()
+	gtm.Serve(n, "hub", server)
+	dev := clock.NewDevice("edge", clock.Real())
+	nc := clock.NewNode(clock.DefaultNodeConfig(), clock.Real(), dev)
+	stop := nc.Start()
+	defer stop()
+	o := New("edge-cn", nc, gtm.NewClient(n, "edge"))
+
+	start := time.Now()
+	if _, err := o.Begin(bg); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("GTM begin must pay the WAN round trip")
+	}
+
+	o.SetMode(ts.ModeGClock)
+	start = time.Now()
+	if _, err := o.Begin(bg); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatalf("GClock begin took %v; must not touch the network", time.Since(start))
+	}
+}
+
+func TestConcurrentMixedModeClients(t *testing.T) {
+	r := newRig(t, 3)
+	r.server.SetMode(ts.ModeDUAL)
+	r.oracles[0].SetMode(ts.ModeGTM)
+	r.oracles[1].SetMode(ts.ModeDUAL)
+	r.oracles[2].SetMode(ts.ModeGClock)
+	var wg sync.WaitGroup
+	for _, o := range r.oracles {
+		wg.Add(1)
+		go func(o *Oracle) {
+			defer wg.Done()
+			var prev ts.Timestamp
+			for i := 0; i < 30; i++ {
+				b, err := o.Begin(bg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c, finish, err := o.Commit(bg, b.Mode)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := finish(bg); err != nil {
+					t.Error(err)
+					return
+				}
+				if c <= prev {
+					t.Errorf("%s: commit %v after %v not monotonic", o.Name(), c, prev)
+					return
+				}
+				prev = c
+			}
+		}(o)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"testing"
+)
+
+func BenchmarkAppendSyncEveryBatch(b *testing.B) {
+	benchAppend(b, SyncEveryBatch)
+}
+
+func BenchmarkAppendSyncNever(b *testing.B) {
+	benchAppend(b, SyncNever)
+}
+
+func benchAppend(b *testing.B, policy SyncPolicy) {
+	w, err := Open(Options{Dir: b.TempDir(), Sync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	recs := genRecords(64, 1)
+	next := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j].LSN = next + uint64(j)
+		}
+		next += uint64(len(recs))
+		if err := w.Append(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)) * 48)
+}
+
+func BenchmarkRecover(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Open(Options{Dir: dir, Sync: SyncNever, SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Append(genRecords(100000, 2)); err != nil {
+		b.Fatal(err)
+	}
+	w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := Recover(dir)
+		if err != nil || len(recs) != 100000 {
+			b.Fatalf("%d %v", len(recs), err)
+		}
+	}
+}

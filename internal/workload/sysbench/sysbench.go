@@ -1,0 +1,218 @@
+// Package sysbench implements the Sysbench OLTP point-select workload of
+// Sec. V-B: N tables of M rows each, uniformly random primary-key lookups,
+// with a configurable fraction of lookups landing on remote shards (the
+// paper fetches 2/3 of tuples from a remote node).
+package sysbench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"globaldb"
+)
+
+// Config scales the workload. The paper runs 250 tables × 25000 rows with
+// 600 client threads; defaults are scaled for in-process sweeps.
+type Config struct {
+	// Tables is the number of sbtest tables.
+	Tables int
+	// RowsPerTable is the row count per table.
+	RowsPerTable int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{Tables: 8, RowsPerTable: 200, Seed: 1}
+}
+
+// Driver runs sysbench clients against a DB.
+type Driver struct {
+	db  *globaldb.DB
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*globaldb.Session
+	rngs     sync.Map
+}
+
+// New creates a driver.
+func New(db *globaldb.DB, cfg Config) *Driver {
+	if cfg.Tables <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Driver{db: db, cfg: cfg, sessions: make(map[string]*globaldb.Session)}
+}
+
+// Config returns the driver's configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// tableName is the sysbench naming convention.
+func tableName(i int) string { return fmt.Sprintf("sbtest%d", i+1) }
+
+// schema builds one sbtest table: id (PK), k, c, pad.
+func schema(i int) *globaldb.Schema {
+	return &globaldb.Schema{
+		Name: tableName(i),
+		Columns: []globaldb.Column{
+			{Name: "id", Kind: globaldb.Int64},
+			{Name: "k", Kind: globaldb.Int64},
+			{Name: "c", Kind: globaldb.String},
+			{Name: "pad", Kind: globaldb.String},
+		},
+		PK: []int{0},
+	}
+}
+
+func (d *Driver) session(region string) (*globaldb.Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sessions[region]; ok {
+		return s, nil
+	}
+	s, err := d.db.Connect(region)
+	if err != nil {
+		return nil, err
+	}
+	d.sessions[region] = s
+	return s, nil
+}
+
+func (d *Driver) rng(client int) *rand.Rand {
+	if v, ok := d.rngs.Load(client); ok {
+		return v.(*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(d.cfg.Seed + int64(client)*104729))
+	actual, _ := d.rngs.LoadOrStore(client, r)
+	return actual.(*rand.Rand)
+}
+
+// CreateTables registers all sbtest schemas.
+func (d *Driver) CreateTables(ctx context.Context) error {
+	for i := 0; i < d.cfg.Tables; i++ {
+		if err := d.db.CreateTable(ctx, schema(i)); err != nil {
+			return fmt.Errorf("sysbench: create %s: %w", tableName(i), err)
+		}
+	}
+	return nil
+}
+
+// Load populates every table, parallel across tables.
+func (d *Driver) Load(ctx context.Context) error {
+	regions := d.db.Regions()
+	var wg sync.WaitGroup
+	errs := make([]error, d.cfg.Tables)
+	for i := 0; i < d.cfg.Tables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = d.loadTable(ctx, i, regions[i%len(regions)])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) loadTable(ctx context.Context, i int, region string) error {
+	sess, err := d.session(region)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed*31 + int64(i)))
+	pad := strings.Repeat("x", 60)
+	const chunk = 200
+	for lo := 1; lo <= d.cfg.RowsPerTable; lo += chunk {
+		tx, err := sess.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		hi := lo + chunk - 1
+		if hi > d.cfg.RowsPerTable {
+			hi = d.cfg.RowsPerTable
+		}
+		for id := lo; id <= hi; id++ {
+			row := globaldb.Row{int64(id), int64(rng.Intn(1 << 20)), fmt.Sprintf("c-%d-%d", i, id), pad}
+			if err := tx.Insert(ctx, tableName(i), row); err != nil {
+				tx.Abort(ctx)
+				return err
+			}
+		}
+		if err := tx.Commit(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// localIDs returns, for a client's home region, the row IDs whose shard
+// primaries live in that region (used to steer the local/remote mix).
+func (d *Driver) localIDs(region string) []int64 {
+	var out []int64
+	for id := int64(1); id <= int64(d.cfg.RowsPerTable); id++ {
+		shard := d.db.Cluster().ShardOf(id)
+		if d.db.Cluster().Primaries()[shard].Region() == region {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// PointSelect returns the point-select workload for a client homed in
+// region. remotePct of lookups target rows whose primary is in another
+// region. useROR serves reads from replicas at the staleness bound;
+// otherwise reads go to primaries at a fresh snapshot (the baseline).
+func (d *Driver) PointSelect(client int, region string, remotePct int, useROR bool, bound time.Duration) func(ctx context.Context) error {
+	local := d.localIDs(region)
+	return func(ctx context.Context) error {
+		rng := d.rng(client)
+		tbl := tableName(rng.Intn(d.cfg.Tables))
+		var id int64
+		if len(local) > 0 && rng.Intn(100) >= remotePct {
+			id = local[rng.Intn(len(local))]
+		} else {
+			id = int64(1 + rng.Intn(d.cfg.RowsPerTable))
+		}
+		sess, err := d.session(region)
+		if err != nil {
+			return err
+		}
+		if useROR {
+			q, err := sess.ReadOnly(ctx, bound, tbl)
+			if err != nil {
+				return err
+			}
+			_, found, err := q.Get(ctx, tbl, []any{id})
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("sysbench: %s id %d missing", tbl, id)
+			}
+			return nil
+		}
+		tx, err := sess.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		_, found, err := tx.Get(ctx, tbl, []any{id})
+		if err != nil {
+			tx.Abort(ctx)
+			return err
+		}
+		if !found {
+			tx.Abort(ctx)
+			return fmt.Errorf("sysbench: %s id %d missing", tbl, id)
+		}
+		return tx.Commit(ctx)
+	}
+}

@@ -1,0 +1,95 @@
+package sysbench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/coordinator"
+)
+
+var bg = context.Background()
+
+func openLoaded(t *testing.T) (*globaldb.DB, *Driver) {
+	t.Helper()
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.005
+	cfg.Shards = 3
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	d := New(db, Config{Tables: 3, RowsPerTable: 60, Seed: 1})
+	if err := d.CreateTables(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(bg); err != nil {
+		t.Fatal(err)
+	}
+	return db, d
+}
+
+func TestLoadAndPointSelectPrimary(t *testing.T) {
+	_, d := openLoaded(t)
+	ps := d.PointSelect(0, "xian", 0, false, 0)
+	for i := 0; i < 20; i++ {
+		if err := ps(bg); err != nil {
+			t.Fatalf("point select %d: %v", i, err)
+		}
+	}
+}
+
+func TestPointSelectRemoteMix(t *testing.T) {
+	_, d := openLoaded(t)
+	// 100% remote still works; it just pays WAN latency.
+	ps := d.PointSelect(1, "dongguan", 100, false, 0)
+	for i := 0; i < 10; i++ {
+		if err := ps(bg); err != nil {
+			t.Fatalf("remote select %d: %v", i, err)
+		}
+	}
+}
+
+func TestPointSelectROR(t *testing.T) {
+	db, d := openLoaded(t)
+	// Stamp a marker and wait for the RCP to cover the load.
+	sess, err := db.Connect("xian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker, _ := sess.Begin(bg)
+	marker.Commit(bg)
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Cluster().Collector.RCP() < marker.Snapshot() {
+		if time.Now().After(deadline) {
+			t.Fatal("RCP never covered the load")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ps := d.PointSelect(2, "xian", 67, true, coordinator.AnyStaleness)
+	for i := 0; i < 20; i++ {
+		if err := ps(bg); err != nil {
+			t.Fatalf("ror select %d: %v", i, err)
+		}
+	}
+	cn := db.Cluster().CN("xian")
+	if cn.Stats().ReplicaReads == 0 {
+		t.Fatal("ROR point selects must hit replicas")
+	}
+}
+
+func TestLocalIDsMatchTopology(t *testing.T) {
+	db, d := openLoaded(t)
+	ids := d.localIDs("xian")
+	if len(ids) == 0 {
+		t.Fatal("region must own some rows")
+	}
+	for _, id := range ids {
+		shard := db.Cluster().ShardOf(id)
+		if db.Cluster().Primaries()[shard].Region() != "xian" {
+			t.Fatalf("id %d not local to xian", id)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package tpcc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globaldb"
+)
+
+// Config scales the benchmark. The paper runs 600 warehouses with 600
+// terminals; the defaults here are scaled down so in-process sweeps finish
+// in seconds while keeping every code path identical.
+type Config struct {
+	// Warehouses is the scale factor.
+	Warehouses int
+	// Districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000).
+	CustomersPerDistrict int
+	// Items per warehouse (spec: 100000, shared).
+	Items int
+	// InitialOrdersPerDistrict pre-loads order history (spec: 3000).
+	InitialOrdersPerDistrict int
+	// RemotePct is the percentage of New-Order and Payment transactions
+	// that touch a remote warehouse. Sec. V-A starts at 0 ("100% local")
+	// to isolate transaction management and log shipping costs.
+	RemotePct int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:               4,
+		Districts:                4,
+		CustomersPerDistrict:     20,
+		Items:                    50,
+		InitialOrdersPerDistrict: 10,
+		RemotePct:                0,
+		Seed:                     1,
+	}
+}
+
+// Driver runs TPC-C terminals against a DB.
+type Driver struct {
+	db  *globaldb.DB
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*globaldb.Session
+
+	histSeq atomic.Int64
+	rngs    sync.Map // client -> *lockedRand
+}
+
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lockedRand) Intn(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Intn(n)
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// New creates a driver.
+func New(db *globaldb.DB, cfg Config) *Driver {
+	if cfg.Warehouses <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Driver{db: db, cfg: cfg, sessions: make(map[string]*globaldb.Session)}
+}
+
+// Config returns the driver's configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+func (d *Driver) rng(client int) *lockedRand {
+	if v, ok := d.rngs.Load(client); ok {
+		return v.(*lockedRand)
+	}
+	lr := &lockedRand{rng: rand.New(rand.NewSource(d.cfg.Seed + int64(client)*7919))}
+	actual, _ := d.rngs.LoadOrStore(client, lr)
+	return actual.(*lockedRand)
+}
+
+// session returns (cached) the session for a region.
+func (d *Driver) session(region string) (*globaldb.Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sessions[region]; ok {
+		return s, nil
+	}
+	s, err := d.db.Connect(region)
+	if err != nil {
+		return nil, err
+	}
+	d.sessions[region] = s
+	return s, nil
+}
+
+// HomeRegion returns the region hosting a warehouse's shard primary —
+// terminals connect to their local CN, giving the workload the physical
+// affinity real customer workloads have (Sec. V-A).
+func (d *Driver) HomeRegion(w int64) string {
+	shard := d.db.Cluster().ShardOf(w)
+	return d.db.Cluster().Primaries()[shard].Region()
+}
+
+// HomeWarehouse assigns a terminal its home warehouse.
+func (d *Driver) HomeWarehouse(client int) int64 {
+	return int64(client%d.cfg.Warehouses) + 1
+}
+
+// WarehousesOutsideRegion lists warehouses whose shard primary is NOT in
+// the given region. The paper's Figs. 1a/6b measure "a node that is not
+// co-located with the GTM server"; binding terminals to these warehouses
+// reproduces that measurement.
+func (d *Driver) WarehousesOutsideRegion(region string) []int64 {
+	var out []int64
+	for w := int64(1); w <= int64(d.cfg.Warehouses); w++ {
+		if d.HomeRegion(w) != region {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// CreateTables registers the nine schemas.
+func (d *Driver) CreateTables(ctx context.Context) error {
+	for _, s := range Schemas() {
+		if err := d.db.CreateTable(ctx, s); err != nil {
+			return fmt.Errorf("tpcc: create %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load populates the database at the configured scale. Rows are inserted in
+// chunked transactions per warehouse, in parallel across warehouses.
+func (d *Driver) Load(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, d.cfg.Warehouses)
+	for w := 1; w <= d.cfg.Warehouses; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			errs[w-1] = d.loadWarehouse(ctx, w)
+		}(int64(w))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) loadWarehouse(ctx context.Context, w int64) error {
+	sess, err := d.session(d.HomeRegion(w))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed*1000 + w))
+
+	const chunk = 200
+	var tx *globaldb.Tx
+	pending := 0
+	begin := func() error {
+		if tx != nil {
+			return nil
+		}
+		var err error
+		tx, err = sess.Begin(ctx)
+		pending = 0
+		return err
+	}
+	insert := func(tbl string, row globaldb.Row) error {
+		if err := begin(); err != nil {
+			return err
+		}
+		if err := tx.Insert(ctx, tbl, row); err != nil {
+			tx.Abort(ctx)
+			tx = nil
+			return err
+		}
+		pending++
+		if pending >= chunk {
+			if err := tx.Commit(ctx); err != nil {
+				tx = nil
+				return err
+			}
+			tx = nil
+		}
+		return nil
+	}
+
+	if err := insert(TWarehouse, globaldb.Row{w, fmt.Sprintf("W-%03d", w), rng.Float64() * 0.2, 0.0}); err != nil {
+		return err
+	}
+	for i := 1; i <= d.cfg.Items; i++ {
+		if err := insert(TItem, globaldb.Row{w, int64(i), fmt.Sprintf("item-%d", i), 1 + rng.Float64()*99}); err != nil {
+			return err
+		}
+		if err := insert(TStock, globaldb.Row{w, int64(i), int64(10 + rng.Intn(90)), int64(0), int64(0), int64(0)}); err != nil {
+			return err
+		}
+	}
+	for dd := 1; dd <= d.cfg.Districts; dd++ {
+		did := int64(dd)
+		nextO := int64(d.cfg.InitialOrdersPerDistrict + 1)
+		if err := insert(TDistrict, globaldb.Row{w, did, fmt.Sprintf("D-%d-%d", w, dd), rng.Float64() * 0.2, 0.0, nextO}); err != nil {
+			return err
+		}
+		for cc := 1; cc <= d.cfg.CustomersPerDistrict; cc++ {
+			cid := int64(cc)
+			last := LastName(cc % 1000)
+			row := globaldb.Row{w, did, cid, last, fmt.Sprintf("First%d", cc), -10.0, 10.0, int64(1), int64(0), "customer-data"}
+			if err := insert(TCustomer, row); err != nil {
+				return err
+			}
+		}
+		for oo := 1; oo <= d.cfg.InitialOrdersPerDistrict; oo++ {
+			oid := int64(oo)
+			cid := int64(1 + rng.Intn(d.cfg.CustomersPerDistrict))
+			olCnt := int64(5 + rng.Intn(11))
+			carrier := int64(1 + rng.Intn(10))
+			undelivered := oo > d.cfg.InitialOrdersPerDistrict*2/3
+			if undelivered {
+				carrier = 0
+				if err := insert(TNewOrder, globaldb.Row{w, did, oid}); err != nil {
+					return err
+				}
+			}
+			if err := insert(TOrders, globaldb.Row{w, did, oid, cid, carrier, olCnt, time.Now().UnixNano()}); err != nil {
+				return err
+			}
+			for ol := int64(1); ol <= olCnt; ol++ {
+				iid := int64(1 + rng.Intn(d.cfg.Items))
+				amount := 0.0
+				if undelivered {
+					amount = 1 + rng.Float64()*9998/100
+				}
+				if err := insert(TOrderLine, globaldb.Row{w, did, oid, ol, iid, w, int64(5), amount}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if tx != nil {
+		return tx.Commit(ctx)
+	}
+	return nil
+}

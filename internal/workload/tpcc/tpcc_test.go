@@ -1,0 +1,296 @@
+package tpcc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"globaldb"
+	"globaldb/internal/coordinator"
+)
+
+var bg = context.Background()
+
+func tinyConfig() Config {
+	return Config{
+		Warehouses:               3,
+		Districts:                2,
+		CustomersPerDistrict:     8,
+		Items:                    15,
+		InitialOrdersPerDistrict: 5,
+		RemotePct:                0,
+		Seed:                     1,
+	}
+}
+
+func openLoaded(t *testing.T) (*globaldb.DB, *Driver) {
+	t.Helper()
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.005
+	cfg.Shards = 3
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	d := New(db, tinyConfig())
+	if err := d.CreateTables(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(bg); err != nil {
+		t.Fatal(err)
+	}
+	return db, d
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestSchemasValid(t *testing.T) {
+	if len(Schemas()) != 9 {
+		t.Fatal("TPC-C has nine tables")
+	}
+	for _, s := range Schemas() {
+		s.ID = 1
+		for i := range s.Indexes {
+			s.Indexes[i].ID = uint64(i + 2)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// Every table distributes by warehouse id (first PK column).
+		if s.ShardBy != 0 || s.PK[0] != 0 {
+			t.Fatalf("%s must distribute by its leading warehouse column", s.Name)
+		}
+	}
+}
+
+func TestLoadPopulates(t *testing.T) {
+	_, d := openLoaded(t)
+	sess, err := d.session(d.HomeRegion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := sess.Begin(bg)
+	defer tx.Commit(bg)
+	for w := int64(1); w <= 3; w++ {
+		if _, found, err := tx.Get(bg, TWarehouse, []any{w}); err != nil || !found {
+			t.Fatalf("warehouse %d: %v %v", w, found, err)
+		}
+	}
+	rows, err := tx.ScanPK(bg, TCustomer, []any{int64(1), int64(1)}, 0)
+	if err != nil || len(rows) != 8 {
+		t.Fatalf("customers of w1/d1: %d %v", len(rows), err)
+	}
+	dRow, _, _ := tx.Get(bg, TDistrict, []any{int64(1), int64(1)})
+	if dRow[5].(int64) != 6 {
+		t.Fatalf("next_o_id = %v", dRow[5])
+	}
+	orders, err := tx.ScanPK(bg, TOrders, []any{int64(1), int64(1)}, 0)
+	if err != nil || len(orders) != 5 {
+		t.Fatalf("orders: %d %v", len(orders), err)
+	}
+}
+
+func TestNewOrderAdvancesDistrict(t *testing.T) {
+	_, d := openLoaded(t)
+	if err := d.NewOrder(bg, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := d.session(d.HomeRegion(1))
+	tx, _ := sess.Begin(bg)
+	defer tx.Commit(bg)
+	// One of the districts advanced its next_o_id to 7.
+	advanced := false
+	for dd := int64(1); dd <= 2; dd++ {
+		dRow, _, _ := tx.Get(bg, TDistrict, []any{int64(1), dd})
+		if dRow[5].(int64) == 7 {
+			advanced = true
+			oid := int64(6)
+			if _, found, _ := tx.Get(bg, TOrders, []any{int64(1), dd, oid}); !found {
+				t.Fatal("order row missing")
+			}
+			lines, _ := tx.ScanPK(bg, TOrderLine, []any{int64(1), dd, oid}, 0)
+			if len(lines) < 5 {
+				t.Fatalf("only %d order lines", len(lines))
+			}
+		}
+	}
+	if !advanced {
+		t.Fatal("no district advanced")
+	}
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	_, d := openLoaded(t)
+	if err := d.Payment(bg, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := d.session(d.HomeRegion(2))
+	tx, _ := sess.Begin(bg)
+	defer tx.Commit(bg)
+	wRow, _, _ := tx.Get(bg, TWarehouse, []any{int64(2)})
+	if wRow[3].(float64) <= 0 {
+		t.Fatalf("w_ytd = %v", wRow[3])
+	}
+	hist, err := tx.ScanPK(bg, THistory, []any{int64(2)}, 0)
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("history rows: %d %v", len(hist), err)
+	}
+}
+
+func TestOrderStatusAndStockLevel(t *testing.T) {
+	_, d := openLoaded(t)
+	for i := 0; i < 5; i++ {
+		if err := d.OrderStatus(bg, i, 1); err != nil {
+			t.Fatalf("order status %d: %v", i, err)
+		}
+		if err := d.StockLevel(bg, i, 1); err != nil {
+			t.Fatalf("stock level %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	_, d := openLoaded(t)
+	sess, _ := d.session(d.HomeRegion(1))
+	count := func() int {
+		tx, _ := sess.Begin(bg)
+		defer tx.Commit(bg)
+		n := 0
+		for dd := int64(1); dd <= 2; dd++ {
+			rows, err := tx.ScanPK(bg, TNewOrder, []any{int64(1), dd}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(rows)
+		}
+		return n
+	}
+	before := count()
+	if before == 0 {
+		t.Fatal("loader must leave undelivered orders")
+	}
+	if err := d.Delivery(bg, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := count()
+	if after >= before {
+		t.Fatalf("delivery did not consume new orders: %d -> %d", before, after)
+	}
+}
+
+func TestTerminalMixRuns(t *testing.T) {
+	_, d := openLoaded(t)
+	term := d.Terminal(0)
+	okCount := 0
+	for i := 0; i < 30; i++ {
+		if err := term(bg); err == nil {
+			okCount++
+		}
+	}
+	if okCount < 20 {
+		t.Fatalf("only %d/30 transactions succeeded", okCount)
+	}
+	if err := d.ConsistencyCheck(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTerminalsKeepInvariants(t *testing.T) {
+	_, d := openLoaded(t)
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			term := d.Terminal(c)
+			for i := 0; i < 15; i++ {
+				_ = term(bg) // conflicts abort; clients retry next loop
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := d.ConsistencyCheck(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyTerminalOnReplicas(t *testing.T) {
+	db, d := openLoaded(t)
+	// Wait for the RCP to pass the whole load: stamp a marker transaction
+	// after loading and wait for the RCP to reach its snapshot.
+	sess, err := d.session(d.HomeRegion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker, err := sess.Begin(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker.Commit(bg)
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Cluster().Collector.RCP() < marker.Snapshot() {
+		if time.Now().After(deadline) {
+			t.Fatalf("RCP never passed the load; RCP=%v want %v",
+				db.Cluster().Collector.RCP(), marker.Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	term := d.ReadOnlyTerminal(0, 50, true, coordinator.AnyStaleness)
+	for i := 0; i < 10; i++ {
+		if err := term(bg); err != nil {
+			t.Fatalf("ror terminal %d: %v", i, err)
+		}
+	}
+	// The baseline flavor reads primaries.
+	base := d.ReadOnlyTerminal(1, 50, false, 0)
+	for i := 0; i < 5; i++ {
+		if err := base(bg); err != nil {
+			t.Fatalf("baseline terminal %d: %v", i, err)
+		}
+	}
+}
+
+func TestRemoteTransactions(t *testing.T) {
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.005
+	cfg.Shards = 3
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	tc := tinyConfig()
+	tc.RemotePct = 100
+	d := New(db, tc)
+	if err := d.CreateTables(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(bg); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if err := d.Payment(bg, i, 1); err != nil {
+			if errors.Is(err, context.Canceled) {
+				t.Fatal(err)
+			}
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Fatalf("%d/10 remote payments failed", errs)
+	}
+}
