@@ -8,9 +8,12 @@ package globaldb_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
+	"globaldb"
+	"globaldb/gsql"
 	"globaldb/internal/experiments"
 	"globaldb/internal/harness"
 	"globaldb/internal/rcp"
@@ -154,6 +157,163 @@ func BenchmarkTransitionUnderLoad(b *testing.B) {
 		b.Logf("per-window commits: %v", counts)
 		b.ReportMetric(float64(min), "min-window-commits")
 	}
+}
+
+// ---- Streaming scan pipeline benchmarks ----
+//
+// These measure the paged-cursor pipeline's pushdown wins by recording
+// rows-fetched-per-layer alongside wall time:
+//
+//	storage-rows/op — visible pairs the MVCC stores returned to scans
+//	wan-rows/op     — rows that crossed the simulated network to the CN
+//	result-rows/op  — rows in the final SQL result
+//
+// A pushed LIMIT/range shows up as storage-rows/op and wan-rows/op near
+// result-rows/op (O(k·page)) instead of the table size (O(N)). Results are
+// recorded in CHANGES.md as "bench: <name> storage=<r>/op wan=<r>/op".
+
+// scanBenchRows is the loaded table size for the scan benchmarks.
+const scanBenchRows = 2000
+
+// storageRows sums the rows returned by storage-level scans on every
+// primary and replica store.
+func storageRows(db *globaldb.DB) int64 {
+	var total int64
+	c := db.Cluster()
+	for _, p := range c.Primaries() {
+		total += p.Store().RowsScanned()
+	}
+	for shard := 0; shard < c.Shards(); shard++ {
+		for _, r := range c.Replicas(shard) {
+			total += r.Applier().Store().RowsScanned()
+		}
+	}
+	return total
+}
+
+// wanRows sums the rows received in scan responses across every CN.
+func wanRows(db *globaldb.DB) int64 {
+	var total int64
+	for _, cn := range db.Cluster().CNs() {
+		total += cn.ScanRowsFetched()
+	}
+	return total
+}
+
+// openScanBenchDB builds a cluster and loads `items` with scanBenchRows
+// rows spread over 4 warehouses, returning a SQL session in region.
+func openScanBenchDB(b *testing.B, cfg globaldb.Config, region string) (*globaldb.DB, *gsql.Session) {
+	b.Helper()
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	s, err := gsql.Connect(db, region)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Exec(context.Background(), `CREATE TABLE items (
+		w_id BIGINT, i_id BIGINT, qty BIGINT, tag TEXT,
+		PRIMARY KEY (w_id, i_id)
+	) SHARD BY w_id`); err != nil {
+		b.Fatal(err)
+	}
+	const perWarehouse = scanBenchRows / 4
+	for w := 1; w <= 4; w++ {
+		var vals []string
+		for i := 1; i <= perWarehouse; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, %d, 't%d')", w, i, (i*7)%100, i%5))
+			if len(vals) == 250 || i == perWarehouse {
+				stmt := "INSERT INTO items VALUES " + strings.Join(vals, ", ")
+				if _, err := s.Exec(context.Background(), stmt); err != nil {
+					b.Fatal(err)
+				}
+				vals = nil
+			}
+		}
+	}
+	return db, s
+}
+
+// benchScanQuery runs one SQL query b.N times and reports the per-layer
+// rows-fetched metrics.
+func benchScanQuery(b *testing.B, db *globaldb.DB, s *gsql.Session, sql string, wantRows int) {
+	b.Helper()
+	ctx := context.Background()
+	s0, w0 := storageRows(db), wanRows(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(ctx, sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wantRows >= 0 && len(res.Rows) != wantRows {
+			b.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+		}
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(storageRows(db)-s0)/n, "storage-rows/op")
+	b.ReportMetric(float64(wanRows(db)-w0)/n, "wan-rows/op")
+	if wantRows >= 0 {
+		b.ReportMetric(float64(wantRows), "result-rows/op")
+	}
+}
+
+// BenchmarkScanFilteredFullTable runs a full-table scan with a residual
+// filter. The filter cannot narrow the key range, so storage-rows/op stays
+// O(N) — the baseline the pushdown benchmarks are compared against.
+func BenchmarkScanFilteredFullTable(b *testing.B) {
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 4
+	db, s := openScanBenchDB(b, cfg, cfg.Regions[0])
+	benchScanQuery(b, db, s, "SELECT * FROM items WHERE qty >= 90", -1)
+}
+
+// BenchmarkScanLimitPushdown runs `WHERE <PK range> LIMIT k` over the large
+// table. The range narrows the scan inside storage and the LIMIT stops the
+// paged cursor after roughly one page, so storage-rows/op is O(k·page),
+// not O(N) — the acceptance criterion of the streaming-pipeline refactor.
+func BenchmarkScanLimitPushdown(b *testing.B) {
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 4
+	db, s := openScanBenchDB(b, cfg, cfg.Regions[0])
+	benchScanQuery(b, db, s,
+		"SELECT * FROM items WHERE w_id = 1 AND i_id > 100 ORDER BY w_id, i_id LIMIT 10", 10)
+}
+
+// BenchmarkScanReadOnlyCrossRegion runs the LIMIT'd range scan as a
+// read-only replica query from a remote region over the modeled WAN, where
+// every row shipped is a WAN cost the pushdown avoids.
+func BenchmarkScanReadOnlyCrossRegion(b *testing.B) {
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.02
+	cfg.Shards = 4
+	db, _ := openScanBenchDB(b, cfg, "xian")
+	remote, err := gsql.Connect(db, "dongguan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := remote.Exec(context.Background(), "SET STALENESS = ANY"); err != nil {
+		b.Fatal(err)
+	}
+	// Wait for replication to catch up so replica reads see the load.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := remote.Exec(context.Background(), "SELECT COUNT(*) FROM items")
+		if err == nil && res.OnReplicas && res.Rows[0][0] == int64(scanBenchRows) {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("replicas did not catch up: %v err=%v", res, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	benchScanQuery(b, db, remote,
+		"SELECT * FROM items WHERE w_id = 2 AND i_id > 100 ORDER BY w_id, i_id LIMIT 10", 10)
 }
 
 // BenchmarkRCPCompute measures the Fig. 4 RCP calculation over a large

@@ -19,6 +19,29 @@
 //
 //	q, _ := sess.ReadOnly(ctx, globaldb.AnyStaleness, "accounts")
 //	row, found, _ := q.Get(ctx, "accounts", []any{int64(1)})
+//
+// # Streaming scans
+//
+// Scans stream: ScanPKRows, ScanIndexRows and ScanTableRows (on both Tx and
+// Query) return a Rows iterator that pulls fixed-size pages from storage on
+// demand, so a consumer that stops early — a LIMIT, a search, a merge — only
+// ships the pages it actually read across the simulated WAN. The page size
+// is tuned per scan with ScanOpts.PageSize (DefaultScanPageSize rows per
+// RPC when unset) and a ScanOpts.Range bounds the first key column after
+// the equality prefix, pushing range predicates into storage:
+//
+//	rows, _ := q.ScanPKRows(ctx, "orders", []any{int64(1)},
+//		globaldb.ScanOpts{Limit: 10, Range: &globaldb.ScanRange{Lo: int64(100)}})
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Row())
+//	}
+//	err := rows.Err()
+//
+// ScanTableRows merges per-shard cursors and yields rows in global
+// primary-key order; the materializing ScanPK/ScanIndex/ScanTable helpers
+// remain as thin wrappers that drain the corresponding iterator (ScanTable
+// keeps its historical shard-by-shard order).
 package globaldb
 
 import (
@@ -32,7 +55,6 @@ import (
 	"globaldb/internal/datanode"
 	"globaldb/internal/keys"
 	"globaldb/internal/placement"
-	"globaldb/internal/storage/mvcc"
 	"globaldb/internal/table"
 	"globaldb/internal/ts"
 )
@@ -352,86 +374,36 @@ func pkPos(sch *Schema) int {
 
 // ScanPK scans rows whose primary key starts with pkPrefix, in key order.
 // The prefix must include the distribution column so the scan is
-// single-shard (GaussDB's co-located scan).
+// single-shard (GaussDB's co-located scan). It drains a streaming
+// ScanPKRows iterator; limit <= 0 means no limit.
 func (tx *Tx) ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]Row, error) {
-	sch, err := tx.sess.schemaOf(tableName)
+	r, err := tx.ScanPKRows(ctx, tableName, pkPrefix, ScanOpts{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	start, end, shard, err := pkScanBounds(tx.sess.db, sch, pkPrefix)
-	if err != nil {
-		return nil, err
-	}
-	kvs, err := tx.txn.Scan(ctx, shard, start, end, limit)
-	if err != nil {
-		return nil, err
-	}
-	return decodeRows(sch, kvs)
+	return drainRows(r)
 }
 
 // ScanIndex scans a secondary index by a prefix of its columns and returns
-// the matching rows (via primary-key lookups on the same shard).
+// the matching rows (via primary-key lookups on the same shard). It drains
+// a streaming ScanIndexRows iterator.
 func (tx *Tx) ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]Row, error) {
-	sch, ix, err := indexOf(tx.sess, tableName, indexName)
+	r, err := tx.ScanIndexRows(ctx, tableName, indexName, prefix, ScanOpts{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	start, end, shard, err := indexScanBounds(tx.sess.db, sch, ix, prefix)
-	if err != nil {
-		return nil, err
-	}
-	kvs, err := tx.txn.Scan(ctx, shard, start, end, limit)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Row, 0, len(kvs))
-	for _, kv := range kvs {
-		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
-		if err != nil {
-			return nil, err
-		}
-		if !found {
-			continue // row deleted with a stale index entry in-flight
-		}
-		r, err := sch.DecodeRow(v)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return drainRows(r)
 }
 
 // ScanTable scans every row of a table across all shards, in shard order
 // then key order within each shard. It is the access path of last resort
 // (an unsharded full scan); limit <= 0 means no limit.
 func (tx *Tx) ScanTable(ctx context.Context, tableName string, limit int) ([]Row, error) {
-	sch, err := tx.sess.schemaOf(tableName)
+	r, err := tx.tableRows(ctx, tableName, ScanOpts{Limit: limit}, false)
 	if err != nil {
 		return nil, err
 	}
-	prefix := sch.TablePrefix()
-	end := keys.PrefixEnd(prefix)
-	var rows []Row
-	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
-		remaining := 0
-		if limit > 0 {
-			remaining = limit - len(rows)
-			if remaining <= 0 {
-				break
-			}
-		}
-		kvs, err := tx.txn.Scan(ctx, shard, prefix, end, remaining)
-		if err != nil {
-			return nil, err
-		}
-		decoded, err := decodeRows(sch, kvs)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, decoded...)
-	}
-	return rows, nil
+	return drainRows(r)
 }
 
 // Commit finishes the transaction (single-shard fast path or 2PC), waiting
@@ -473,84 +445,35 @@ func (q *Query) Get(ctx context.Context, tableName string, pkVals []any) (Row, b
 	return r, err == nil, err
 }
 
-// ScanPK scans rows by primary-key prefix.
+// ScanPK scans rows by primary-key prefix, draining a streaming
+// ScanPKRows iterator.
 func (q *Query) ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]Row, error) {
-	sch, err := q.sess.schemaOf(tableName)
+	r, err := q.ScanPKRows(ctx, tableName, pkPrefix, ScanOpts{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	start, end, shard, err := pkScanBounds(q.sess.db, sch, pkPrefix)
-	if err != nil {
-		return nil, err
-	}
-	kvs, err := q.ro.Scan(ctx, shard, start, end, limit)
-	if err != nil {
-		return nil, err
-	}
-	return decodeRows(sch, kvs)
+	return drainRows(r)
 }
 
-// ScanIndex scans a secondary index by prefix and resolves rows.
+// ScanIndex scans a secondary index by prefix and resolves rows, draining a
+// streaming ScanIndexRows iterator.
 func (q *Query) ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]Row, error) {
-	sch, ix, err := indexOf(q.sess, tableName, indexName)
+	r, err := q.ScanIndexRows(ctx, tableName, indexName, prefix, ScanOpts{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	start, end, shard, err := indexScanBounds(q.sess.db, sch, ix, prefix)
-	if err != nil {
-		return nil, err
-	}
-	kvs, err := q.ro.Scan(ctx, shard, start, end, limit)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Row, 0, len(kvs))
-	for _, kv := range kvs {
-		v, found, err := q.ro.Get(ctx, shard, kv.Value)
-		if err != nil {
-			return nil, err
-		}
-		if !found {
-			continue
-		}
-		r, err := sch.DecodeRow(v)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return drainRows(r)
 }
 
 // ScanTable scans every row of a table across all shards at the query's
-// snapshot; limit <= 0 means no limit.
+// snapshot, in shard order then key order within each shard; limit <= 0
+// means no limit.
 func (q *Query) ScanTable(ctx context.Context, tableName string, limit int) ([]Row, error) {
-	sch, err := q.sess.schemaOf(tableName)
+	r, err := q.tableRows(ctx, tableName, ScanOpts{Limit: limit}, false)
 	if err != nil {
 		return nil, err
 	}
-	prefix := sch.TablePrefix()
-	end := keys.PrefixEnd(prefix)
-	var rows []Row
-	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
-		remaining := 0
-		if limit > 0 {
-			remaining = limit - len(rows)
-			if remaining <= 0 {
-				break
-			}
-		}
-		kvs, err := q.ro.Scan(ctx, shard, prefix, end, remaining)
-		if err != nil {
-			return nil, err
-		}
-		decoded, err := decodeRows(sch, kvs)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, decoded...)
-	}
-	return rows, nil
+	return drainRows(r)
 }
 
 // Tables lists the names of all tables in the catalog.
@@ -567,18 +490,6 @@ func (db *DB) Tables() []string {
 func (db *DB) Schema(name string) (*Schema, error) { return db.c.Catalog.Get(name) }
 
 // Shared helpers.
-
-func decodeRows(sch *Schema, kvs []mvcc.KV) ([]Row, error) {
-	rows := make([]Row, 0, len(kvs))
-	for _, kv := range kvs {
-		r, err := sch.DecodeRow(kv.Value)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
-}
 
 func indexOf(s *Session, tableName, indexName string) (*Schema, table.Index, error) {
 	sch, err := s.schemaOf(tableName)

@@ -1,0 +1,3 @@
+module globaldb
+
+go 1.22

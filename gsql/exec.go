@@ -12,9 +12,15 @@ import (
 
 // reader is the read surface shared by read-write transactions and
 // read-only (replica) queries. Both globaldb.Tx and globaldb.Query
-// implement it.
+// implement it. The Rows variants stream pages on demand and are what the
+// operator pipeline runs on; the materializing variants remain for the
+// legacy drain path (kept as the differential-testing oracle and for
+// UPDATE/DELETE row collection).
 type reader interface {
 	Get(ctx context.Context, tableName string, pkVals []any) (globaldb.Row, bool, error)
+	ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, o globaldb.ScanOpts) (*globaldb.Rows, error)
+	ScanIndexRows(ctx context.Context, tableName, indexName string, prefix []any, o globaldb.ScanOpts) (*globaldb.Rows, error)
+	ScanTableRows(ctx context.Context, tableName string, o globaldb.ScanOpts) (*globaldb.Rows, error)
 	ScanPK(ctx context.Context, tableName string, pkPrefix []any, limit int) ([]globaldb.Row, error)
 	ScanIndex(ctx context.Context, tableName, indexName string, prefix []any, limit int) ([]globaldb.Row, error)
 	ScanTable(ctx context.Context, tableName string, limit int) ([]globaldb.Row, error)
@@ -43,39 +49,99 @@ func (e *rowEnv) colValue(ref *ColRef) (any, error) {
 	return e.rows[ti][ci], nil
 }
 
-// execSelect runs a planned SELECT against a reader.
+// execSelect runs a planned SELECT against a reader through the streaming
+// operator pipeline (scan -> join -> filter -> project/aggregate/sort/
+// limit). Orderings and aggregates drain the pipeline; everything else
+// streams and terminates the scans early once LIMIT is satisfied.
 func execSelect(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
+	it, orderDone, err := buildPipeline(ctx, r, p)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	return finishSelect(ctx, p, it, orderDone)
+}
+
+// execSelectMaterialized is the legacy drain-everything path: every scan
+// materializes before the next stage runs. It is retained as the oracle the
+// differential tests compare the streaming pipeline against.
+func execSelectMaterialized(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
 	rows, err := joinRows(ctx, r, p)
 	if err != nil {
 		return nil, err
 	}
+	return finishSelect(ctx, p, &sliceIter{rows: rows}, false)
+}
+
+// finishSelect consumes the combined-row stream and produces the result:
+// aggregation or projection, then ordering, DISTINCT, OFFSET and LIMIT.
+// When there is no ORDER BY — or orderDone says the stream already arrives
+// in ORDER BY order (order-preserving scan) — the non-grouped path streams
+// and stops pulling as soon as the limit is met: the early termination that
+// makes LIMIT k cost O(k·page) rows end to end.
+func finishSelect(ctx context.Context, p *selectPlan, it rowIter, orderDone bool) (*Result, error) {
 	if p.grouped {
-		return aggregateRows(p, rows)
+		return aggregateRows(ctx, p, it)
 	}
 	out := &Result{Columns: p.outCols}
-	var sortKeys [][]any
-	for _, combined := range rows {
-		env := &rowEnv{tables: p.tables, rows: combined}
-		outRow := make([]any, len(p.outExprs))
-		for i, e := range p.outExprs {
-			v, err := evalExpr(e, env)
+	if len(p.orderBy) == 0 || orderDone {
+		var seen map[string]bool
+		if p.distinct {
+			seen = make(map[string]bool)
+		}
+		skipped := int64(0)
+		for p.limit < 0 || int64(len(out.Rows)) < p.limit {
+			combined, ok, err := it.Next(ctx)
 			if err != nil {
 				return nil, err
 			}
-			outRow[i] = v
+			if !ok {
+				break
+			}
+			outRow, err := projectRow(p, combined)
+			if err != nil {
+				return nil, err
+			}
+			if seen != nil {
+				key := distinctKey(outRow)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			if skipped < p.offset {
+				skipped++
+				continue
+			}
+			out.Rows = append(out.Rows, outRow)
+		}
+		return out, nil
+	}
+	// ORDER BY: drain, then sort on pre-projection keys.
+	var sortKeys [][]any
+	for {
+		combined, ok, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		env := &rowEnv{tables: p.tables, rows: combined}
+		outRow, err := projectRow(p, combined)
+		if err != nil {
+			return nil, err
 		}
 		out.Rows = append(out.Rows, outRow)
-		if len(p.orderBy) > 0 {
-			keys := make([]any, len(p.orderBy))
-			for i, o := range p.orderBy {
-				v, err := evalExpr(o.Expr, env)
-				if err != nil {
-					return nil, err
-				}
-				keys[i] = v
+		keys := make([]any, len(p.orderBy))
+		for i, o := range p.orderBy {
+			v, err := evalExpr(o.Expr, env)
+			if err != nil {
+				return nil, err
 			}
-			sortKeys = append(sortKeys, keys)
+			keys[i] = v
 		}
+		sortKeys = append(sortKeys, keys)
 	}
 	if err := sortAndLimit(p, out, sortKeys); err != nil {
 		return nil, err
@@ -83,7 +149,23 @@ func execSelect(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
 	return out, nil
 }
 
-// joinRows produces the combined (outer[, inner]) rows passing the filter.
+// projectRow evaluates the output expressions over one combined row.
+func projectRow(p *selectPlan, combined []table.Row) ([]any, error) {
+	env := &rowEnv{tables: p.tables, rows: combined}
+	outRow := make([]any, len(p.outExprs))
+	for i, e := range p.outExprs {
+		v, err := evalExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		outRow[i] = v
+	}
+	return outRow, nil
+}
+
+// joinRows produces the combined (outer[, inner]) rows passing the filter,
+// materializing every scan — the legacy path (differential oracle, and row
+// collection for UPDATE/DELETE which must materialize before writing).
 func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, error) {
 	// A limit can be pushed into the outer scan only when nothing after it
 	// can drop or reorder rows.
@@ -430,8 +512,10 @@ func evalWithAggs(e Expr, env *aggEnv) (any, error) {
 	}
 }
 
-// aggregateRows groups combined rows and computes aggregate outputs.
-func aggregateRows(p *selectPlan, rows [][]table.Row) (*Result, error) {
+// aggregateRows groups the combined-row stream and computes aggregate
+// outputs. Aggregation is a pipeline breaker — it consumes the stream to
+// the end — but still holds only per-group state, never the input rows.
+func aggregateRows(ctx context.Context, p *selectPlan, it rowIter) (*Result, error) {
 	type group struct {
 		rep    []table.Row // representative row for group-key evaluation
 		states []*aggState
@@ -439,17 +523,24 @@ func aggregateRows(p *selectPlan, rows [][]table.Row) (*Result, error) {
 	groups := map[string]*group{}
 	var order []string
 
-	for _, combined := range rows {
+	for {
+		combined, ok, err := it.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		env := &rowEnv{tables: p.tables, rows: combined}
-		var keyParts []string
-		for _, g := range p.groupBy {
+		keyVals := make([]any, len(p.groupBy))
+		for i, g := range p.groupBy {
 			v, err := evalExpr(g, env)
 			if err != nil {
 				return nil, err
 			}
-			keyParts = append(keyParts, fmt.Sprintf("%T:%v", v, v))
+			keyVals[i] = v
 		}
-		key := strings.Join(keyParts, "\x00")
+		key := distinctKey(keyVals)
 		grp, ok := groups[key]
 		if !ok {
 			grp = &group{rep: combined}
@@ -565,7 +656,7 @@ func sortAndLimit(p *selectPlan, res *Result, sortKeys [][]any) error {
 		seen := make(map[string]bool, len(res.Rows))
 		kept := res.Rows[:0]
 		for _, row := range res.Rows {
-			key := fmt.Sprintf("%v", row)
+			key := distinctKey(row)
 			if seen[key] {
 				continue
 			}
@@ -585,6 +676,19 @@ func sortAndLimit(p *selectPlan, res *Result, sortKeys [][]any) error {
 		res.Rows = res.Rows[:p.limit]
 	}
 	return nil
+}
+
+// distinctKey builds a collision-free dedup key for DISTINCT rows and
+// GROUP BY tuples: each value is type-tagged (so NULL never merges with
+// the text "<nil>") and length-prefixed (so no embedded byte in a TEXT
+// value can shift tuple boundaries and make distinct tuples collide).
+func distinctKey(row []any) string {
+	var sb strings.Builder
+	for _, v := range row {
+		part := fmt.Sprintf("%T:%v", v, v)
+		fmt.Fprintf(&sb, "%d:%s;", len(part), part)
+	}
+	return sb.String()
 }
 
 // compareNullable orders values with NULLs first.

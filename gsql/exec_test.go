@@ -437,6 +437,24 @@ func TestExecExplain(t *testing.T) {
 	}
 }
 
+func TestExecExplainRangePushdown(t *testing.T) {
+	s := openSQL(t)
+	loadOrders(t, s)
+	res := exec(t, s, "EXPLAIN SELECT * FROM orders WHERE w_id = 1 AND o_id > 1 AND o_id <= 3")
+	text := ""
+	for _, r := range res.Rows {
+		text += r[0].(string) + "\n"
+	}
+	if !strings.Contains(text, "pk-prefix-scan") || !strings.Contains(text, "range (o_id > 1, o_id <= 3)") {
+		t.Fatalf("explain must show the pushed range:\n%s", text)
+	}
+	// The pushed range narrows the rows actually returned by the scan.
+	res2 := exec(t, s, "SELECT o_id FROM orders WHERE w_id = 1 AND o_id > 1 AND o_id <= 3 ORDER BY o_id")
+	if len(res2.Rows) != 2 || res2.Rows[0][0] != int64(2) || res2.Rows[1][0] != int64(3) {
+		t.Fatalf("range rows: %v", res2.Rows)
+	}
+}
+
 func TestExecIndexEquivalence(t *testing.T) {
 	// The index path and the full-scan path must return the same rows.
 	s := openSQL(t)

@@ -1,0 +1,310 @@
+package gsql
+
+import (
+	"context"
+	"fmt"
+
+	"globaldb"
+	"globaldb/internal/table"
+)
+
+// rowIter is a volcano-style operator: each Next pulls one combined row
+// (one table.Row per FROM table) from the operator below it. Operators
+// fetch lazily, so a consumer that stops early — a LIMIT, an aggregate
+// short-circuit — stops the whole pipeline, and the scan at the bottom
+// stops requesting pages from storage.
+type rowIter interface {
+	Next(ctx context.Context) ([]table.Row, bool, error)
+	Close()
+}
+
+// sliceIter yields a pre-materialized row set. It backs point-get results
+// and the materializing legacy path used as a differential oracle.
+type sliceIter struct {
+	rows [][]table.Row
+	i    int
+}
+
+func (s *sliceIter) Next(context.Context) ([]table.Row, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true, nil
+}
+
+func (s *sliceIter) Close() {}
+
+// scanIter adapts a streaming globaldb.Rows into single-table combined rows.
+type scanIter struct {
+	rows *globaldb.Rows
+}
+
+func (s *scanIter) Next(context.Context) ([]table.Row, bool, error) {
+	if s.rows.Next() {
+		return []table.Row{table.Row(s.rows.Row())}, true, nil
+	}
+	return nil, false, s.rows.Err()
+}
+
+func (s *scanIter) Close() { _ = s.rows.Close() }
+
+// filterIter drops combined rows failing the predicate.
+type filterIter struct {
+	child  rowIter
+	filter Expr
+	tables []*boundTable
+}
+
+func (f *filterIter) Next(ctx context.Context) ([]table.Row, bool, error) {
+	for {
+		combined, ok, err := f.child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := passes(f.filter, f.tables, combined)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return combined, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() { f.child.Close() }
+
+// nestedLoopIter streams a nested-loop join: for each outer row it opens a
+// fresh inner scan (whose key expressions may bind outer columns) and
+// yields [outer, inner] pairs as the inner streams.
+type nestedLoopIter struct {
+	outer     rowIter
+	openInner func(outerRow table.Row) (rowIter, error)
+	curOuter  table.Row
+	inner     rowIter
+}
+
+func (j *nestedLoopIter) Next(ctx context.Context) ([]table.Row, bool, error) {
+	for {
+		if j.inner == nil {
+			combined, ok, err := j.outer.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.curOuter = combined[0]
+			inner, err := j.openInner(j.curOuter)
+			if err != nil {
+				return nil, false, err
+			}
+			j.inner = inner
+		}
+		irow, ok, err := j.inner.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.inner.Close()
+			j.inner = nil
+			continue
+		}
+		return []table.Row{j.curOuter, irow[0]}, true, nil
+	}
+}
+
+func (j *nestedLoopIter) Close() {
+	if j.inner != nil {
+		j.inner.Close()
+	}
+	j.outer.Close()
+}
+
+// openScan builds the streaming scan operator for one table. outerRow, when
+// non-nil, binds outer column references in the scan's key and range
+// expressions (join inner lookups). fetchLimit > 0 caps the rows the scan
+// requests from storage (a fully pushed LIMIT); pageHint > 0 sizes the
+// first fetched page (early-terminating consumers).
+func openScan(ctx context.Context, r reader, p *selectPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int) (rowIter, error) {
+	env := &rowEnv{tables: p.tables}
+	if outerRow != nil {
+		env.rows = []table.Row{outerRow}
+	}
+	keyVals := make([]any, len(s.keyExprs))
+	for i, e := range s.keyExprs {
+		v, err := evalExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		keyVals[i] = v
+	}
+	name := s.tab.schema.Name
+	opts := globaldb.ScanOpts{Limit: fetchLimit, PageSize: pageHint, Range: scanRange(s, env)}
+	switch s.kind {
+	case accessPoint:
+		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK, keyVals)
+		if err != nil {
+			return nil, err
+		}
+		row, found, err := r.Get(ctx, name, keyVals)
+		if err != nil || !found {
+			return &sliceIter{}, err
+		}
+		return &sliceIter{rows: [][]table.Row{{row}}}, nil
+	case accessPKPrefix:
+		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK[:len(keyVals)], keyVals)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := r.ScanPKRows(ctx, name, keyVals, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &scanIter{rows: rows}, nil
+	case accessIndex:
+		ix, err := findIndex(s.tab.schema, s.index)
+		if err != nil {
+			return nil, err
+		}
+		keyVals, err := coerceKey(s.tab.schema, ix.Cols[:len(keyVals)], keyVals)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := r.ScanIndexRows(ctx, name, s.index, keyVals, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &scanIter{rows: rows}, nil
+	case accessFull:
+		rows, err := r.ScanTableRows(ctx, name, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &scanIter{rows: rows}, nil
+	default:
+		return nil, fmt.Errorf("gsql: unknown access kind %v", s.kind)
+	}
+}
+
+// scanRange evaluates a scan's pushed range bounds. A bound whose value is
+// NULL or fails to coerce to the column kind is dropped — the residual
+// filter still holds the conjunct, so dropping only widens the scan.
+func scanRange(s *tableScan, env *rowEnv) *globaldb.ScanRange {
+	if s.rangeCol < 0 || (s.rangeLo == nil && s.rangeHi == nil) {
+		return nil
+	}
+	rng := &globaldb.ScanRange{LoExcl: s.loExcl, HiExcl: s.hiExcl}
+	if s.rangeLo != nil {
+		if v, err := evalExpr(s.rangeLo, env); err == nil && v != nil {
+			if cv, err := coerceValue(s.tab.schema, s.rangeCol, v); err == nil {
+				rng.Lo = cv
+			}
+		}
+	}
+	if s.rangeHi != nil {
+		if v, err := evalExpr(s.rangeHi, env); err == nil && v != nil {
+			if cv, err := coerceValue(s.tab.schema, s.rangeCol, v); err == nil {
+				rng.Hi = cv
+			}
+		}
+	}
+	if rng.Lo == nil && rng.Hi == nil {
+		return nil
+	}
+	return rng
+}
+
+// buildPipeline assembles the streaming operator tree for a planned SELECT:
+// scan(outer) -> [nested-loop join(inner)] -> filter. orderDone reports
+// whether the scan already delivers rows in the plan's ORDER BY order (so
+// the driver can skip the sort and terminate early on LIMIT).
+func buildPipeline(ctx context.Context, r reader, p *selectPlan) (it rowIter, orderDone bool, err error) {
+	orderDone = scanSatisfiesOrder(p)
+	// A limit is pushed all the way into the outer scan only when nothing
+	// above it can drop, add or reorder rows. Everything else still
+	// benefits from streaming: the limit operator simply stops pulling.
+	fetchLimit := 0
+	pageHint := 0
+	if p.limit >= 0 && p.inner == nil && !p.grouped &&
+		(len(p.orderBy) == 0 || orderDone) && !p.distinct {
+		if p.filter == nil {
+			fetchLimit = int(p.limit + p.offset)
+		}
+		// Early termination will stop the scan after limit+offset output
+		// rows; start with a page of about that size so a satisfied LIMIT
+		// costs one small page instead of a full default page.
+		pageHint = int(p.limit + p.offset)
+		if pageHint < 16 {
+			pageHint = 16
+		}
+	}
+	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint)
+	if err != nil {
+		return nil, false, err
+	}
+	it = scan
+	if p.inner != nil {
+		it = &nestedLoopIter{
+			outer: it,
+			openInner: func(outerRow table.Row) (rowIter, error) {
+				return openScan(ctx, r, p, p.inner, outerRow, 0, 0)
+			},
+		}
+	}
+	if p.filter != nil {
+		it = &filterIter{child: it, filter: p.filter, tables: p.tables}
+	}
+	return it, orderDone, nil
+}
+
+// scanSatisfiesOrder reports whether the streaming outer scan already
+// yields rows in the plan's ORDER BY order: single-table plans whose scan
+// is a PK-prefix scan (key order within the shard) or a full scan (the
+// cross-shard merge yields global primary-key order), with an ascending
+// ORDER BY that follows the primary key — columns bound by the equality
+// prefix are constant and may be skipped. When true, the sort is elided and
+// LIMIT terminates the scan early.
+func scanSatisfiesOrder(p *selectPlan) bool {
+	if p.inner != nil || p.grouped || len(p.orderBy) == 0 {
+		return false
+	}
+	s := p.outer
+	sch := s.tab.schema
+	var bound map[int]bool
+	switch s.kind {
+	case accessPoint:
+		return true // at most one row
+	case accessPKPrefix:
+		bound = make(map[int]bool, len(s.keyExprs))
+		for i := range s.keyExprs {
+			bound[sch.PK[i]] = true
+		}
+	case accessFull:
+	default:
+		return false
+	}
+	pos := 0
+	for _, o := range p.orderBy {
+		if o.Desc {
+			return false
+		}
+		cr, ok := o.Expr.(*ColRef)
+		if !ok {
+			return false
+		}
+		ti, ci, err := resolveCol(cr, p.tables)
+		if err != nil || ti != 0 {
+			return false
+		}
+		if bound[ci] {
+			continue // constant under the equality prefix
+		}
+		for pos < len(sch.PK) && bound[sch.PK[pos]] {
+			pos++
+		}
+		if pos >= len(sch.PK) || sch.PK[pos] != ci {
+			return false
+		}
+		pos++
+	}
+	return true
+}

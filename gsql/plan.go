@@ -53,6 +53,13 @@ type tableScan struct {
 	keyExprs []Expr
 	// index is the chosen index for accessIndex.
 	index string
+	// rangeCol is the column position (in the table's schema) the pushed
+	// range bounds apply to: the first key column after the bound equality
+	// prefix. -1 when no range is pushed. The bounds stay in the residual
+	// filter too, so dropping them at execution time is always safe.
+	rangeCol         int
+	rangeLo, rangeHi Expr
+	loExcl, hiExcl   bool
 }
 
 func (s *tableScan) describe() string {
@@ -69,6 +76,25 @@ func (s *tableScan) describe() string {
 			parts[i] = e.String()
 		}
 		sb.WriteString(" [" + strings.Join(parts, ", ") + "]")
+	}
+	if s.rangeLo != nil || s.rangeHi != nil {
+		col := s.tab.schema.Columns[s.rangeCol].Name
+		var parts []string
+		if s.rangeLo != nil {
+			op := ">="
+			if s.loExcl {
+				op = ">"
+			}
+			parts = append(parts, col+" "+op+" "+s.rangeLo.String())
+		}
+		if s.rangeHi != nil {
+			op := "<="
+			if s.hiExcl {
+				op = "<"
+			}
+			parts = append(parts, col+" "+op+" "+s.rangeHi.String())
+		}
+		sb.WriteString(" range (" + strings.Join(parts, ", ") + ")")
 	}
 	return sb.String()
 }
@@ -549,7 +575,8 @@ func extractEq(target *boundTable, targetIdx int, conjs []Expr, tables []*boundT
 }
 
 // chooseAccess picks the cheapest access path for one table given the
-// equality bindings available.
+// equality bindings available, then pushes any residual range on the next
+// key column into the scan's bounds.
 func chooseAccess(bt *boundTable, conjs []Expr, tables []*boundTable, outer *boundTable) *tableScan {
 	targetIdx := -1
 	for ti, t := range tables {
@@ -559,46 +586,57 @@ func chooseAccess(bt *boundTable, conjs []Expr, tables []*boundTable, outer *bou
 	}
 	eq := extractEq(bt, targetIdx, conjs, tables, outer)
 	sch := bt.schema
-
-	// Point get: every PK column bound.
-	if len(eq) > 0 {
-		full := true
-		keyExprs := make([]Expr, 0, len(sch.PK))
-		for _, pkCol := range sch.PK {
-			e, ok := eq[pkCol]
-			if !ok {
-				full = false
-				break
+	scan := func() *tableScan {
+		// Point get: every PK column bound.
+		if len(eq) > 0 {
+			full := true
+			keyExprs := make([]Expr, 0, len(sch.PK))
+			for _, pkCol := range sch.PK {
+				e, ok := eq[pkCol]
+				if !ok {
+					full = false
+					break
+				}
+				keyExprs = append(keyExprs, e)
 			}
-			keyExprs = append(keyExprs, e)
+			if full {
+				return &tableScan{tab: bt, kind: accessPoint, keyExprs: keyExprs, rangeCol: -1}
+			}
 		}
-		if full {
-			return &tableScan{tab: bt, kind: accessPoint, keyExprs: keyExprs}
-		}
-	}
 
-	// PK prefix: leading PK columns bound, covering the distribution column.
-	pkPrefix := prefixBound(sch.PK, eq)
-	pkCovers := coversShard(sch, sch.PK, pkPrefix)
-	if pkPrefix > 0 && pkCovers {
-		keyExprs := make([]Expr, pkPrefix)
-		for i := 0; i < pkPrefix; i++ {
-			keyExprs[i] = eq[sch.PK[i]]
+		// PK prefix: leading PK columns bound, covering the distribution
+		// column.
+		pkPrefix := prefixBound(sch.PK, eq)
+		pkCovers := coversShard(sch, sch.PK, pkPrefix)
+		if pkPrefix > 0 && pkCovers {
+			keyExprs := make([]Expr, pkPrefix)
+			for i := 0; i < pkPrefix; i++ {
+				keyExprs[i] = eq[sch.PK[i]]
+			}
+			pkScan := &tableScan{tab: bt, kind: accessPKPrefix, keyExprs: keyExprs, rangeCol: -1}
+			if pkPrefix < len(sch.PK) {
+				pkScan.rangeCol = sch.PK[pkPrefix]
+			}
+			// Prefer the longest usable index prefix if it binds more columns.
+			if name, cols := bestIndex(sch, eq, pkPrefix); name != "" {
+				return indexScanOf(bt, name, cols, eq)
+			}
+			return pkScan
 		}
-		pkScan := &tableScan{tab: bt, kind: accessPKPrefix, keyExprs: keyExprs}
-		// Prefer the longest usable index prefix if it binds more columns.
-		if name, cols := bestIndex(sch, eq, pkPrefix); name != "" {
+
+		// Secondary index with a usable (shard-covering) prefix.
+		if name, cols := bestIndex(sch, eq, 0); name != "" {
 			return indexScanOf(bt, name, cols, eq)
 		}
-		return pkScan
-	}
 
-	// Secondary index with a usable (shard-covering) prefix.
-	if name, cols := bestIndex(sch, eq, 0); name != "" {
-		return indexScanOf(bt, name, cols, eq)
+		// Full scan: a range on the leading PK column still narrows every
+		// shard's key range.
+		return &tableScan{tab: bt, kind: accessFull, rangeCol: sch.PK[0]}
+	}()
+	if scan.rangeCol >= 0 {
+		attachRange(scan, targetIdx, conjs, tables, outer)
 	}
-
-	return &tableScan{tab: bt, kind: accessFull}
+	return scan
 }
 
 func indexScanOf(bt *boundTable, name string, cols []int, eq map[int]Expr) *tableScan {
@@ -606,7 +644,88 @@ func indexScanOf(bt *boundTable, name string, cols []int, eq map[int]Expr) *tabl
 	for i, c := range cols {
 		keyExprs[i] = eq[c]
 	}
-	return &tableScan{tab: bt, kind: accessIndex, index: name, keyExprs: keyExprs}
+	s := &tableScan{tab: bt, kind: accessIndex, index: name, keyExprs: keyExprs, rangeCol: -1}
+	for _, ix := range bt.schema.Indexes {
+		if ix.Name == name && len(cols) < len(ix.Cols) {
+			s.rangeCol = ix.Cols[len(cols)]
+		}
+	}
+	return s
+}
+
+// attachRange extracts comparison conjuncts on scan.rangeCol whose value
+// side is constant (or, for join inners, references only the outer table)
+// and records them as pushed scan bounds. The conjuncts stay in the
+// residual filter, so this is purely an access-path narrowing.
+func attachRange(scan *tableScan, targetIdx int, conjs []Expr, tables []*boundTable, outer *boundTable) {
+	allowed := map[int]bool{}
+	if outer != nil {
+		for ti, bt := range tables {
+			if bt == outer {
+				allowed[ti] = true
+			}
+		}
+	}
+	isRangeCol := func(e Expr) bool {
+		cr, ok := e.(*ColRef)
+		if !ok {
+			return false
+		}
+		ti, ci, err := resolveCol(cr, tables)
+		return err == nil && ti == targetIdx && ci == scan.rangeCol
+	}
+	setLo := func(e Expr, excl bool) {
+		if scan.rangeLo == nil {
+			scan.rangeLo, scan.loExcl = e, excl
+		}
+	}
+	setHi := func(e Expr, excl bool) {
+		if scan.rangeHi == nil {
+			scan.rangeHi, scan.hiExcl = e, excl
+		}
+	}
+	for _, c := range conjs {
+		switch x := c.(type) {
+		case *BinaryExpr:
+			var op string
+			var val Expr
+			switch {
+			case isRangeCol(x.Left) && refsOnly(x.Right, tables, allowed):
+				op, val = x.Op, x.Right
+			case isRangeCol(x.Right) && refsOnly(x.Left, tables, allowed):
+				// Mirror the comparison so the column is on the left.
+				val = x.Left
+				switch x.Op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				default:
+					op = ""
+				}
+			}
+			switch op {
+			case ">":
+				setLo(val, true)
+			case ">=":
+				setLo(val, false)
+			case "<":
+				setHi(val, true)
+			case "<=":
+				setHi(val, false)
+			}
+		case *BetweenExpr:
+			if !x.Neg && isRangeCol(x.X) &&
+				refsOnly(x.Lo, tables, allowed) && refsOnly(x.Hi, tables, allowed) {
+				setLo(x.Lo, false)
+				setHi(x.Hi, false)
+			}
+		}
+	}
 }
 
 // prefixBound counts how many leading columns of key are bound in eq.

@@ -1,0 +1,278 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"time"
+
+	"globaldb/internal/datanode"
+	"globaldb/internal/storage/mvcc"
+)
+
+// KVCursor is a pull-based iterator over key/value pairs. Implementations
+// fetch lazily: no page is requested from a data node until Next demands it,
+// which is what lets LIMIT-style consumers terminate a scan after O(pages)
+// rather than O(table) work.
+type KVCursor interface {
+	// Next advances to the following pair, fetching a page if needed.
+	Next(ctx context.Context) bool
+	// KV returns the current pair (valid after a true Next).
+	KV() mvcc.KV
+	// Err returns the first error encountered, if any.
+	Err() error
+	// Close releases the cursor. It is safe to call multiple times.
+	Close()
+}
+
+// fetchPage retrieves one page starting at start: it returns the pairs, the
+// resume key, and whether the range may hold more. remaining is the total
+// row budget still wanted (<= 0 means unlimited); page is the requested
+// page size for this fetch (<= 0 lets the data node pick its default).
+type fetchPage func(ctx context.Context, start []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error)
+
+// ScanCursor streams one shard's key range as pages pulled on demand.
+//
+// Pages grow adaptively: the first page uses the caller's hint (cheap
+// time-to-first-row, little wasted prefetch when a LIMIT stops the scan),
+// and each following page quadruples up to the data node's default so deep
+// scans amortize WAN round trips.
+type ScanCursor struct {
+	fetch     fetchPage
+	next      []byte
+	remaining int // rows still wanted; < 0 means unlimited
+	pageSize  int // current page size; <= 0 lets the node pick
+	pageCap   int // growth ceiling
+	buf       []mvcc.KV
+	pos       int
+	cur       mvcc.KV
+	started   bool
+	more      bool
+	err       error
+	closed    bool
+}
+
+func newScanCursor(start []byte, limit, pageSize int, fetch fetchPage) *ScanCursor {
+	remaining := -1
+	if limit > 0 {
+		remaining = limit
+	}
+	cap := datanode.DefaultScanPageSize
+	if pageSize > cap {
+		cap = pageSize
+	}
+	return &ScanCursor{fetch: fetch, next: bytes.Clone(start), remaining: remaining,
+		pageSize: pageSize, pageCap: cap}
+}
+
+// Next implements KVCursor.
+func (c *ScanCursor) Next(ctx context.Context) bool {
+	if c.closed || c.err != nil || c.remaining == 0 {
+		return false
+	}
+	for c.pos >= len(c.buf) {
+		if c.started && !c.more {
+			return false
+		}
+		want := 0
+		if c.remaining > 0 {
+			want = c.remaining
+		}
+		kvs, next, more, err := c.fetch(ctx, c.next, want, c.pageSize)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.started = true
+		c.buf, c.pos = kvs, 0
+		c.next, c.more = next, more
+		if c.pageSize > 0 && c.pageSize < c.pageCap {
+			c.pageSize *= 4
+			if c.pageSize > c.pageCap {
+				c.pageSize = c.pageCap
+			}
+		}
+	}
+	c.cur = c.buf[c.pos]
+	c.pos++
+	if c.remaining > 0 {
+		c.remaining--
+	}
+	return true
+}
+
+// KV implements KVCursor.
+func (c *ScanCursor) KV() mvcc.KV { return c.cur }
+
+// Err implements KVCursor.
+func (c *ScanCursor) Err() error { return c.err }
+
+// Close implements KVCursor.
+func (c *ScanCursor) Close() { c.closed = true }
+
+// ScanCursor returns a lazy paged cursor over [start, end) on one shard's
+// primary at the transaction's snapshot, observing the transaction's own
+// writes. limit <= 0 means unlimited; pageSize <= 0 uses the data node's
+// default page size.
+func (t *Txn) ScanCursor(shard int, start, end []byte, limit, pageSize int) *ScanCursor {
+	return newScanCursor(start, limit, pageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+		if t.done {
+			return nil, nil, false, ErrTxnDone
+		}
+		t.cn.primaryReads.Add(1)
+		if tr := t.cn.placement; tr != nil {
+			tr.RecordRead(shard, t.cn.region)
+		}
+		return t.cn.client.ScanPage(ctx, t.cn.routing.Primary(shard), from, end, t.ts.Snap, remaining, page, t.id)
+	})
+}
+
+// ScanCursor returns a lazy paged cursor over [start, end) on one shard at
+// the query's snapshot, served by the skyline-selected node with a
+// per-page fallback to the primary when a replica fails mid-scan.
+func (r *ROTxn) ScanCursor(shard int, start, end []byte, limit, pageSize int) *ScanCursor {
+	return newScanCursor(start, limit, pageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+		node, replica, err := r.pick(shard)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		t0 := time.Now()
+		kvs, next, more, err := r.cn.client.ScanPage(ctx, node, from, end, r.snap, remaining, page, 0)
+		r.observe(node, replica, t0, err)
+		if err != nil && replica {
+			r.cn.primaryReads.Add(1)
+			return r.cn.client.ScanPage(ctx, r.cn.routing.Primary(shard), from, end, r.snap, remaining, page, 0)
+		}
+		return kvs, next, more, err
+	})
+}
+
+// MergedCursor merges several cursors into one stream in ascending key
+// order — the cross-shard merge that turns per-shard paged scans into a
+// single table-wide scan in primary-key order.
+type MergedCursor struct {
+	children []KVCursor
+	heads    []mvcc.KV
+	alive    []bool
+	inited   bool
+	cur      mvcc.KV
+	err      error
+}
+
+// MergeCursors combines cursors in ascending key order. The inputs must
+// each yield keys in ascending order (as ScanCursor does).
+func MergeCursors(children ...KVCursor) *MergedCursor {
+	return &MergedCursor{
+		children: children,
+		heads:    make([]mvcc.KV, len(children)),
+		alive:    make([]bool, len(children)),
+	}
+}
+
+func (m *MergedCursor) advance(ctx context.Context, i int) bool {
+	m.alive[i] = m.children[i].Next(ctx)
+	if m.alive[i] {
+		m.heads[i] = m.children[i].KV()
+		return true
+	}
+	if err := m.children[i].Err(); err != nil && m.err == nil {
+		m.err = err
+	}
+	return false
+}
+
+// Next implements KVCursor.
+func (m *MergedCursor) Next(ctx context.Context) bool {
+	if m.err != nil {
+		return false
+	}
+	if !m.inited {
+		m.inited = true
+		for i := range m.children {
+			m.advance(ctx, i)
+			if m.err != nil {
+				return false
+			}
+		}
+	}
+	best := -1
+	for i, ok := range m.alive {
+		if !ok {
+			continue
+		}
+		if best < 0 || bytes.Compare(m.heads[i].Key, m.heads[best].Key) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	m.cur = m.heads[best]
+	// Pre-fetch that child's next head; if it errors, the current pair is
+	// still valid and the error surfaces on the following Next.
+	m.advance(ctx, best)
+	return true
+}
+
+// KV implements KVCursor.
+func (m *MergedCursor) KV() mvcc.KV { return m.cur }
+
+// Err implements KVCursor.
+func (m *MergedCursor) Err() error { return m.err }
+
+// Close implements KVCursor.
+func (m *MergedCursor) Close() {
+	for _, c := range m.children {
+		c.Close()
+	}
+}
+
+// ChainedCursor concatenates cursors, draining each in turn — the legacy
+// shard-order traversal (shard 0's keys, then shard 1's, ...).
+type ChainedCursor struct {
+	children []KVCursor
+	i        int
+	cur      mvcc.KV
+	err      error
+}
+
+// ChainCursors concatenates cursors in the given order.
+func ChainCursors(children ...KVCursor) *ChainedCursor {
+	return &ChainedCursor{children: children}
+}
+
+// Next implements KVCursor.
+func (c *ChainedCursor) Next(ctx context.Context) bool {
+	if c.err != nil {
+		return false
+	}
+	for c.i < len(c.children) {
+		child := c.children[c.i]
+		if child.Next(ctx) {
+			c.cur = child.KV()
+			return true
+		}
+		if err := child.Err(); err != nil {
+			c.err = err
+			return false
+		}
+		c.i++
+	}
+	return false
+}
+
+// KV implements KVCursor.
+func (c *ChainedCursor) KV() mvcc.KV { return c.cur }
+
+// Err implements KVCursor.
+func (c *ChainedCursor) Err() error { return c.err }
+
+// Close implements KVCursor.
+func (c *ChainedCursor) Close() {
+	for _, child := range c.children {
+		child.Close()
+	}
+}
+
+// ScanRowsFetched reports the rows this CN has received in scan responses,
+// one layer above the storage engines' own RowsScanned counters.
+func (c *CN) ScanRowsFetched() int64 { return c.client.ScanRowsFetched() }

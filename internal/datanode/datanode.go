@@ -76,6 +76,23 @@ type (
 		KVs []mvcc.KV
 	}
 
+	// ScanPageReq is one page of a resumable range scan. MaxPage caps the
+	// page size (rows per response); the node clamps it to its own limit so
+	// a single RPC never ships an unbounded result over the WAN.
+	ScanPageReq struct {
+		Start, End []byte
+		SnapTS     ts.Timestamp
+		Limit      int // total rows the cursor still wants; <= 0 unlimited
+		MaxPage    int // rows per page; <= 0 uses DefaultScanPageSize
+		Txn        uint64
+	}
+	// ScanPageResp returns one page plus the resume position.
+	ScanPageResp struct {
+		KVs  []mvcc.KV
+		Next []byte // resume key for the following page (when More)
+		More bool   // whether the range may hold further rows
+	}
+
 	// PendingReq writes the PENDING COMMIT record before the commit
 	// timestamp fetch (Sec. IV-A).
 	PendingReq struct{ Txn uint64 }
@@ -130,6 +147,25 @@ type (
 
 // ErrBadRequest is returned for unknown payload types.
 var ErrBadRequest = errors.New("datanode: bad request payload")
+
+// DefaultScanPageSize is the page size used when a paged scan does not
+// request one. It models the RPC framing real systems use: a scan response
+// never exceeds this many rows, so large scans stream as multiple messages
+// instead of one unbounded transfer.
+const DefaultScanPageSize = 256
+
+// pageLimit clamps one page's row budget: the requested page size (or the
+// default), further capped by the cursor's remaining total limit.
+func pageLimit(limit, maxPage int) int {
+	page := maxPage
+	if page <= 0 {
+		page = DefaultScanPageSize
+	}
+	if limit > 0 && limit < page {
+		page = limit
+	}
+	return page
+}
 
 // Primary is a shard's read-write node.
 type Primary struct {
@@ -250,6 +286,14 @@ func (p *Primary) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 			return netsim.Message{}, err
 		}
 		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
+	case ScanPageReq:
+		kvs, next, more, err := p.store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
+			pageLimit(req.Limit, req.MaxPage), mvcc.TxnID(req.Txn))
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ScanPageResp{KVs: kvs, Next: next, More: more},
+			Size: scanSize(kvs) + len(next)}, nil
 	case PendingReq:
 		p.mu.Lock()
 		err := p.store.MarkPending(mvcc.TxnID(req.Txn))
@@ -458,6 +502,14 @@ func (r *Replica) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 			return netsim.Message{}, err
 		}
 		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
+	case ScanPageReq:
+		kvs, next, more, err := store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
+			pageLimit(req.Limit, req.MaxPage), 0)
+		if err != nil {
+			return netsim.Message{}, err
+		}
+		return netsim.Message{Payload: ScanPageResp{KVs: kvs, Next: next, More: more},
+			Size: scanSize(kvs) + len(next)}, nil
 	case StatusReq:
 		return netsim.Message{Payload: StatusResp{
 			LastCommitTS: r.applier.MaxCommitTS(),
@@ -471,8 +523,9 @@ func (r *Replica) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 
 // Client is a typed RPC client for data nodes, homed in a region.
 type Client struct {
-	net    *netsim.Network
-	region string
+	net      *netsim.Network
+	region   string
+	scanRows atomic.Int64 // rows received in scan responses (WAN-crossing rows)
 }
 
 // NewClient returns a client that calls from region.
@@ -517,8 +570,27 @@ func (c *Client) Scan(ctx context.Context, node string, start, end []byte, snap 
 	if err != nil {
 		return nil, err
 	}
-	return p.(ScanResp).KVs, nil
+	kvs := p.(ScanResp).KVs
+	c.scanRows.Add(int64(len(kvs)))
+	return kvs, nil
 }
+
+// ScanPage fetches one page of a resumable range scan.
+func (c *Client) ScanPage(ctx context.Context, node string, start, end []byte, snap ts.Timestamp,
+	limit, maxPage int, txn uint64) (kvs []mvcc.KV, next []byte, more bool, err error) {
+	p, err := c.call(ctx, node, ScanPageReq{Start: start, End: end, SnapTS: snap,
+		Limit: limit, MaxPage: maxPage, Txn: txn}, len(start)+len(end)+40)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	resp := p.(ScanPageResp)
+	c.scanRows.Add(int64(len(resp.KVs)))
+	return resp.KVs, resp.Next, resp.More, nil
+}
+
+// ScanRowsFetched reports the total rows this client has received in scan
+// responses — the rows that actually crossed the (simulated) network.
+func (c *Client) ScanRowsFetched() int64 { return c.scanRows.Load() }
 
 // Pending writes the PENDING COMMIT record for txn.
 func (c *Client) Pending(ctx context.Context, node string, txn uint64) error {

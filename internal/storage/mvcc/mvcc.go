@@ -121,6 +121,7 @@ type Store struct {
 	commits    atomic.Int64
 	aborts     atomic.Int64
 	waits      atomic.Int64 // reader waits on pending/prepared intents
+	scanRows   atomic.Int64 // visible pairs returned by Scan/ScanPage
 }
 
 // NewStore returns an empty store.
@@ -485,8 +486,20 @@ type KV struct {
 // inside the range block the scan until resolved, then the scan restarts so
 // the result is a consistent cut.
 func (s *Store) Scan(ctx context.Context, start, end []byte, snapTS ts.Timestamp, limit int, reader TxnID) ([]KV, error) {
+	kvs, _, _, err := s.ScanPage(ctx, start, end, snapTS, limit, reader)
+	return kvs, err
+}
+
+// ScanPage is the resumable form of Scan: it returns up to limit visible
+// pairs in [start, end) at snapTS, plus a resume key and whether the range
+// may hold further keys. When more is true, a follow-up ScanPage starting at
+// next continues exactly where this page stopped without rescanning — the
+// primitive the paged cursor pipeline is built on. Each page is a consistent
+// cut at snapTS; MVCC snapshot semantics make consecutive pages at the same
+// snapshot mutually consistent.
+func (s *Store) ScanPage(ctx context.Context, start, end []byte, snapTS ts.Timestamp, limit int, reader TxnID) (kvs []KV, next []byte, more bool, err error) {
 	for {
-		out, foreign, complete := s.scanOnce(start, end, snapTS, limit, reader)
+		out, foreign, last, truncated := s.scanOnce(start, end, snapTS, limit, reader)
 		// Validate foreign intents seen during the scan: any that is (or
 		// has become) pending/prepared — or resolved since — may have
 		// committed below our snapshot, so wait and restart. Intents still
@@ -506,19 +519,29 @@ func (s *Store) Scan(ctx context.Context, start, end []byte, snapTS ts.Timestamp
 			}
 		}
 		if wait == nil {
-			if !complete && limit > 0 && len(out) > limit {
-				out = out[:limit]
+			s.scanRows.Add(int64(len(out)))
+			if !truncated {
+				return out, nil, false, nil
 			}
-			return out, nil
+			// Resume at the immediate successor of the last visited key.
+			next = append(bytes.Clone(last), 0x00)
+			if end != nil && bytes.Compare(next, end) >= 0 {
+				return out, nil, false, nil
+			}
+			return out, next, true, nil
 		}
 		s.waits.Add(1)
 		select {
 		case <-wait:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, false, ctx.Err()
 		}
 	}
 }
+
+// RowsScanned reports the total visible pairs returned by scans, for
+// measuring how many rows each layer of the scan pipeline actually fetched.
+func (s *Store) RowsScanned() int64 { return s.scanRows.Load() }
 
 var closedCh = func() chan struct{} {
 	ch := make(chan struct{})
@@ -526,14 +549,15 @@ var closedCh = func() chan struct{} {
 	return ch
 }()
 
-// scanOnce walks the range, returning visible pairs and the distinct
-// foreign transactions whose intents were encountered.
-func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, reader TxnID) (out []KV, foreign []TxnID, complete bool) {
+// scanOnce walks the range, returning visible pairs, the distinct foreign
+// transactions whose intents were encountered, the last key visited, and
+// whether the walk stopped early at the limit.
+func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, reader TxnID) (out []KV, foreign []TxnID, last []byte, truncated bool) {
 	seen := map[TxnID]bool{}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	complete = true
 	s.data.AscendRange(start, end, func(key []byte, c *chain) bool {
+		last = key
 		it, versions := c.snapshot()
 		if it != nil {
 			if reader != 0 && it.txn == reader {
@@ -541,7 +565,7 @@ func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, read
 					out = append(out, KV{Key: bytes.Clone(key), Value: bytes.Clone(it.value)})
 				}
 				if limit > 0 && len(out) >= limit {
-					complete = false
+					truncated = true
 					return false
 				}
 				return true
@@ -555,12 +579,12 @@ func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, read
 			out = append(out, KV{Key: bytes.Clone(key), Value: v.Value})
 		}
 		if limit > 0 && len(out) >= limit {
-			complete = false
+			truncated = true
 			return false
 		}
 		return true
 	})
-	return out, foreign, complete
+	return out, foreign, last, truncated
 }
 
 // ApplyCommitted installs an already-committed version directly, bypassing
@@ -612,6 +636,7 @@ type Stats struct {
 	Commits     int64
 	Aborts      int64
 	ReaderWaits int64
+	RowsScanned int64
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -628,6 +653,7 @@ func (s *Store) Stats() Stats {
 		Commits:     s.commits.Load(),
 		Aborts:      s.aborts.Load(),
 		ReaderWaits: s.waits.Load(),
+		RowsScanned: s.scanRows.Load(),
 	}
 }
 

@@ -1,0 +1,163 @@
+package mvcc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"globaldb/internal/ts"
+)
+
+// loadSeq commits n keys k000..k(n-1) with values equal to their keys.
+func loadSeq(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		s.ApplyCommitted(k, k, false, ts.Timestamp(10+i))
+	}
+}
+
+func TestScanPageResume(t *testing.T) {
+	s := NewStore()
+	loadSeq(t, s, 25)
+	snap := ts.Timestamp(1000)
+
+	var all []KV
+	start := []byte("k")
+	end := []byte("l")
+	pages := 0
+	for {
+		kvs, next, more, err := s.ScanPage(context.Background(), start, end, snap, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, kvs...)
+		pages++
+		if !more {
+			break
+		}
+		if next == nil {
+			t.Fatal("more=true but next=nil")
+		}
+		start = next
+	}
+	if len(all) != 25 {
+		t.Fatalf("paged scan returned %d rows, want 25", len(all))
+	}
+	if pages < 4 {
+		t.Fatalf("expected >= 4 pages of 7, got %d", pages)
+	}
+	for i, kv := range all {
+		want := fmt.Sprintf("k%03d", i)
+		if string(kv.Key) != want {
+			t.Fatalf("row %d: key %q, want %q", i, kv.Key, want)
+		}
+	}
+
+	// The paged walk must agree with a single unlimited scan.
+	whole, err := s.Scan(context.Background(), []byte("k"), []byte("l"), snap, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != len(all) {
+		t.Fatalf("whole scan %d rows vs paged %d", len(whole), len(all))
+	}
+	for i := range whole {
+		if !bytes.Equal(whole[i].Key, all[i].Key) || !bytes.Equal(whole[i].Value, all[i].Value) {
+			t.Fatalf("row %d differs between whole and paged scan", i)
+		}
+	}
+}
+
+func TestScanPageExhaustedRange(t *testing.T) {
+	s := NewStore()
+	loadSeq(t, s, 5)
+	// Truncated exactly at the last key whose successor equals the range
+	// end: the store knows nothing can follow, so more must be false.
+	kvs, next, more, err := s.ScanPage(context.Background(), []byte("k000"), []byte("k003\x00"), ts.Timestamp(1000), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 4 {
+		t.Fatalf("rows = %d, want 4", len(kvs))
+	}
+	if more || next != nil {
+		t.Fatalf("more=%v next=%q, want no continuation past the range end", more, next)
+	}
+	// Truncated mid-range with nothing actually left: the cursor cannot know
+	// without peeking, so it reports more=true and the follow-up page is the
+	// empty terminal page.
+	kvs, next, more, err = s.ScanPage(context.Background(), []byte("k000"), []byte("k004"), ts.Timestamp(1000), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 4 || !more {
+		t.Fatalf("rows=%d more=%v, want 4 rows with a continuation", len(kvs), more)
+	}
+	rest, _, more2, err := s.ScanPage(context.Background(), next, []byte("k004"), ts.Timestamp(1000), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || more2 {
+		t.Fatalf("terminal page: %d rows more=%v", len(rest), more2)
+	}
+}
+
+func TestScanPageSkipsDeletedAndCountsRows(t *testing.T) {
+	s := NewStore()
+	loadSeq(t, s, 10)
+	s.ApplyCommitted([]byte("k003"), nil, true, ts.Timestamp(500))
+	before := s.RowsScanned()
+	kvs, next, more, err := s.ScanPage(context.Background(), []byte("k"), []byte("l"), ts.Timestamp(1000), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 5 {
+		t.Fatalf("rows = %d, want 5", len(kvs))
+	}
+	// k003 is deleted, so the 5th visible row is k005.
+	if string(kvs[4].Key) != "k005" {
+		t.Fatalf("5th row = %q, want k005", kvs[4].Key)
+	}
+	if !more || string(next) != "k005\x00" {
+		t.Fatalf("next = %q more=%v", next, more)
+	}
+	if got := s.RowsScanned() - before; got != 5 {
+		t.Fatalf("RowsScanned delta = %d, want 5", got)
+	}
+	// Resuming covers the remainder exactly once.
+	rest, _, more2, err := s.ScanPage(context.Background(), next, []byte("l"), ts.Timestamp(1000), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more2 || len(rest) != 4 || string(rest[0].Key) != "k006" {
+		t.Fatalf("rest = %d rows starting %q more=%v", len(rest), rest[0].Key, more2)
+	}
+}
+
+func TestScanPageReadsOwnIntents(t *testing.T) {
+	s := NewStore()
+	loadSeq(t, s, 4)
+	const me = TxnID(42)
+	if err := s.Put(me, []byte("k001x"), []byte("mine"), ts.Timestamp(1000)); err != nil {
+		t.Fatal(err)
+	}
+	kvs, next, more, err := s.ScanPage(context.Background(), []byte("k"), []byte("l"), ts.Timestamp(1000), 3, me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 || string(kvs[2].Key) != "k001x" || string(kvs[2].Value) != "mine" {
+		t.Fatalf("own intent missing from page: %v", kvs)
+	}
+	if !more {
+		t.Fatal("expected continuation")
+	}
+	rest, _, _, err := s.ScanPage(context.Background(), next, []byte("l"), ts.Timestamp(1000), 0, me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || string(rest[0].Key) != "k002" {
+		t.Fatalf("rest = %v", rest)
+	}
+}

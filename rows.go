@@ -1,0 +1,344 @@
+package globaldb
+
+import (
+	"context"
+	"fmt"
+
+	"globaldb/internal/coordinator"
+	"globaldb/internal/datanode"
+	"globaldb/internal/keys"
+	"globaldb/internal/storage/mvcc"
+	"globaldb/internal/table"
+)
+
+// DefaultScanPageSize is the rows-per-RPC page size streaming scans use
+// when ScanOpts.PageSize is unset.
+const DefaultScanPageSize = datanode.DefaultScanPageSize
+
+// ScanRange bounds the first key column after a scan's equality prefix: for
+// a PK scan over prefix (w_id), the range applies to the next PK column;
+// for an index scan, to the next index column; for a table scan, to the
+// leading PK column. A nil Lo or Hi leaves that side unbounded. Values must
+// match the column's kind (the same values Get and ScanPK accept).
+type ScanRange struct {
+	// Lo is the lower bound (inclusive unless LoExcl).
+	Lo any
+	// Hi is the upper bound (inclusive unless HiExcl).
+	Hi any
+	// LoExcl makes Lo exclusive.
+	LoExcl bool
+	// HiExcl makes Hi exclusive.
+	HiExcl bool
+}
+
+// ScanOpts tunes a streaming scan.
+type ScanOpts struct {
+	// Limit caps the total rows yielded; <= 0 means unlimited.
+	Limit int
+	// PageSize is the rows fetched by the first storage RPC; <= 0 uses
+	// DefaultScanPageSize. Smaller first pages cut time-to-first-row and
+	// wasted prefetch when a LIMIT stops the scan early; follow-up pages
+	// grow adaptively toward DefaultScanPageSize to amortize WAN round
+	// trips on deep scans.
+	PageSize int
+	// Range optionally bounds the first key column after the equality
+	// prefix, narrowing the scanned key range inside storage.
+	Range *ScanRange
+}
+
+// Rows is a streaming scan result. Next advances to the following row,
+// fetching storage pages lazily; Row returns the current row; Err reports
+// the first error; Close releases the cursor. A Rows must be closed (Close
+// is idempotent, and draining to exhaustion also suffices).
+type Rows struct {
+	ctx       context.Context
+	sch       *table.Schema
+	cur       coordinator.KVCursor
+	resolve   func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+	remaining int // rows still to yield; < 0 means unlimited
+	row       Row
+	err       error
+	closed    bool
+}
+
+func newRows(ctx context.Context, sch *table.Schema, cur coordinator.KVCursor, limit int,
+	resolve func(ctx context.Context, kv mvcc.KV) (Row, bool, error)) *Rows {
+	remaining := -1
+	if limit > 0 {
+		remaining = limit
+	}
+	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: resolve, remaining: remaining}
+}
+
+// Next advances to the next row, returning false at the end of the scan or
+// on error (check Err afterwards).
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil || r.remaining == 0 {
+		return false
+	}
+	for r.cur.Next(r.ctx) {
+		kv := r.cur.KV()
+		if r.resolve != nil {
+			row, ok, err := r.resolve(r.ctx, kv)
+			if err != nil {
+				r.err = err
+				return false
+			}
+			if !ok {
+				continue // row deleted with a stale index entry in-flight
+			}
+			r.row = row
+		} else {
+			row, err := r.sch.DecodeRow(kv.Value)
+			if err != nil {
+				r.err = err
+				return false
+			}
+			r.row = row
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		return true
+	}
+	r.err = r.cur.Err()
+	return false
+}
+
+// Row returns the current row. It is valid after a Next that returned true
+// and until the following Next call.
+func (r *Rows) Row() Row { return r.row }
+
+// Err returns the first error encountered while scanning, or nil.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the underlying cursor. Idempotent.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.cur.Close()
+	}
+	return nil
+}
+
+// drainRows materializes an iterator — the legacy scan methods' shape.
+func drainRows(r *Rows) ([]Row, error) {
+	defer r.Close()
+	out := make([]Row, 0, 16)
+	for r.Next() {
+		out = append(out, r.Row())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// applyRange narrows [start, end) with a ScanRange. encodeNext encodes the
+// scan prefix extended with one more column value.
+func applyRange(start, end []byte, rng *ScanRange, encodeNext func(v any) ([]byte, error)) ([]byte, []byte, error) {
+	if rng == nil {
+		return start, end, nil
+	}
+	if rng.Lo != nil {
+		b, err := encodeNext(rng.Lo)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rng.LoExcl {
+			// Skip every key whose next column equals Lo.
+			b = keys.PrefixEnd(b)
+		}
+		if b != nil && keys.Compare(b, start) > 0 {
+			start = b
+		}
+	}
+	if rng.Hi != nil {
+		b, err := encodeNext(rng.Hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !rng.HiExcl {
+			// Include every key whose next column equals Hi.
+			b = keys.PrefixEnd(b)
+		}
+		if b != nil && (end == nil || keys.Compare(b, end) < 0) {
+			end = b
+		}
+	}
+	return start, end, nil
+}
+
+// extendPrefix returns a copy of prefix with v appended (never aliasing the
+// caller's backing array).
+func extendPrefix(prefix []any, v any) []any {
+	out := make([]any, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	return append(out, v)
+}
+
+// pkRowsSpec resolves everything a streaming PK scan needs.
+func pkRowsSpec(db *DB, sch *Schema, pkPrefix []any, o ScanOpts) (start, end []byte, shard int, err error) {
+	start, end, shard, err = pkScanBounds(db, sch, pkPrefix)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if o.Range != nil && len(pkPrefix) >= len(sch.PK) {
+		return nil, nil, 0, fmt.Errorf("globaldb: range scan on %s needs an unbound PK column after the prefix", sch.Name)
+	}
+	start, end, err = applyRange(start, end, o.Range, func(v any) ([]byte, error) {
+		return sch.PrimaryKeyPrefix(extendPrefix(pkPrefix, v))
+	})
+	return start, end, shard, err
+}
+
+// indexRowsSpec resolves everything a streaming index scan needs.
+func indexRowsSpec(s *Session, tableName, indexName string, prefix []any, o ScanOpts) (sch *Schema, start, end []byte, shard int, err error) {
+	sch, ix, err := indexOf(s, tableName, indexName)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	start, end, shard, err = indexScanBounds(s.db, sch, ix, prefix)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if o.Range != nil && len(prefix) >= len(ix.Cols) {
+		return nil, nil, nil, 0, fmt.Errorf("globaldb: range scan on %s.%s needs an unbound index column after the prefix", sch.Name, ix.Name)
+	}
+	start, end, err = applyRange(start, end, o.Range, func(v any) ([]byte, error) {
+		return sch.IndexPrefix(ix, extendPrefix(prefix, v))
+	})
+	return sch, start, end, shard, err
+}
+
+// tableRowsBounds resolves the per-shard key range of a streaming full
+// table scan, with an optional range on the leading PK column.
+func tableRowsBounds(sch *Schema, o ScanOpts) (start, end []byte, err error) {
+	start = sch.TablePrefix()
+	end = keys.PrefixEnd(start)
+	return applyRange(start, end, o.Range, func(v any) ([]byte, error) {
+		return sch.PrimaryKeyPrefix([]any{v})
+	})
+}
+
+// ScanPKRows streams rows whose primary key starts with pkPrefix, in key
+// order, pulling pages from the shard primary on demand. The prefix must
+// include the distribution column so the scan is single-shard.
+func (tx *Tx) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, o ScanOpts) (*Rows, error) {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := pkRowsSpec(tx.sess.db, sch, pkPrefix, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	return newRows(ctx, sch, cur, o.Limit, nil), nil
+}
+
+// ScanIndexRows streams rows matched by a secondary-index prefix, resolving
+// each index entry to its row with a primary-key lookup on the same shard.
+func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, prefix []any, o ScanOpts) (*Rows, error) {
+	sch, start, end, shard, err := indexRowsSpec(tx.sess, tableName, indexName, prefix, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
+		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
+		if err != nil || !found {
+			return nil, false, err
+		}
+		r, err := sch.DecodeRow(v)
+		return r, err == nil, err
+	}
+	return newRows(ctx, sch, cur, o.Limit, resolve), nil
+}
+
+// ScanTableRows streams every row of a table, merging per-shard paged
+// cursors so rows arrive in global primary-key order (unlike the legacy
+// ScanTable, which concatenates shards).
+func (tx *Tx) ScanTableRows(ctx context.Context, tableName string, o ScanOpts) (*Rows, error) {
+	return tx.tableRows(ctx, tableName, o, true)
+}
+
+func (tx *Tx) tableRows(ctx context.Context, tableName string, o ScanOpts, keyOrder bool) (*Rows, error) {
+	sch, err := tx.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, err := tableRowsBounds(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	curs := make([]coordinator.KVCursor, 0, tx.sess.db.c.Shards())
+	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
+		curs = append(curs, tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize))
+	}
+	return newRows(ctx, sch, combineCursors(curs, keyOrder), o.Limit, nil), nil
+}
+
+// ScanPKRows streams rows by primary-key prefix at the query's snapshot.
+func (q *Query) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, o ScanOpts) (*Rows, error) {
+	sch, err := q.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, shard, err := pkRowsSpec(q.sess.db, sch, pkPrefix, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	return newRows(ctx, sch, cur, o.Limit, nil), nil
+}
+
+// ScanIndexRows streams rows matched by a secondary-index prefix.
+func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, prefix []any, o ScanOpts) (*Rows, error) {
+	sch, start, end, shard, err := indexRowsSpec(q.sess, tableName, indexName, prefix, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
+		v, found, err := q.ro.Get(ctx, shard, kv.Value)
+		if err != nil || !found {
+			return nil, false, err
+		}
+		r, err := sch.DecodeRow(v)
+		return r, err == nil, err
+	}
+	return newRows(ctx, sch, cur, o.Limit, resolve), nil
+}
+
+// ScanTableRows streams every row of a table in global primary-key order at
+// the query's snapshot.
+func (q *Query) ScanTableRows(ctx context.Context, tableName string, o ScanOpts) (*Rows, error) {
+	return q.tableRows(ctx, tableName, o, true)
+}
+
+func (q *Query) tableRows(ctx context.Context, tableName string, o ScanOpts, keyOrder bool) (*Rows, error) {
+	sch, err := q.sess.schemaOf(tableName)
+	if err != nil {
+		return nil, err
+	}
+	start, end, err := tableRowsBounds(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	curs := make([]coordinator.KVCursor, 0, q.sess.db.c.Shards())
+	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
+		curs = append(curs, q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize))
+	}
+	return newRows(ctx, sch, combineCursors(curs, keyOrder), o.Limit, nil), nil
+}
+
+func combineCursors(curs []coordinator.KVCursor, keyOrder bool) coordinator.KVCursor {
+	if len(curs) == 1 {
+		return curs[0]
+	}
+	if keyOrder {
+		return coordinator.MergeCursors(curs...)
+	}
+	return coordinator.ChainCursors(curs...)
+}
