@@ -6,8 +6,11 @@
 //
 // Usage:
 //
-//	gsql [-topology three-city|one-region] [-region xian] [-timescale 0.05]
+//	gsql [-topology three-city|one-region] [-region xian] [-timescale 0.05] [-staleness any|50ms]
 //
+// Statement boundaries are detected with the gsql lexer (a ';' inside a
+// string literal does not end a statement), and buffers are executed with
+// gsql.Session.ExecScript, so the REPL and the library parse identically.
 // Statements end with ';'. Try:
 //
 //	CREATE TABLE kv (k BIGINT, v TEXT, PRIMARY KEY (k));
@@ -36,6 +39,7 @@ func main() {
 	region := flag.String("region", "", "home region for the session (default: first region)")
 	timescale := flag.Float64("timescale", 0.05, "network time scale (1.0 = real WAN latencies)")
 	rtt := flag.Duration("rtt", 10*time.Millisecond, "injected RTT for the one-region topology")
+	staleness := flag.String("staleness", "", "session staleness: none (primary reads), any, or a duration like 50ms")
 	flag.Parse()
 
 	var cfg globaldb.Config
@@ -66,12 +70,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "connect:", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
+	if *staleness != "" && *staleness != "none" {
+		if _, err := sess.Exec(ctx, fmt.Sprintf("SET STALENESS = '%s'", *staleness)); err != nil {
+			// ANY is a keyword value, not a duration string.
+			if _, err2 := sess.Exec(ctx, "SET STALENESS = "+*staleness); err2 != nil {
+				fmt.Fprintln(os.Stderr, "staleness:", err)
+				os.Exit(2)
+			}
+		}
+	}
 
 	fmt.Printf("GlobalDB SQL shell — %s topology, session homed in %s (mode %v)\n",
 		*topology, home, db.Mode())
 	fmt.Println(`Statements end with ';'. Type \q to quit.`)
 
-	ctx := context.Background()
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -91,7 +104,7 @@ func main() {
 		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
-		if strings.Contains(line, ";") {
+		if gsql.StatementsComplete(buf.String()) {
 			start := time.Now()
 			res, err := sess.ExecScript(ctx, buf.String())
 			buf.Reset()

@@ -1,0 +1,285 @@
+package driver
+
+import (
+	"context"
+	sqldriver "database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+
+	"globaldb/gsql"
+)
+
+// conn is one database/sql connection: a gsql session with its DDL-aware
+// plan cache. database/sql serializes calls per connection, matching the
+// session's no-concurrency contract.
+type conn struct {
+	sess *gsql.Session
+}
+
+var (
+	_ sqldriver.Conn               = (*conn)(nil)
+	_ sqldriver.ConnPrepareContext = (*conn)(nil)
+	_ sqldriver.ConnBeginTx        = (*conn)(nil)
+	_ sqldriver.ExecerContext      = (*conn)(nil)
+	_ sqldriver.QueryerContext     = (*conn)(nil)
+	_ sqldriver.Pinger             = (*conn)(nil)
+	_ sqldriver.SessionResetter    = (*conn)(nil)
+)
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext parses and plans the statement once; executions bind
+// fresh parameters against the cached plan.
+func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	st, err := c.sess.Prepare(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, st: st}, nil
+}
+
+// Close abandons the connection, rolling back any open transaction.
+func (c *conn) Close() error {
+	if c.sess.InTxn() {
+		_, err := c.sess.ExecStmt(context.Background(), &gsql.Rollback{})
+		return err
+	}
+	return nil
+}
+
+// Begin implements driver.Conn.
+func (c *conn) Begin() (sqldriver.Tx, error) {
+	return c.BeginTx(context.Background(), sqldriver.TxOptions{})
+}
+
+// BeginTx starts an explicit transaction. GlobalDB runs snapshot-isolated
+// read-write transactions only, so a requested isolation level or
+// read-only mode is rejected rather than silently weakened (read-only
+// work belongs on the replica-read path: a staleness-configured
+// connection, no explicit transaction).
+func (c *conn) BeginTx(ctx context.Context, opts sqldriver.TxOptions) (sqldriver.Tx, error) {
+	if sqldriver.IsolationLevel(0) != opts.Isolation {
+		return nil, fmt.Errorf("globaldb driver: only the default isolation level is supported")
+	}
+	if opts.ReadOnly {
+		return nil, fmt.Errorf("globaldb driver: read-only transactions are not supported; use a staleness-configured connection for replica reads")
+	}
+	if _, err := c.sess.ExecStmt(ctx, &gsql.Begin{}); err != nil {
+		return nil, err
+	}
+	return &tx{conn: c}, nil
+}
+
+// ExecContext runs a statement without preparing it first; the session
+// plan cache still avoids re-parsing repeated texts.
+func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Exec(ctx, query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(res.Affected)}, nil
+}
+
+// QueryContext streams a SELECT's rows; non-SELECT statements that return
+// rows (SHOW, EXPLAIN) fall back to their materialized result.
+func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.sess.Query(ctx, query, vals...)
+	if errors.Is(err, gsql.ErrNotSelect) {
+		res, err := c.sess.Exec(ctx, query, vals...)
+		if err != nil {
+			return nil, err
+		}
+		return &resultRows{cols: res.Columns, rows: res.Rows}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &streamRows{r: r}, nil
+}
+
+// Ping verifies the session's computing node is still reachable with a
+// trivial read-only statement.
+func (c *conn) Ping(ctx context.Context) error {
+	_, err := c.sess.Exec(ctx, "SHOW REGIONS")
+	return err
+}
+
+// ResetSession readies a pooled connection for reuse, rolling back a
+// transaction a previous user abandoned.
+func (c *conn) ResetSession(ctx context.Context) error {
+	if c.sess.InTxn() {
+		_, err := c.sess.ExecStmt(ctx, &gsql.Rollback{})
+		return err
+	}
+	return nil
+}
+
+// namedValues converts database/sql's argument form into plain values.
+// Positional arguments only: GlobalDB's placeholders are `?`/`$n`.
+func namedValues(args []sqldriver.NamedValue) ([]any, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]any, len(args))
+	for _, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("globaldb driver: named parameter %q is not supported; use positional '?' or '$n'", a.Name)
+		}
+		if a.Ordinal < 1 || a.Ordinal > len(args) {
+			return nil, fmt.Errorf("globaldb driver: parameter ordinal %d out of range", a.Ordinal)
+		}
+		out[a.Ordinal-1] = a.Value
+	}
+	return out, nil
+}
+
+// stmt is a prepared statement bound to one connection.
+type stmt struct {
+	conn *conn
+	st   *gsql.Stmt
+}
+
+var (
+	_ sqldriver.Stmt             = (*stmt)(nil)
+	_ sqldriver.StmtExecContext  = (*stmt)(nil)
+	_ sqldriver.StmtQueryContext = (*stmt)(nil)
+)
+
+func (s *stmt) Close() error { return s.st.Close() }
+
+// NumInput reports the statement's placeholder count so database/sql can
+// enforce argument arity before reaching the engine.
+func (s *stmt) NumInput() int { return s.st.NumParams() }
+
+func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	return s.ExecContext(context.Background(), plainValues(args))
+}
+
+func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	return s.QueryContext(context.Background(), plainValues(args))
+}
+
+func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.st.Exec(ctx, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(res.Affected)}, nil
+}
+
+func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.st.Query(ctx, vals...)
+	if errors.Is(err, gsql.ErrNotSelect) {
+		res, err := s.st.Exec(ctx, vals...)
+		if err != nil {
+			return nil, err
+		}
+		return &resultRows{cols: res.Columns, rows: res.Rows}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &streamRows{r: r}, nil
+}
+
+// plainValues adapts the legacy driver.Value argument form.
+func plainValues(args []sqldriver.Value) []sqldriver.NamedValue {
+	out := make([]sqldriver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = sqldriver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}
+
+// tx adapts the session's explicit transaction to driver.Tx.
+type tx struct {
+	conn *conn
+}
+
+func (t *tx) Commit() error {
+	_, err := t.conn.sess.ExecStmt(context.Background(), &gsql.Commit{})
+	return err
+}
+
+func (t *tx) Rollback() error {
+	_, err := t.conn.sess.ExecStmt(context.Background(), &gsql.Rollback{})
+	return err
+}
+
+// result reports rows affected. GlobalDB has no auto-increment keys, so
+// LastInsertId is unsupported.
+type result struct {
+	affected int64
+}
+
+func (r result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("globaldb driver: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) { return r.affected, nil }
+
+// streamRows surfaces a streaming gsql result: each Next pulls from the
+// volcano pipeline, which pulls storage pages across the simulated WAN on
+// demand — closing early stops the scans mid-table.
+type streamRows struct {
+	r *gsql.Rows
+}
+
+func (r *streamRows) Columns() []string { return r.r.Columns() }
+
+func (r *streamRows) Close() error { return r.r.Close() }
+
+func (r *streamRows) Next(dest []sqldriver.Value) error {
+	if !r.r.Next() {
+		if err := r.r.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	for i, v := range r.r.Row() {
+		dest[i] = v
+	}
+	return nil
+}
+
+// resultRows surfaces an already-materialized result (SHOW, EXPLAIN).
+type resultRows struct {
+	cols []string
+	rows [][]any
+	i    int
+}
+
+func (r *resultRows) Columns() []string { return r.cols }
+
+func (r *resultRows) Close() error { return nil }
+
+func (r *resultRows) Next(dest []sqldriver.Value) error {
+	if r.i >= len(r.rows) {
+		return io.EOF
+	}
+	for j, v := range r.rows[r.i] {
+		dest[j] = v
+	}
+	r.i++
+	return nil
+}

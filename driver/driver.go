@@ -1,0 +1,174 @@
+// Package driver implements a database/sql/driver for GlobalDB, making the
+// idiomatic Go database surface the front door to the cluster: standard
+// connections, parameterized prepared statements whose plans are cached in
+// the SQL layer, context-aware queries, transactions, and result rows that
+// stream off the paged scan pipeline instead of materializing.
+//
+// A GlobalDB cluster is an in-process object, so the driver connects in one
+// of two ways. With a *globaldb.DB in hand, build a connector directly:
+//
+//	db, _ := globaldb.Open(globaldb.ThreeCity())
+//	sqldb := sql.OpenDB(driver.NewConnector(db, driver.Config{Region: "xian"}))
+//
+// Or register the cluster under a name and use a DSN with sql.Open:
+//
+//	driver.Register("prod", db)
+//	sqldb, _ := sql.Open("globaldb", "prod?region=dongguan&staleness=50ms")
+//
+// The DSN (and Config) carry the connection's home region and its replica
+// staleness bound. `staleness=any` routes out-of-transaction SELECTs to
+// asynchronous replicas at the RCP with no freshness bound; a duration like
+// `staleness=50ms` bounds how stale those reads may be; omitting it reads
+// shard primaries. `SET STALENESS` works per connection at runtime too.
+//
+// Every connection owns one gsql session, so prepared statements get the
+// session's DDL-aware plan cache: executing a prepared statement re-parses
+// nothing, and a CREATE/DROP TABLE between executions replans transparently.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"globaldb"
+	"globaldb/gsql"
+)
+
+func init() { sql.Register("globaldb", Driver{}) }
+
+// Config tunes the connections a Connector produces.
+type Config struct {
+	// Region is the home region of the session (the computing node the
+	// connection talks to). Empty selects the cluster's first region.
+	Region string
+	// ReplicaReads routes out-of-transaction SELECTs to asynchronous
+	// replicas at the RCP with no freshness bound (SET STALENESS = ANY).
+	ReplicaReads bool
+	// Staleness bounds replica reads: at most this far behind the
+	// primaries. A positive value implies ReplicaReads.
+	Staleness time.Duration
+}
+
+// registry maps DSN cluster names to open DBs.
+var registry sync.Map // string -> *globaldb.DB
+
+// Register makes an open cluster reachable through sql.Open under the
+// given name: sql.Open("globaldb", name+"?region=..."). Registering the
+// same name again replaces the previous cluster.
+func Register(name string, db *globaldb.DB) { registry.Store(name, db) }
+
+// Unregister removes a named cluster.
+func Unregister(name string) { registry.Delete(name) }
+
+// Driver is the database/sql/driver entry point, registered as "globaldb".
+type Driver struct{}
+
+// Open connects using a DSN: "name?region=xian&staleness=50ms" where name
+// was previously passed to Register.
+func (d Driver) Open(dsn string) (sqldriver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector parses the DSN once and returns a reusable connector.
+func (d Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	name, cfg, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := registry.Load(name)
+	if !ok {
+		return nil, fmt.Errorf("globaldb driver: no cluster registered as %q (call driver.Register)", name)
+	}
+	return NewConnector(v.(*globaldb.DB), cfg), nil
+}
+
+// parseDSN splits "name?opts" and decodes the option query string.
+func parseDSN(dsn string) (name string, cfg Config, err error) {
+	name, query, _ := strings.Cut(dsn, "?")
+	if name == "" {
+		return "", cfg, fmt.Errorf("globaldb driver: DSN %q names no cluster", dsn)
+	}
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return "", cfg, fmt.Errorf("globaldb driver: bad DSN options %q: %v", query, err)
+	}
+	for key, vv := range vals {
+		v := vv[len(vv)-1]
+		switch key {
+		case "region":
+			cfg.Region = v
+		case "staleness":
+			switch strings.ToLower(v) {
+			case "none", "":
+				// primary reads, the default
+			case "any":
+				cfg.ReplicaReads = true
+			default:
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return "", cfg, fmt.Errorf("globaldb driver: bad staleness %q", v)
+				}
+				cfg.ReplicaReads = true
+				cfg.Staleness = d
+			}
+		default:
+			return "", cfg, fmt.Errorf("globaldb driver: unknown DSN option %q", key)
+		}
+	}
+	return name, cfg, nil
+}
+
+// Connector produces connections to one cluster with a fixed Config. Use
+// with sql.OpenDB.
+type Connector struct {
+	db  *globaldb.DB
+	cfg Config
+}
+
+// NewConnector wires an open cluster to database/sql:
+// sql.OpenDB(NewConnector(db, cfg)).
+func NewConnector(db *globaldb.DB, cfg Config) *Connector {
+	return &Connector{db: db, cfg: cfg}
+}
+
+// Connect opens one connection: a gsql session homed at the configured
+// region, with the configured staleness applied.
+func (c *Connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	region := c.cfg.Region
+	if region == "" {
+		regions := c.db.Regions()
+		if len(regions) == 0 {
+			return nil, fmt.Errorf("globaldb driver: cluster has no regions")
+		}
+		region = regions[0]
+	}
+	sess, err := gsql.Connect(c.db, region)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.ReplicaReads || c.cfg.Staleness > 0 {
+		set := &gsql.SetStaleness{Any: c.cfg.Staleness <= 0, Bound: c.cfg.Staleness}
+		if _, err := sess.ExecStmt(ctx, set); err != nil {
+			return nil, err
+		}
+	}
+	return &conn{sess: sess}, nil
+}
+
+// Driver returns the underlying Driver.
+func (c *Connector) Driver() sqldriver.Driver { return Driver{} }
+
+// Open is a convenience for sql.OpenDB(NewConnector(db, cfg)).
+func Open(db *globaldb.DB, cfg Config) *sql.DB {
+	return sql.OpenDB(NewConnector(db, cfg))
+}

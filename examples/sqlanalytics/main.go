@@ -1,19 +1,22 @@
-// Command sqlanalytics demonstrates GlobalDB's SQL front-end on a retail
-// scenario spanning the paper's three-city topology: an order-entry
-// workload writes through the Xi'an computing node while analytical
-// read-only queries run in Dongguan against asynchronous local replicas at
-// the Replica Consistency Point — the paper's read-on-replica (ROR)
-// feature, driven entirely through SQL.
+// Command sqlanalytics demonstrates GlobalDB through Go's standard
+// database/sql interface on a retail scenario spanning the paper's
+// three-city topology: an order-entry workload writes through the Xi'an
+// computing node with parameterized prepared statements (planned once,
+// executed many times), while analytical read-only queries run in Dongguan
+// against asynchronous local replicas at the Replica Consistency Point —
+// the paper's read-on-replica (ROR) feature — with result rows streaming
+// off the paged scan pipeline instead of materializing.
 package main
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"log"
 	"time"
 
 	"globaldb"
-	"globaldb/gsql"
+	"globaldb/driver"
 )
 
 func main() {
@@ -26,99 +29,179 @@ func main() {
 	defer db.Close()
 	ctx := context.Background()
 
-	// An OLTP session in Xi'an owns the schema and the writes.
-	xian, err := gsql.Connect(db, "xian")
-	if err != nil {
-		log.Fatal(err)
-	}
-	must := func(sql string) *gsql.Result {
-		res, err := xian.ExecScript(ctx, sql)
-		if err != nil {
-			log.Fatalf("%s: %v", sql, err)
-		}
-		return res
-	}
+	// An OLTP connection pool homed in Xi'an owns the schema and the writes.
+	xian := driver.Open(db, driver.Config{Region: "xian"})
+	defer xian.Close()
 
 	fmt.Println("== Schema (DDL stamps a timestamp the ROR gate checks) ==")
-	must(`CREATE TABLE products (
+	mustExec(ctx, xian, `CREATE TABLE products (
 		p_id BIGINT, name TEXT, price DOUBLE,
-		PRIMARY KEY (p_id));`)
-	must(`CREATE TABLE sales (
+		PRIMARY KEY (p_id))`)
+	mustExec(ctx, xian, `CREATE TABLE sales (
 		region_id BIGINT, sale_id BIGINT, p_id BIGINT, qty BIGINT, total DOUBLE,
 		PRIMARY KEY (region_id, sale_id),
 		INDEX sales_product (region_id, p_id)
-	) SHARD BY region_id;`)
+	) SHARD BY region_id`)
 
-	fmt.Println("== Loading products and sales through SQL ==")
-	must(`INSERT INTO products VALUES
-		(1, 'laptop', 999.5), (2, 'phone', 599.0), (3, 'tablet', 399.25);`)
+	fmt.Println("== Loading through prepared, parameterized statements ==")
+	insProduct, err := xian.PrepareContext(ctx, "INSERT INTO products VALUES (?, ?, ?)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prices := map[int64]float64{1: 999.5, 2: 599.0, 3: 399.25}
+	for id, name := range map[int64]string{1: "laptop", 2: "phone", 3: "tablet"} {
+		if _, err := insProduct.ExecContext(ctx, id, name, prices[id]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insProduct.Close()
+
+	// One INSERT statement text, parsed and planned exactly once, executed
+	// 60 times with fresh parameters — the prepared-statement hot path.
+	insSale, err := xian.PrepareContext(ctx, "INSERT INTO sales VALUES ($1, $2, $3, $4, $5)")
+	if err != nil {
+		log.Fatal(err)
+	}
 	sale := int64(0)
 	for region := int64(1); region <= 3; region++ {
 		for i := 0; i < 20; i++ {
 			sale++
 			p := sale%3 + 1
 			qty := sale%5 + 1
-			price := map[int64]float64{1: 999.5, 2: 599.0, 3: 399.25}[p]
-			must(fmt.Sprintf("INSERT INTO sales VALUES (%d, %d, %d, %d, %f);",
-				region, sale, p, qty, float64(qty)*price))
+			if _, err := insSale.ExecContext(ctx, region, sale, p, qty, float64(qty)*prices[p]); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
+	insSale.Close()
 
-	fmt.Println("== Fresh primary read from the writing region ==")
-	res := must(`SELECT region_id, COUNT(*) AS n, SUM(total) AS revenue
-		FROM sales GROUP BY region_id ORDER BY region_id;`)
-	fmt.Print(gsql.FormatTable(res))
-
-	// An analytics session in Dongguan reads its local replicas.
-	dongguan, err := gsql.Connect(db, "dongguan")
+	fmt.Println("== Transfer inside an explicit transaction ==")
+	tx, err := xian.BeginTx(ctx, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := dongguan.Exec(ctx, "SET STALENESS = ANY"); err != nil {
+	if _, err := tx.ExecContext(ctx, "UPDATE products SET price = price * ? WHERE p_id = ?", 0.9, int64(3)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
 
+	fmt.Println("== Fresh primary read from the writing region ==")
+	printQuery(ctx, xian, `SELECT region_id, COUNT(*) AS n, SUM(total) AS revenue
+		FROM sales GROUP BY region_id ORDER BY region_id`)
+
+	// An analytics pool in Dongguan reads its local replicas (ROR). The
+	// staleness bound travels in the connector config; SET STALENESS per
+	// connection works too.
+	dongguan := driver.Open(db, driver.Config{Region: "dongguan", ReplicaReads: true})
+	defer dongguan.Close()
+
 	fmt.Println("== Replica reads in Dongguan (read-on-replica at the RCP) ==")
 	// Replication is asynchronous: poll until the RCP covers the load.
-	var report *gsql.Result
+	top, err := dongguan.PrepareContext(ctx, `SELECT s.p_id, p.name, SUM(s.qty) AS units, SUM(s.total) AS revenue
+		FROM sales s JOIN products p ON p.p_id = s.p_id
+		WHERE s.region_id IN (?, ?, ?)
+		GROUP BY s.p_id, p.name ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer top.Close()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		report, err = dongguan.Exec(ctx, `SELECT s.p_id, p.name, SUM(s.qty) AS units, SUM(s.total) AS revenue
-			FROM sales s JOIN products p ON p.p_id = s.p_id
-			GROUP BY s.p_id, p.name ORDER BY revenue DESC;`)
-		if err == nil && len(report.Rows) == 3 {
-			var units int64
-			for _, r := range report.Rows {
-				units += r[2].(int64)
-			}
-			if units == 180 { // fully replicated: sum of qty over 60 sales
-				break
-			}
-		}
+		var units int64
+		rows, err := top.QueryContext(ctx, int64(1), int64(2), int64(3))
 		if err != nil {
 			log.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var pid, u int64
+			var name string
+			var revenue float64
+			if err := rows.Scan(&pid, &name, &u, &revenue); err != nil {
+				log.Fatal(err)
+			}
+			units += u
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if n == 3 && units == 180 { // fully replicated: sum of qty over 60 sales
+			break
 		}
 		if time.Now().After(deadline) {
 			log.Fatal("replicas did not catch up in time")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Print(gsql.FormatTable(report))
-	fmt.Println("served from replicas:", report.OnReplicas)
+	printStmt(ctx, top, int64(1), int64(2), int64(3))
+
+	fmt.Println("== Streaming: LIMIT through the driver stops the scan early ==")
+	printQuery(ctx, dongguan, "SELECT region_id, sale_id, total FROM sales ORDER BY region_id, sale_id LIMIT ?", int64(3))
 
 	fmt.Println("== Plan inspection ==")
-	plan, err := dongguan.Exec(ctx, "EXPLAIN SELECT * FROM sales WHERE region_id = 2 AND p_id = 1")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(gsql.FormatTable(plan))
+	printQuery(ctx, dongguan, "EXPLAIN SELECT * FROM sales WHERE region_id = 2 AND p_id = 1")
 
-	fmt.Println("== Bounded staleness: at most 60 seconds behind ==")
-	bounded, err := dongguan.Exec(ctx, "SELECT COUNT(*) FROM sales AS OF STALENESS '60s'")
+	fmt.Println("== Bounded staleness via DSN: at most 60 seconds behind ==")
+	driver.Register("demo", db)
+	bounded, err := sql.Open("globaldb", "demo?region=dongguan&staleness=60s")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(gsql.FormatTable(bounded))
+	defer bounded.Close()
+	printQuery(ctx, bounded, "SELECT COUNT(*) FROM sales")
 
 	fmt.Println("done")
+}
+
+func mustExec(ctx context.Context, db *sql.DB, query string, args ...any) {
+	if _, err := db.ExecContext(ctx, query, args...); err != nil {
+		log.Fatalf("%s: %v", query, err)
+	}
+}
+
+// printQuery runs a query and renders its rows, scanning generically.
+func printQuery(ctx context.Context, db *sql.DB, query string, args ...any) {
+	rows, err := db.QueryContext(ctx, query, args...)
+	if err != nil {
+		log.Fatalf("%s: %v", query, err)
+	}
+	defer rows.Close()
+	printRows(rows)
+}
+
+func printStmt(ctx context.Context, st *sql.Stmt, args ...any) {
+	rows, err := st.QueryContext(ctx, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	printRows(rows)
+}
+
+func printRows(rows *sql.Rows) {
+	cols, err := rows.Columns()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cols)
+	vals := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	n := 0
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(vals...)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%d rows)\n", n)
 }

@@ -42,6 +42,19 @@
 // primary-key order; the materializing ScanPK/ScanIndex/ScanTable helpers
 // remain as thin wrappers that drain the corresponding iterator (ScanTable
 // keeps its historical shard-by-shard order).
+//
+// # SQL access
+//
+// Most clients should not use this typed API directly: the globaldb/gsql
+// package parses, plans and executes SQL over it (with parameterized
+// prepared statements and a DDL-aware plan cache keyed on
+// DB.CatalogVersion), and the globaldb/driver package exposes that SQL
+// layer through database/sql, streaming result rows off the paged scan
+// pipeline:
+//
+//	sqldb := driver.Open(db, driver.Config{Region: "xian"})
+//	st, _ := sqldb.PrepareContext(ctx, "SELECT v FROM kv WHERE k = ?")
+//	rows, _ := st.QueryContext(ctx, int64(42))
 package globaldb
 
 import (
@@ -488,6 +501,13 @@ func (db *DB) Tables() []string {
 
 // Schema returns the schema of the named table.
 func (db *DB) Schema(name string) (*Schema, error) { return db.c.Catalog.Get(name) }
+
+// CatalogVersion returns a monotonically increasing value that changes with
+// every DDL commit (the catalog's maximum DDL timestamp). Plan caches key
+// their validity on it: a cached plan built at one version must be
+// discarded once the version moves, since a CREATE/DROP may have changed
+// any schema the plan resolved.
+func (db *DB) CatalogVersion() uint64 { return uint64(db.c.Catalog.MaxDDLTS()) }
 
 // Shared helpers.
 

@@ -44,6 +44,20 @@ func (l *Literal) String() string {
 	}
 }
 
+// Placeholder is a statement parameter: `?` (ordinal, numbered left to
+// right) or `$n` (explicit 1-based position). Both styles normalize to a
+// 1-based Idx; mixing them in one statement is a parse error. A placeholder
+// is valid anywhere a literal is (WHERE values, IN lists, INSERT VALUES,
+// UPDATE SET, LIMIT/OFFSET) and is bound at execution time, so a planned
+// statement can run repeatedly with fresh parameter values.
+type Placeholder struct {
+	Idx int // 1-based parameter position
+}
+
+func (*Placeholder) expr() {}
+
+func (p *Placeholder) String() string { return fmt.Sprintf("$%d", p.Idx) }
+
 // ColRef names a column, optionally qualified by a table name or alias.
 type ColRef struct {
 	Table string // optional qualifier
@@ -330,6 +344,11 @@ type Select struct {
 	OrderBy  []OrderItem
 	Limit    int64 // -1: no limit
 	Offset   int64 // 0: no offset
+	// LimitExpr / OffsetExpr carry a parameterized LIMIT/OFFSET (`LIMIT ?`).
+	// When non-nil they override the numeric fields and are resolved at
+	// bind time, so one cached plan serves every bound value.
+	LimitExpr  Expr
+	OffsetExpr Expr
 	// Staleness overrides the session staleness bound for this query:
 	// SELECT ... AS OF STALENESS '50ms'. Zero means "use session setting".
 	Staleness time.Duration
@@ -386,10 +405,16 @@ func (s *Select) String() string {
 		}
 		sb.WriteString(" ORDER BY " + strings.Join(parts, ", "))
 	}
-	if s.Limit >= 0 {
+	switch {
+	case s.LimitExpr != nil:
+		sb.WriteString(" LIMIT " + s.LimitExpr.String())
+	case s.Limit >= 0:
 		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
 	}
-	if s.Offset > 0 {
+	switch {
+	case s.OffsetExpr != nil:
+		sb.WriteString(" OFFSET " + s.OffsetExpr.String())
+	case s.Offset > 0:
 		sb.WriteString(fmt.Sprintf(" OFFSET %d", s.Offset))
 	}
 	if s.Staleness > 0 {

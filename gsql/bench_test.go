@@ -43,6 +43,62 @@ func BenchmarkExecPointGet(b *testing.B) {
 	}
 }
 
+// BenchmarkExecPointGetPrepared is the prepared-statement hot path: the
+// statement is parsed and planned once, then executed with bound
+// parameters — zero parser or planner work (and zero parser allocations)
+// per execution.
+func BenchmarkExecPointGetPrepared(b *testing.B) {
+	s := openSQLBench(b)
+	st, err := s.Prepare(bg, "SELECT amount FROM orders WHERE w_id = ? AND o_id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Exec(bg, int64(1), int64(1))
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheLookup isolates the prepared hot path's parse+plan
+// replacement: one warm plan-cache lookup. It must run at zero
+// allocations per op — repeated execution does no parser work at all.
+func BenchmarkPlanCacheLookup(b *testing.B) {
+	s := openSQLBench(b)
+	const q = "SELECT amount FROM orders WHERE w_id = ? AND o_id = ?"
+	if _, err := s.cachedStatement(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.cachedStatement(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecPointGetReparse is the baseline the prepared path is
+// measured against: parse + plan on every execution (ExecStmt plans
+// SELECTs afresh), the way the pre-placeholder API worked.
+func BenchmarkExecPointGetReparse(b *testing.B) {
+	s := openSQLBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stmt, err := Parse("SELECT amount FROM orders WHERE w_id = 1 AND o_id = 1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.ExecStmt(bg, stmt)
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
 func BenchmarkExecAggregateFullScan(b *testing.B) {
 	s := openSQLBench(b)
 	for i := 0; i < b.N; i++ {

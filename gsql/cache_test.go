@@ -1,0 +1,121 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanCacheHits checks that repeating a statement text reuses the
+// parsed plan instead of re-parsing, and that distinct parameter values
+// share one cache entry.
+func TestPlanCacheHits(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE kv (k BIGINT, v TEXT, PRIMARY KEY (k))`)
+
+	if _, err := s.Exec(bg, "INSERT INTO kv VALUES (?, ?)", 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	hits0, _, _ := s.PlanCacheStats()
+	for i := int64(2); i <= 5; i++ {
+		if _, err := s.Exec(bg, "INSERT INTO kv VALUES (?, ?)", i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits1, _, _ := s.PlanCacheStats()
+	if hits1-hits0 != 4 {
+		t.Fatalf("INSERT reuse: %d cache hits, want 4", hits1-hits0)
+	}
+
+	for i := 0; i < 3; i++ {
+		res, err := s.Exec(bg, "SELECT v FROM kv WHERE k = ?", 1)
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("select: %v %v", res, err)
+		}
+	}
+	hits2, _, size := s.PlanCacheStats()
+	if hits2-hits1 != 2 {
+		t.Fatalf("SELECT reuse: %d cache hits, want 2", hits2-hits1)
+	}
+	if size == 0 {
+		t.Fatal("plan cache is empty")
+	}
+}
+
+// TestPlanCacheDDLInvalidation checks that a DDL commit invalidates cached
+// plans: a SELECT * planned against the old schema must observe the new
+// schema after DROP+CREATE, both on the Exec path and through a prepared
+// statement held across the DDL.
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE ledger (id BIGINT, amount DOUBLE, PRIMARY KEY (id))`)
+	exec(t, s, `INSERT INTO ledger VALUES (1, 10.5)`)
+
+	st, err := s.Prepare(bg, "SELECT * FROM ledger WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec(bg, 1)
+	if err != nil || len(res.Columns) != 2 {
+		t.Fatalf("before DDL: %v %v", res, err)
+	}
+	if _, err := s.Exec(bg, "SELECT * FROM ledger WHERE id = ?", 1); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, missesBefore, _ := s.PlanCacheStats()
+
+	// Replace the table with a wider schema. The catalog version moves, so
+	// both the session cache entry and the prepared statement must replan.
+	exec(t, s, "DROP TABLE ledger")
+	exec(t, s, `CREATE TABLE ledger (id BIGINT, amount DOUBLE, note TEXT, PRIMARY KEY (id))`)
+	exec(t, s, `INSERT INTO ledger VALUES (2, 20.5, 'new')`)
+
+	res, err = s.Exec(bg, "SELECT * FROM ledger WHERE id = ?", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 || res.Rows[0][2].(string) != "new" {
+		t.Fatalf("Exec after DDL still sees the old plan: cols %v rows %v", res.Columns, res.Rows)
+	}
+	res, err = st.Exec(bg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Fatalf("prepared statement after DDL still sees the old plan: cols %v", res.Columns)
+	}
+	_, missesAfter, _ := s.PlanCacheStats()
+	if missesAfter == missesBefore {
+		t.Fatalf("DDL did not invalidate the cache (hits %d misses %d->%d)", hitsBefore, missesBefore, missesAfter)
+	}
+
+	// Dropping the table makes the cached-plan statement fail cleanly.
+	exec(t, s, "DROP TABLE ledger")
+	if _, err := st.Exec(bg, 1); err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("exec against a dropped table: %v", err)
+	}
+}
+
+// TestPlanCacheLRU checks the cache stays bounded.
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	c.put(&preparedStatement{text: "a"})
+	c.put(&preparedStatement{text: "b"})
+	if got := c.get("a", 0); got == nil {
+		t.Fatal("a evicted too early")
+	}
+	c.put(&preparedStatement{text: "c"}) // evicts b (least recently used)
+	if got := c.get("b", 0); got != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if c.get("a", 0) == nil || c.get("c", 0) == nil {
+		t.Fatal("a and c should remain")
+	}
+	// Version mismatch evicts on lookup.
+	c.put(&preparedStatement{text: "v", version: 1})
+	if c.get("v", 2) != nil {
+		t.Fatal("stale version must miss")
+	}
+	if c.get("v", 1) != nil {
+		t.Fatal("stale entry must have been evicted")
+	}
+}

@@ -113,7 +113,11 @@ func TestDifferentialStreamingVsMaterializing(t *testing.T) {
 		if err != nil {
 			t.Fatalf("plan %q: %v", sql, err)
 		}
-		stream, err := execSelect(bg, tx, p)
+		bp, err := p.bind(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := execSelect(bg, tx, bp)
 		if err != nil {
 			t.Fatalf("streaming %q: %v", sql, err)
 		}
@@ -122,7 +126,11 @@ func TestDifferentialStreamingVsMaterializing(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mat, err := execSelectMaterialized(bg, tx, p2)
+		bp2, err := p2.bind(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := execSelectMaterialized(bg, tx, bp2)
 		if err != nil {
 			t.Fatalf("materialized %q: %v", sql, err)
 		}

@@ -32,10 +32,12 @@ var (
 )
 
 // rowEnv is the evaluation environment for one combined row (one row per
-// FROM table; the inner row is nil while planning inner lookups).
+// FROM table; the inner row is nil while planning inner lookups) plus the
+// statement's bound parameter values.
 type rowEnv struct {
 	tables []*boundTable
 	rows   []table.Row
+	params []any
 }
 
 func (e *rowEnv) colValue(ref *ColRef) (any, error) {
@@ -49,11 +51,18 @@ func (e *rowEnv) colValue(ref *ColRef) (any, error) {
 	return e.rows[ti][ci], nil
 }
 
+func (e *rowEnv) paramValue(idx int) (any, error) {
+	if idx < 1 || idx > len(e.params) {
+		return nil, fmt.Errorf("gsql: statement references parameter $%d but %d were bound", idx, len(e.params))
+	}
+	return e.params[idx-1], nil
+}
+
 // execSelect runs a planned SELECT against a reader through the streaming
 // operator pipeline (scan -> join -> filter -> project/aggregate/sort/
 // limit). Orderings and aggregates drain the pipeline; everything else
 // streams and terminates the scans early once LIMIT is satisfied.
-func execSelect(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
+func execSelect(ctx context.Context, r reader, p *boundPlan) (*Result, error) {
 	it, orderDone, err := buildPipeline(ctx, r, p)
 	if err != nil {
 		return nil, err
@@ -65,7 +74,7 @@ func execSelect(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
 // execSelectMaterialized is the legacy drain-everything path: every scan
 // materializes before the next stage runs. It is retained as the oracle the
 // differential tests compare the streaming pipeline against.
-func execSelectMaterialized(ctx context.Context, r reader, p *selectPlan) (*Result, error) {
+func execSelectMaterialized(ctx context.Context, r reader, p *boundPlan) (*Result, error) {
 	rows, err := joinRows(ctx, r, p)
 	if err != nil {
 		return nil, err
@@ -79,7 +88,7 @@ func execSelectMaterialized(ctx context.Context, r reader, p *selectPlan) (*Resu
 // in ORDER BY order (order-preserving scan) — the non-grouped path streams
 // and stops pulling as soon as the limit is met: the early termination that
 // makes LIMIT k cost O(k·page) rows end to end.
-func finishSelect(ctx context.Context, p *selectPlan, it rowIter, orderDone bool) (*Result, error) {
+func finishSelect(ctx context.Context, p *boundPlan, it rowIter, orderDone bool) (*Result, error) {
 	if p.grouped {
 		return aggregateRows(ctx, p, it)
 	}
@@ -127,7 +136,7 @@ func finishSelect(ctx context.Context, p *selectPlan, it rowIter, orderDone bool
 		if !ok {
 			break
 		}
-		env := &rowEnv{tables: p.tables, rows: combined}
+		env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
 		outRow, err := projectRow(p, combined)
 		if err != nil {
 			return nil, err
@@ -150,8 +159,8 @@ func finishSelect(ctx context.Context, p *selectPlan, it rowIter, orderDone bool
 }
 
 // projectRow evaluates the output expressions over one combined row.
-func projectRow(p *selectPlan, combined []table.Row) ([]any, error) {
-	env := &rowEnv{tables: p.tables, rows: combined}
+func projectRow(p *boundPlan, combined []table.Row) ([]any, error) {
+	env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
 	outRow := make([]any, len(p.outExprs))
 	for i, e := range p.outExprs {
 		v, err := evalExpr(e, env)
@@ -166,7 +175,7 @@ func projectRow(p *selectPlan, combined []table.Row) ([]any, error) {
 // joinRows produces the combined (outer[, inner]) rows passing the filter,
 // materializing every scan — the legacy path (differential oracle, and row
 // collection for UPDATE/DELETE which must materialize before writing).
-func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, error) {
+func joinRows(ctx context.Context, r reader, p *boundPlan) ([][]table.Row, error) {
 	// A limit can be pushed into the outer scan only when nothing after it
 	// can drop or reorder rows.
 	pushLimit := 0
@@ -182,7 +191,7 @@ func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, erro
 	for _, orow := range outerRows {
 		if p.inner == nil {
 			cr := []table.Row{orow}
-			ok, err := passes(p.filter, p.tables, cr)
+			ok, err := passes(p.filter, p.tables, cr, p.params)
 			if err != nil {
 				return nil, err
 			}
@@ -197,7 +206,7 @@ func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, erro
 		}
 		for _, irow := range innerRows {
 			cr := []table.Row{orow, irow}
-			ok, err := passes(p.filter, p.tables, cr)
+			ok, err := passes(p.filter, p.tables, cr, p.params)
 			if err != nil {
 				return nil, err
 			}
@@ -209,11 +218,11 @@ func joinRows(ctx context.Context, r reader, p *selectPlan) ([][]table.Row, erro
 	return combined, nil
 }
 
-func passes(filter Expr, tables []*boundTable, rows []table.Row) (bool, error) {
+func passes(filter Expr, tables []*boundTable, rows []table.Row, params []any) (bool, error) {
 	if filter == nil {
 		return true, nil
 	}
-	v, err := evalExpr(filter, &rowEnv{tables: tables, rows: rows})
+	v, err := evalExpr(filter, &rowEnv{tables: tables, rows: rows, params: params})
 	if err != nil {
 		return false, err
 	}
@@ -222,8 +231,8 @@ func passes(filter Expr, tables []*boundTable, rows []table.Row) (bool, error) {
 
 // scanOne executes one table scan. outerRow, when non-nil, binds outer
 // column references in the scan's key expressions (join inner lookups).
-func scanOne(ctx context.Context, r reader, p *selectPlan, s *tableScan, outerRow table.Row, limit int) ([]table.Row, error) {
-	env := &rowEnv{tables: p.tables}
+func scanOne(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, limit int) ([]table.Row, error) {
+	env := &rowEnv{tables: p.tables, params: p.params}
 	if outerRow != nil {
 		env.rows = []table.Row{outerRow}
 	}
@@ -462,6 +471,7 @@ type aggEnv struct {
 }
 
 func (e *aggEnv) colValue(ref *ColRef) (any, error) { return e.base.colValue(ref) }
+func (e *aggEnv) paramValue(idx int) (any, error)   { return e.base.paramValue(idx) }
 
 // evalWithAggs evaluates e, substituting aggregate results.
 func evalWithAggs(e Expr, env *aggEnv) (any, error) {
@@ -515,7 +525,7 @@ func evalWithAggs(e Expr, env *aggEnv) (any, error) {
 // aggregateRows groups the combined-row stream and computes aggregate
 // outputs. Aggregation is a pipeline breaker — it consumes the stream to
 // the end — but still holds only per-group state, never the input rows.
-func aggregateRows(ctx context.Context, p *selectPlan, it rowIter) (*Result, error) {
+func aggregateRows(ctx context.Context, p *boundPlan, it rowIter) (*Result, error) {
 	type group struct {
 		rep    []table.Row // representative row for group-key evaluation
 		states []*aggState
@@ -531,7 +541,7 @@ func aggregateRows(ctx context.Context, p *selectPlan, it rowIter) (*Result, err
 		if !ok {
 			break
 		}
-		env := &rowEnv{tables: p.tables, rows: combined}
+		env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
 		keyVals := make([]any, len(p.groupBy))
 		for i, g := range p.groupBy {
 			v, err := evalExpr(g, env)
@@ -575,7 +585,7 @@ func aggregateRows(ctx context.Context, p *selectPlan, it rowIter) (*Result, err
 		for i, st := range grp.states {
 			vals[p.aggKeys[i]] = st.result()
 		}
-		env := &aggEnv{base: &rowEnv{tables: p.tables, rows: grp.rep}, vals: vals}
+		env := &aggEnv{base: &rowEnv{tables: p.tables, rows: grp.rep, params: p.params}, vals: vals}
 		if p.having != nil {
 			hv, err := evalWithAggs(p.having, env)
 			if err != nil {
@@ -619,7 +629,7 @@ func aggregateRows(ctx context.Context, p *selectPlan, it rowIter) (*Result, err
 // sortAndLimit orders result rows by the pre-computed sort keys (one key
 // vector per row, evaluated on the pre-projection rows so ORDER BY may
 // reference any column) and applies LIMIT.
-func sortAndLimit(p *selectPlan, res *Result, sortKeys [][]any) error {
+func sortAndLimit(p *boundPlan, res *Result, sortKeys [][]any) error {
 	if len(p.orderBy) > 0 && len(res.Rows) > 1 {
 		idx := make([]int, len(res.Rows))
 		for i := range idx {

@@ -179,10 +179,13 @@ func likeMatch(s, pattern string) (bool, error) {
 	return re.MatchString(s), nil
 }
 
-// evalEnv resolves column references during evaluation.
+// evalEnv resolves column references and statement parameters during
+// evaluation.
 type evalEnv interface {
 	// colValue returns the value of a resolved column reference.
 	colValue(ref *ColRef) (any, error)
+	// paramValue returns the value bound to a 1-based parameter position.
+	paramValue(idx int) (any, error)
 }
 
 // evalExpr evaluates a scalar expression against an environment. Aggregate
@@ -193,6 +196,8 @@ func evalExpr(e Expr, env evalEnv) (any, error) {
 		return x.Val, nil
 	case *ColRef:
 		return env.colValue(x)
+	case *Placeholder:
+		return env.paramValue(x.Idx)
 	case *Star:
 		return nil, fmt.Errorf("gsql: '*' is only valid in SELECT lists and COUNT(*)")
 	case *UnaryExpr:

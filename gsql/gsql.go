@@ -46,6 +46,8 @@ type Session struct {
 
 	mode      stalenessMode
 	staleness time.Duration
+
+	plans *planCache // statement text -> parsed statement + SELECT plan
 }
 
 // Connect opens a SQL session homed at the named region's computing node.
@@ -56,7 +58,7 @@ func Connect(db *globaldb.DB, region string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{db: db, sess: sess}, nil
+	return &Session{db: db, sess: sess, plans: newPlanCache(defaultPlanCacheCap)}, nil
 }
 
 // InTxn reports whether an explicit transaction is open.
@@ -78,13 +80,20 @@ func (s *Session) Staleness() string {
 // Schema implements the planner's catalog over the cluster catalog.
 func (s *Session) Schema(name string) (*table.Schema, error) { return s.db.Schema(name) }
 
-// Exec parses and runs one SQL statement.
-func (s *Session) Exec(ctx context.Context, sql string) (*Result, error) {
-	stmt, err := Parse(sql)
+// Exec runs one SQL statement with the given parameter values bound to its
+// `?`/`$n` placeholders. Parsed statements and SELECT plans are cached per
+// session, keyed by the SQL text and invalidated when the catalog's DDL
+// version changes, so repeating a statement skips the parser and planner.
+func (s *Session) Exec(ctx context.Context, sql string, args ...any) (*Result, error) {
+	cs, err := s.cachedStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(ctx, stmt)
+	params, err := bindArgs(cs.numParams, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.dispatch(ctx, cs.stmt, cs.plan, params)
 }
 
 // ExecScript runs a semicolon-separated script, returning the last
@@ -107,17 +116,29 @@ func (s *Session) ExecScript(ctx context.Context, sql string) (*Result, error) {
 	return last, nil
 }
 
-// ExecStmt runs one parsed statement.
-func (s *Session) ExecStmt(ctx context.Context, stmt Statement) (*Result, error) {
+// ExecStmt runs one parsed statement with the given parameter values. It
+// plans SELECTs afresh on every call; Exec and Prepare are the cached
+// entry points.
+func (s *Session) ExecStmt(ctx context.Context, stmt Statement, args ...any) (*Result, error) {
+	params, err := bindArgs(CountParams(stmt), args)
+	if err != nil {
+		return nil, err
+	}
+	return s.dispatch(ctx, stmt, nil, params)
+}
+
+// dispatch runs one statement. plan, when non-nil, is the cached plan of a
+// SELECT statement; a nil plan makes SELECT plan on the spot.
+func (s *Session) dispatch(ctx context.Context, stmt Statement, plan *selectPlan, params []any) (*Result, error) {
 	switch st := stmt.(type) {
 	case *Select:
-		return s.execSelect(ctx, st)
+		return s.execSelect(ctx, st, plan, params)
 	case *Insert:
-		return s.execInsert(ctx, st)
+		return s.execInsert(ctx, st, params)
 	case *Update:
-		return s.execUpdate(ctx, st)
+		return s.execUpdate(ctx, st, params)
 	case *Delete:
-		return s.execDelete(ctx, st)
+		return s.execDelete(ctx, st, params)
 	case *CreateTable:
 		return s.execCreateTable(ctx, st)
 	case *DropTable:
@@ -210,56 +231,79 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 	}
 }
 
-// execSelect plans and runs a SELECT. Inside an explicit transaction the
-// query reads from shard primaries at the transaction snapshot (and sees
-// its own writes). Outside a transaction it reads primaries at a fresh
-// snapshot by default; SET STALENESS or a per-statement AS OF STALENESS
-// routes it to asynchronous replicas at the RCP (read-on-replica).
-func (s *Session) execSelect(ctx context.Context, sel *Select) (*Result, error) {
-	p, err := planSelect(s, sel)
+// execSelect runs a SELECT, planning it first unless a cached plan is
+// supplied. Inside an explicit transaction the query reads from shard
+// primaries at the transaction snapshot (and sees its own writes). Outside
+// a transaction it reads primaries at a fresh snapshot by default; SET
+// STALENESS or a per-statement AS OF STALENESS routes it to asynchronous
+// replicas at the RCP (read-on-replica).
+func (s *Session) execSelect(ctx context.Context, sel *Select, plan *selectPlan, params []any) (*Result, error) {
+	if plan == nil {
+		var err error
+		if plan, err = planSelect(s, sel); err != nil {
+			return nil, err
+		}
+	}
+	bp, err := plan.bind(params)
 	if err != nil {
 		return nil, err
 	}
-	if s.tx != nil {
-		return execSelect(ctx, s.tx, p)
+	r, onReplicas, finish, err := s.openReadContext(ctx, sel)
+	if err != nil {
+		return nil, err
 	}
-	if sel.Staleness == 0 && s.mode == readPrimary {
-		// Fresh read: an autocommit (read-only) transaction on primaries.
+	res, err := execSelect(ctx, r, bp)
+	if ferr := finish(err == nil); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.OnReplicas = onReplicas
+	return res, nil
+}
+
+// openReadContext picks where a SELECT reads — the session's open
+// transaction, an autocommit transaction on shard primaries (fresh read),
+// or a replica query under the session/statement staleness setting — and
+// returns a finish callback that settles the autocommit transaction once
+// the result has been consumed. Both the materializing Exec path and the
+// streaming Query path dispatch through here.
+func (s *Session) openReadContext(ctx context.Context, sel *Select) (r reader, onReplicas bool, finish func(ok bool) error, err error) {
+	noop := func(bool) error { return nil }
+	switch {
+	case s.tx != nil:
+		// The explicit transaction's lifecycle belongs to COMMIT/ROLLBACK.
+		return s.tx, false, noop, nil
+	case sel.Staleness == 0 && s.mode == readPrimary:
 		tx, err := s.sess.Begin(ctx)
 		if err != nil {
-			return nil, err
+			return nil, false, nil, err
 		}
-		res, err := execSelect(ctx, tx, p)
+		return tx, false, func(ok bool) error {
+			if !ok {
+				return tx.Abort(ctx)
+			}
+			return tx.Commit(ctx)
+		}, nil
+	default:
+		bound := globaldb.AnyStaleness
+		switch {
+		case sel.Staleness > 0:
+			bound = sel.Staleness
+		case s.mode == readReplicaBound:
+			bound = s.staleness
+		}
+		tables := []string{sel.From.Table}
+		if sel.Join != nil {
+			tables = append(tables, sel.Join.Table)
+		}
+		q, err := s.sess.ReadOnly(ctx, bound, tables...)
 		if err != nil {
-			_ = tx.Abort(ctx)
-			return nil, err
+			return nil, false, nil, err
 		}
-		if err := tx.Commit(ctx); err != nil {
-			return nil, err
-		}
-		return res, nil
+		return q, q.OnReplicas(), noop, nil
 	}
-	bound := globaldb.AnyStaleness
-	switch {
-	case sel.Staleness > 0:
-		bound = sel.Staleness
-	case s.mode == readReplicaBound:
-		bound = s.staleness
-	}
-	tables := []string{sel.From.Table}
-	if sel.Join != nil {
-		tables = append(tables, sel.Join.Table)
-	}
-	q, err := s.sess.ReadOnly(ctx, bound, tables...)
-	if err != nil {
-		return nil, err
-	}
-	res, err := execSelect(ctx, q, p)
-	if err != nil {
-		return nil, err
-	}
-	res.OnReplicas = q.OnReplicas()
-	return res, nil
 }
 
 // withWriteTxn runs fn inside the session transaction, or an autocommit
@@ -283,7 +327,7 @@ func (s *Session) withWriteTxn(ctx context.Context, fn func(tx *globaldb.Tx) (in
 	return n, nil
 }
 
-func (s *Session) execInsert(ctx context.Context, ins *Insert) (*Result, error) {
+func (s *Session) execInsert(ctx context.Context, ins *Insert, params []any) (*Result, error) {
 	sch, err := s.db.Schema(ins.Table)
 	if err != nil {
 		return nil, err
@@ -310,7 +354,7 @@ func (s *Session) execInsert(ctx context.Context, ins *Insert) (*Result, error) 
 		}
 		row := make(globaldb.Row, len(sch.Columns))
 		for i, e := range exprRow {
-			v, err := evalExpr(e, &rowEnv{}) // constants only: no columns in scope
+			v, err := evalExpr(e, &rowEnv{params: params}) // constants and parameters only: no columns in scope
 			if err != nil {
 				return nil, err
 			}
@@ -338,7 +382,7 @@ func (s *Session) execInsert(ctx context.Context, ins *Insert) (*Result, error) 
 
 // matchingRows plans and evaluates a single-table WHERE for UPDATE/DELETE,
 // returning full rows at the transaction's snapshot.
-func matchingRows(ctx context.Context, s *Session, tx *globaldb.Tx, tableName string, where Expr) ([]table.Row, *selectPlan, error) {
+func matchingRows(ctx context.Context, s *Session, tx *globaldb.Tx, tableName string, where Expr, params []any) ([]table.Row, *boundPlan, error) {
 	sel := &Select{
 		Items: []SelectItem{{Expr: &Star{}}},
 		From:  TableRef{Table: tableName, Alias: tableName},
@@ -349,7 +393,11 @@ func matchingRows(ctx context.Context, s *Session, tx *globaldb.Tx, tableName st
 	if err != nil {
 		return nil, nil, err
 	}
-	combined, err := joinRows(ctx, tx, p)
+	bp, err := p.bind(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	combined, err := joinRows(ctx, tx, bp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -357,10 +405,10 @@ func matchingRows(ctx context.Context, s *Session, tx *globaldb.Tx, tableName st
 	for i, c := range combined {
 		rows[i] = c[0]
 	}
-	return rows, p, nil
+	return rows, bp, nil
 }
 
-func (s *Session) execUpdate(ctx context.Context, u *Update) (*Result, error) {
+func (s *Session) execUpdate(ctx context.Context, u *Update, params []any) (*Result, error) {
 	sch, err := s.db.Schema(u.Table)
 	if err != nil {
 		return nil, err
@@ -393,14 +441,14 @@ func (s *Session) execUpdate(ctx context.Context, u *Update) (*Result, error) {
 		bindings = append(bindings, binding{col: ci, expr: a.Expr})
 	}
 	n, err := s.withWriteTxn(ctx, func(tx *globaldb.Tx) (int, error) {
-		rows, p, err := matchingRows(ctx, s, tx, u.Table, u.Where)
+		rows, p, err := matchingRows(ctx, s, tx, u.Table, u.Where, params)
 		if err != nil {
 			return 0, err
 		}
 		for _, row := range rows {
 			updated := make(globaldb.Row, len(row))
 			copy(updated, row)
-			env := &rowEnv{tables: p.tables, rows: []table.Row{row}}
+			env := &rowEnv{tables: p.tables, rows: []table.Row{row}, params: params}
 			for _, b := range bindings {
 				v, err := evalExpr(b.expr, env)
 				if err != nil {
@@ -424,13 +472,13 @@ func (s *Session) execUpdate(ctx context.Context, u *Update) (*Result, error) {
 	return &Result{Affected: n, Msg: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
-func (s *Session) execDelete(ctx context.Context, d *Delete) (*Result, error) {
+func (s *Session) execDelete(ctx context.Context, d *Delete, params []any) (*Result, error) {
 	sch, err := s.db.Schema(d.Table)
 	if err != nil {
 		return nil, err
 	}
 	n, err := s.withWriteTxn(ctx, func(tx *globaldb.Tx) (int, error) {
-		rows, _, err := matchingRows(ctx, s, tx, d.Table, d.Where)
+		rows, _, err := matchingRows(ctx, s, tx, d.Table, d.Where, params)
 		if err != nil {
 			return 0, err
 		}

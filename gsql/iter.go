@@ -55,6 +55,7 @@ type filterIter struct {
 	child  rowIter
 	filter Expr
 	tables []*boundTable
+	params []any
 }
 
 func (f *filterIter) Next(ctx context.Context) ([]table.Row, bool, error) {
@@ -63,7 +64,7 @@ func (f *filterIter) Next(ctx context.Context) ([]table.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		pass, err := passes(f.filter, f.tables, combined)
+		pass, err := passes(f.filter, f.tables, combined, f.params)
 		if err != nil {
 			return nil, false, err
 		}
@@ -124,8 +125,8 @@ func (j *nestedLoopIter) Close() {
 // expressions (join inner lookups). fetchLimit > 0 caps the rows the scan
 // requests from storage (a fully pushed LIMIT); pageHint > 0 sizes the
 // first fetched page (early-terminating consumers).
-func openScan(ctx context.Context, r reader, p *selectPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int) (rowIter, error) {
-	env := &rowEnv{tables: p.tables}
+func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int) (rowIter, error) {
+	env := &rowEnv{tables: p.tables, params: p.params}
 	if outerRow != nil {
 		env.rows = []table.Row{outerRow}
 	}
@@ -217,8 +218,8 @@ func scanRange(s *tableScan, env *rowEnv) *globaldb.ScanRange {
 // scan(outer) -> [nested-loop join(inner)] -> filter. orderDone reports
 // whether the scan already delivers rows in the plan's ORDER BY order (so
 // the driver can skip the sort and terminate early on LIMIT).
-func buildPipeline(ctx context.Context, r reader, p *selectPlan) (it rowIter, orderDone bool, err error) {
-	orderDone = scanSatisfiesOrder(p)
+func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, orderDone bool, err error) {
+	orderDone = scanSatisfiesOrder(p.selectPlan)
 	// A limit is pushed all the way into the outer scan only when nothing
 	// above it can drop, add or reorder rows. Everything else still
 	// benefits from streaming: the limit operator simply stops pulling.
@@ -251,7 +252,7 @@ func buildPipeline(ctx context.Context, r reader, p *selectPlan) (it rowIter, or
 		}
 	}
 	if p.filter != nil {
-		it = &filterIter{child: it, filter: p.filter, tables: p.tables}
+		it = &filterIter{child: it, filter: p.filter, tables: p.tables, params: p.params}
 	}
 	return it, orderDone, nil
 }

@@ -1,0 +1,128 @@
+package gsql
+
+import "fmt"
+
+// CountParams reports how many parameters a statement expects: the highest
+// placeholder position referenced anywhere in it (0 for a statement without
+// placeholders). `?` placeholders are numbered left to right by the parser,
+// so for them this equals the placeholder count; `$n` statements may skip
+// positions, in which case the skipped parameters must still be supplied.
+func CountParams(stmt Statement) int {
+	max := 0
+	note := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			if ph, ok := x.(*Placeholder); ok && ph.Idx > max {
+				max = ph.Idx
+			}
+		})
+	}
+	switch st := stmt.(type) {
+	case *Select:
+		countSelectParams(st, note)
+	case *Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				note(e)
+			}
+		}
+	case *Update:
+		for _, a := range st.Set {
+			note(a.Expr)
+		}
+		note(st.Where)
+	case *Delete:
+		note(st.Where)
+	case *Explain:
+		return CountParams(st.Stmt)
+	}
+	return max
+}
+
+func countSelectParams(sel *Select, note func(Expr)) {
+	for _, it := range sel.Items {
+		note(it.Expr)
+	}
+	note(sel.On)
+	note(sel.Where)
+	for _, g := range sel.GroupBy {
+		note(g)
+	}
+	note(sel.Having)
+	for _, o := range sel.OrderBy {
+		note(o.Expr)
+	}
+	note(sel.LimitExpr)
+	note(sel.OffsetExpr)
+}
+
+// walkExpr applies fn to every node of an expression tree (pre-order).
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExpr(x.Left, fn)
+		walkExpr(x.Right, fn)
+	case *UnaryExpr:
+		walkExpr(x.X, fn)
+	case *IsNullExpr:
+		walkExpr(x.X, fn)
+	case *InExpr:
+		walkExpr(x.X, fn)
+		for _, it := range x.List {
+			walkExpr(it, fn)
+		}
+	case *BetweenExpr:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// normalizeArgs widens Go integer and float variants to the engine's value
+// types (int64, float64), matching what database/sql's default converter
+// produces, so direct gsql callers can pass plain ints.
+func normalizeArgs(args []any) ([]any, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil, int64, float64, string, []byte, bool:
+			out[i] = a
+		case int:
+			out[i] = int64(v)
+		case int8:
+			out[i] = int64(v)
+		case int16:
+			out[i] = int64(v)
+		case int32:
+			out[i] = int64(v)
+		case uint:
+			out[i] = int64(v)
+		case uint8:
+			out[i] = int64(v)
+		case uint16:
+			out[i] = int64(v)
+		case uint32:
+			out[i] = int64(v)
+		case uint64:
+			if v > 1<<63-1 {
+				return nil, fmt.Errorf("gsql: parameter %d overflows BIGINT", i+1)
+			}
+			out[i] = int64(v)
+		case float32:
+			out[i] = float64(v)
+		default:
+			return nil, fmt.Errorf("%w: unsupported parameter type %T (parameter %d)", ErrType, a, i+1)
+		}
+	}
+	return out, nil
+}

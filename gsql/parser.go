@@ -1,6 +1,7 @@
 package gsql
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -46,11 +47,36 @@ func ParseAll(src string) ([]Statement, error) {
 	return stmts, nil
 }
 
+// StatementsComplete reports whether src ends at a statement boundary — a
+// ';' outside string literals and comments — so a REPL can decide when to
+// stop accumulating input lines and hand the buffer to ExecScript. It runs
+// the same lexer the parser uses, so a ';' inside a string never splits a
+// statement the way naive text scanning would. Lexically incomplete input
+// (an unterminated string literal) reports false; other lexical errors
+// report true so executing the buffer surfaces them.
+func StatementsComplete(src string) bool {
+	toks, err := lex(src)
+	if err != nil {
+		return !errors.Is(err, errUnterminatedString)
+	}
+	if len(toks) < 2 { // EOF only: blank or comment-only buffer
+		return false
+	}
+	last := toks[len(toks)-2]
+	return last.kind == tokSymbol && last.text == ";"
+}
+
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
 	src  string
 	toks []token
 	pos  int
+
+	// Placeholder numbering state, reset per statement. `?` placeholders
+	// auto-number left to right; `$n` placeholders are explicit. Mixing the
+	// two styles in one statement is rejected.
+	qmarks     int  // `?` placeholders seen so far
+	dollarSeen bool // a `$n` placeholder was seen
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -130,6 +156,7 @@ func (p *parser) ident() (string, error) {
 }
 
 func (p *parser) parseStatement() (Statement, error) {
+	p.qmarks, p.dollarSeen = 0, false
 	switch t := p.peek(); {
 	case t.kind == tokKeyword:
 		switch t.text {
@@ -471,28 +498,40 @@ func (p *parser) parseSelect() (Statement, error) {
 		}
 	}
 	if p.acceptKw("LIMIT") {
-		t := p.peek()
-		if t.kind != tokNumber {
-			return nil, p.errHere("expected a LIMIT count")
+		if p.peek().kind == tokPlaceholder {
+			if sel.LimitExpr, err = p.parsePlaceholder(); err != nil {
+				return nil, err
+			}
+		} else {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, p.errHere("expected a LIMIT count")
+			}
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil || n < 0 {
+				return nil, p.errHere("invalid LIMIT %q", t.text)
+			}
+			p.next()
+			sel.Limit = n
 		}
-		n, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil || n < 0 {
-			return nil, p.errHere("invalid LIMIT %q", t.text)
-		}
-		p.next()
-		sel.Limit = n
 	}
 	if p.acceptKw("OFFSET") {
-		t := p.peek()
-		if t.kind != tokNumber {
-			return nil, p.errHere("expected an OFFSET count")
+		if p.peek().kind == tokPlaceholder {
+			if sel.OffsetExpr, err = p.parsePlaceholder(); err != nil {
+				return nil, err
+			}
+		} else {
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, p.errHere("expected an OFFSET count")
+			}
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil || n < 0 {
+				return nil, p.errHere("invalid OFFSET %q", t.text)
+			}
+			p.next()
+			sel.Offset = n
 		}
-		n, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil || n < 0 {
-			return nil, p.errHere("invalid OFFSET %q", t.text)
-		}
-		p.next()
-		sel.Offset = n
 	}
 	if p.acceptKw("AS") {
 		if err := p.expectKw("OF"); err != nil {
@@ -864,6 +903,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokString:
 		p.next()
 		return &Literal{Val: t.text}, nil
+	case tokPlaceholder:
+		return p.parsePlaceholder()
 	case tokKeyword:
 		switch t.text {
 		case "NULL":
@@ -913,6 +954,28 @@ func (p *parser) parsePrimary() (Expr, error) {
 	default:
 		return nil, p.errHere("unexpected end of expression")
 	}
+}
+
+// parsePlaceholder consumes a `?` or `$n` parameter token, enforcing a
+// single placeholder style per statement.
+func (p *parser) parsePlaceholder() (Expr, error) {
+	t := p.next()
+	if t.text == "" { // `?`: auto-numbered
+		if p.dollarSeen {
+			return nil, errAt(t.pos, p.src, "cannot mix '?' and '$n' placeholders in one statement")
+		}
+		p.qmarks++
+		return &Placeholder{Idx: p.qmarks}, nil
+	}
+	if p.qmarks > 0 {
+		return nil, errAt(t.pos, p.src, "cannot mix '?' and '$n' placeholders in one statement")
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 1 {
+		return nil, errAt(t.pos, p.src, "invalid parameter number $%s", t.text)
+	}
+	p.dollarSeen = true
+	return &Placeholder{Idx: n}, nil
 }
 
 // scalarFuncs are the supported non-aggregate functions.

@@ -74,8 +74,15 @@ func TestLexErrors(t *testing.T) {
 	if _, err := lex("SELECT 'unterminated"); err == nil {
 		t.Fatal("unterminated string must fail")
 	}
-	if _, err := lex("SELECT a ? b"); err == nil {
+	if _, err := lex("SELECT a @ b"); err == nil {
 		t.Fatal("bad character must fail")
+	}
+	if _, err := lex("SELECT $x"); err == nil {
+		t.Fatal("'$' without a parameter number must fail")
+	}
+	// '?' lexes as a placeholder now; it still cannot sit between operands.
+	if _, err := Parse("SELECT a ? b FROM t"); err == nil {
+		t.Fatal("misplaced placeholder must fail to parse")
 	}
 }
 

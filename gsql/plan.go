@@ -160,6 +160,56 @@ func (p *selectPlan) describe() []string {
 	return out
 }
 
+// boundPlan is one execution of a selectPlan: the immutable plan plus the
+// parameter values bound for this run and the LIMIT/OFFSET resolved from
+// any placeholder. Planning happens once per statement text; binding
+// happens per execution, which is what lets prepared statements skip the
+// parser and planner entirely on the hot path.
+type boundPlan struct {
+	*selectPlan
+	params []any
+	limit  int64
+	offset int64
+}
+
+// bind attaches one execution's parameter values to a plan. The plan is
+// not modified, so it can be rebound with fresh values on every call.
+func (p *selectPlan) bind(params []any) (*boundPlan, error) {
+	bp := &boundPlan{selectPlan: p, params: params, limit: p.limit, offset: p.offset}
+	if e := p.stmt.LimitExpr; e != nil {
+		n, err := resolveCount(e, params, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		bp.limit = n
+	}
+	if e := p.stmt.OffsetExpr; e != nil {
+		n, err := resolveCount(e, params, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		bp.offset = n
+	}
+	return bp, nil
+}
+
+// resolveCount evaluates a parameterized LIMIT/OFFSET to a non-negative
+// count.
+func resolveCount(e Expr, params []any, what string) (int64, error) {
+	v, err := evalExpr(e, &rowEnv{params: params})
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s must bind a BIGINT, got %T", ErrType, what, v)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("gsql: negative %s %d", what, n)
+	}
+	return n, nil
+}
+
 // catalog abstracts schema lookup for planning.
 type catalog interface {
 	Schema(name string) (*table.Schema, error)
@@ -410,7 +460,7 @@ func checkRefs(e Expr, tables []*boundTable) error {
 	case *ColRef:
 		_, _, err := resolveCol(x, tables)
 		return err
-	case *Literal, *Star, nil:
+	case *Literal, *Placeholder, *Star, nil:
 		return nil
 	case *BinaryExpr:
 		if err := checkRefs(x.Left, tables); err != nil {

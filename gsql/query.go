@@ -1,0 +1,188 @@
+package gsql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrNotSelect is returned by the Query entry points when the statement is
+// not a SELECT. Callers that accept any statement (like the database/sql
+// driver) match it and fall back to Exec.
+var ErrNotSelect = errors.New("gsql: Query requires a SELECT statement")
+
+// Rows streams a SELECT's output rows. Rows wraps the volcano operator
+// pipeline directly: each Next pulls combined rows from the scans (which
+// fetch storage pages lazily) and projects them, so a consumer that stops
+// early never ships the rest of the table. Pipeline breakers — GROUP BY,
+// and ORDER BY the scan cannot satisfy — materialize their result up front
+// and then iterate it; everything else streams end to end.
+//
+// A Rows must be Closed. Close also settles the autocommit read
+// transaction that backs an out-of-transaction primary read, so dropping a
+// Rows without closing leaks that transaction.
+type Rows struct {
+	ctx        context.Context
+	cols       []string
+	onReplicas bool
+
+	// Streaming state.
+	bp      *boundPlan
+	it      rowIter
+	seen    map[string]bool // DISTINCT filter
+	skipped int64
+	yielded int64
+
+	// Materialized fallback (grouped or sorted results).
+	mat [][]any
+	mi  int
+
+	row    []any
+	err    error
+	closed bool
+	finish func(ok bool) error // settles the backing read context; nil after run
+}
+
+// Columns names the output columns, available before the first Next.
+func (r *Rows) Columns() []string { return r.cols }
+
+// OnReplicas reports whether the query was served from asynchronous
+// replicas at the RCP rather than shard primaries.
+func (r *Rows) OnReplicas() bool { return r.onReplicas }
+
+// Next advances to the following output row, returning false at the end of
+// the result or on error (check Err afterwards).
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.it == nil { // materialized result
+		if r.mi >= len(r.mat) {
+			return false
+		}
+		r.row = r.mat[r.mi]
+		r.mi++
+		return true
+	}
+	for r.bp.limit < 0 || r.yielded < r.bp.limit {
+		combined, ok, err := r.it.Next(r.ctx)
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if !ok {
+			break
+		}
+		out, err := projectRow(r.bp, combined)
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if r.seen != nil {
+			key := distinctKey(out)
+			if r.seen[key] {
+				continue
+			}
+			r.seen[key] = true
+		}
+		if r.skipped < r.bp.offset {
+			r.skipped++
+			continue
+		}
+		r.yielded++
+		r.row = out
+		return true
+	}
+	return false
+}
+
+// Row returns the current output row. It is valid after a Next that
+// returned true and until the following Next call.
+func (r *Rows) Row() []any { return r.row }
+
+// Err returns the first error encountered while streaming, or nil.
+func (r *Rows) Err() error { return r.err }
+
+// Close stops the pipeline, releasing scan cursors and settling the
+// backing read transaction. Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.it != nil {
+		r.it.Close()
+	}
+	if r.finish != nil {
+		f := r.finish
+		r.finish = nil
+		return f(r.err == nil)
+	}
+	return nil
+}
+
+// Query runs a SELECT and streams its output rows, binding args to the
+// statement's placeholders. It shares Exec's plan cache. The returned Rows
+// must be closed.
+func (s *Session) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	cs, err := s.cachedStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := cs.stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("%w, have %T", ErrNotSelect, cs.stmt)
+	}
+	params, err := bindArgs(cs.numParams, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryRows(ctx, sel, cs.plan, params)
+}
+
+// queryRows opens the read context for a SELECT (session transaction,
+// autocommit primary read, or replica read) and hangs a streaming Rows off
+// the operator pipeline.
+func (s *Session) queryRows(ctx context.Context, sel *Select, plan *selectPlan, params []any) (*Rows, error) {
+	if plan == nil {
+		var err error
+		if plan, err = planSelect(s, sel); err != nil {
+			return nil, err
+		}
+	}
+	bp, err := plan.bind(params)
+	if err != nil {
+		return nil, err
+	}
+
+	r, onReplicas, finish, err := s.openReadContext(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	it, orderDone, err := buildPipeline(ctx, r, bp)
+	if err != nil {
+		_ = finish(false)
+		return nil, err
+	}
+	if bp.grouped || (len(bp.orderBy) > 0 && !orderDone) {
+		// Pipeline breaker: drain now, then iterate the materialized result.
+		res, err := finishSelect(ctx, bp, it, orderDone)
+		it.Close()
+		ferr := finish(err == nil)
+		if err != nil {
+			return nil, err
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+		return &Rows{cols: res.Columns, onReplicas: onReplicas, mat: res.Rows}, nil
+	}
+	rows := &Rows{
+		ctx: ctx, cols: bp.outCols, onReplicas: onReplicas,
+		bp: bp, it: it, finish: finish,
+	}
+	if bp.distinct {
+		rows.seen = make(map[string]bool)
+	}
+	return rows, nil
+}

@@ -15,9 +15,31 @@
 //
 //	SET STALENESS = '50ms';
 //	SELECT o_id, o_entry_d FROM orders WHERE o_w_id = 3 ORDER BY o_id DESC LIMIT 5;
+//
+// # Prepared statements and the plan cache
+//
+// Statements are parameterized with `?` (ordinal) or `$n` (positional)
+// placeholders, valid anywhere a literal is — WHERE values, IN lists,
+// INSERT VALUES, UPDATE SET, LIMIT/OFFSET. Planning is split from binding:
+// Session.Prepare parses and plans once and the returned Stmt executes
+// repeatedly with fresh parameter values, revalidating against the
+// catalog's DDL version so a CREATE/DROP TABLE between executions replans
+// transparently instead of running a stale plan. Session.Exec feeds the
+// same machinery through a per-session LRU plan cache keyed by statement
+// text, so hot statement shapes skip the parser either way:
+//
+//	st, _ := sess.Prepare(ctx, "SELECT v FROM kv WHERE k = ?")
+//	res, _ := st.Exec(ctx, int64(42))        // no parse, no plan
+//	rows, _ := sess.Query(ctx, "SELECT v FROM kv WHERE k > ? LIMIT ?", 10, 5)
+//
+// Session.Query and Stmt.Query stream: the returned Rows pulls rows from
+// the volcano operator pipeline on demand, which pulls paged scans from
+// storage, so closing early stops the scans mid-table. The database/sql
+// driver in globaldb/driver builds on exactly this surface.
 package gsql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -32,7 +54,8 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokSymbol // punctuation and operators
+	tokSymbol      // punctuation and operators
+	tokPlaceholder // statement parameter: text "" for `?`, digits for `$n`
 )
 
 func (k tokenKind) String() string {
@@ -49,6 +72,8 @@ func (k tokenKind) String() string {
 		return "string"
 	case tokSymbol:
 		return "symbol"
+	case tokPlaceholder:
+		return "placeholder"
 	default:
 		return fmt.Sprintf("tokenKind(%d)", uint8(k))
 	}
@@ -103,7 +128,13 @@ func lex(src string) ([]token, error) {
 
 // errAt builds a position-annotated parse error.
 func errAt(pos int, src string, format string, args ...any) error {
-	line, col := 1, 1
+	line, col := lineCol(pos, src)
+	return fmt.Errorf("gsql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// lineCol converts a byte offset into a 1-based line:column position.
+func lineCol(pos int, src string) (line, col int) {
+	line, col = 1, 1
 	for i := 0; i < pos && i < len(src); i++ {
 		if src[i] == '\n' {
 			line++
@@ -112,8 +143,13 @@ func errAt(pos int, src string, format string, args ...any) error {
 			col++
 		}
 	}
-	return fmt.Errorf("gsql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return line, col
 }
+
+// errUnterminatedString marks lexically incomplete input — an open string
+// literal. StatementsComplete matches it to keep a REPL reading instead of
+// executing a half-typed statement.
+var errUnterminatedString = errors.New("unterminated string literal")
 
 func (lx *lexer) run() error {
 	for {
@@ -136,6 +172,13 @@ func (lx *lexer) run() error {
 			}
 		case c == '\'':
 			if err := lx.lexString(); err != nil {
+				return err
+			}
+		case c == '?':
+			lx.toks = append(lx.toks, token{kind: tokPlaceholder, pos: lx.pos})
+			lx.pos++
+		case c == '$':
+			if err := lx.lexDollarPlaceholder(); err != nil {
 				return err
 			}
 		default:
@@ -243,7 +286,23 @@ func (lx *lexer) lexString() error {
 		sb.WriteByte(c)
 		lx.pos++
 	}
-	return errAt(start, lx.src, "unterminated string literal")
+	line, col := lineCol(start, lx.src)
+	return fmt.Errorf("gsql: %d:%d: %w", line, col, errUnterminatedString)
+}
+
+// lexDollarPlaceholder scans a `$n` parameter reference.
+func (lx *lexer) lexDollarPlaceholder() error {
+	start := lx.pos
+	lx.pos++ // '$'
+	digits := lx.pos
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos == digits {
+		return errAt(start, lx.src, "expected a parameter number after '$'")
+	}
+	lx.toks = append(lx.toks, token{kind: tokPlaceholder, text: lx.src[digits:lx.pos], pos: start})
+	return nil
 }
 
 // twoCharSymbols are the multi-byte operators, longest match first.
