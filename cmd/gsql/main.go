@@ -18,7 +18,14 @@
 //	SELECT * FROM kv WHERE k = 1;
 //	SET STALENESS = ANY;          -- route reads to asynchronous replicas
 //	EXPLAIN SELECT * FROM kv WHERE k = 1;
+//	\explain SELECT * FROM kv WHERE k = 1   -- shortcut, no ';' needed
 //	SHOW TABLES; SHOW MODE; SHOW REGIONS;
+//
+// EXPLAIN prints the planned DN-partial / CN-final split: which filters,
+// projections and partial aggregates run on the data nodes versus the
+// computing node. After each SELECT the shell reports the per-layer scan
+// counters (rows read at storage, rows dropped at the data nodes, rows
+// shipped over the WAN), so pushdown wins are visible interactively.
 package main
 
 import (
@@ -83,7 +90,29 @@ func main() {
 
 	fmt.Printf("GlobalDB SQL shell — %s topology, session homed in %s (mode %v)\n",
 		*topology, home, db.Mode())
-	fmt.Println(`Statements end with ';'. Type \q to quit.`)
+	fmt.Println(`Statements end with ';'. Type \q to quit, \explain <select> to show the DN/CN plan split.`)
+
+	runScript := func(script string) {
+		start := time.Now()
+		res, err := sess.ExecScript(ctx, script)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(gsql.FormatTable(res))
+		if len(res.Columns) == 0 {
+			return
+		}
+		where := "primaries"
+		if res.OnReplicas {
+			where = "replicas (RCP snapshot)"
+		}
+		fmt.Printf("read from %s — %v\n", where, time.Since(start).Round(time.Microsecond))
+		if sc := res.Scan; sc.StorageRows > 0 {
+			fmt.Printf("scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d\n",
+				sc.StorageRows, sc.DNFilteredRows, sc.WANRows)
+		}
+	}
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -102,24 +131,23 @@ func main() {
 		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
 			break
 		}
+		// \explain <stmt> runs immediately as EXPLAIN, no terminator needed.
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\explain`) {
+			q := strings.TrimSpace(strings.TrimPrefix(trimmed, `\explain`))
+			if q == "" {
+				fmt.Println(`usage: \explain SELECT ...`)
+			} else {
+				runScript("EXPLAIN " + strings.TrimSuffix(q, ";") + ";")
+			}
+			prompt()
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if gsql.StatementsComplete(buf.String()) {
-			start := time.Now()
-			res, err := sess.ExecScript(ctx, buf.String())
+			script := buf.String()
 			buf.Reset()
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Print(gsql.FormatTable(res))
-				where := "primaries"
-				if res.OnReplicas {
-					where = "replicas (RCP snapshot)"
-				}
-				if len(res.Columns) > 0 {
-					fmt.Printf("read from %s — %v\n", where, time.Since(start).Round(time.Microsecond))
-				}
-			}
+			runScript(script)
 		}
 		prompt()
 	}

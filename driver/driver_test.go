@@ -198,14 +198,28 @@ func TestRowsStreamLazily(t *testing.T) {
 	}
 	early := fetched() - before
 
+	// Full-drain baseline: the same row query read to exhaustion must ship
+	// every row. (COUNT(*) is no longer a valid baseline — aggregate
+	// pushdown ships one partial state per shard instead of the rows.)
 	before = fetched()
-	var n int
-	if err := sqldb.QueryRowContext(bg, "SELECT COUNT(*) FROM big").Scan(&n); err != nil {
+	rows, err = sqldb.QueryContext(bg, "SELECT id FROM big WHERE w = ?", int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		var id int64
+		if err := rows.Scan(&id); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if err := rows.Close(); err != nil {
 		t.Fatal(err)
 	}
 	full := fetched() - before
 	if n != total {
-		t.Fatalf("COUNT(*) = %d, want %d", n, total)
+		t.Fatalf("drained %d rows, want %d", n, total)
 	}
 	if full < total {
 		t.Fatalf("full scan fetched %d rows, want >= %d", full, total)
@@ -213,7 +227,22 @@ func TestRowsStreamLazily(t *testing.T) {
 	if early >= full/2 {
 		t.Fatalf("early close fetched %d of %d rows: driver Rows are not streaming", early, full)
 	}
-	t.Logf("rows fetched: early-close=%d full-drain=%d", early, full)
+
+	// And the pushed aggregate itself: COUNT(*) must now cross the WAN as
+	// O(shards) partial rows, not O(table).
+	before = fetched()
+	var cnt int
+	if err := sqldb.QueryRowContext(bg, "SELECT COUNT(*) FROM big").Scan(&cnt); err != nil {
+		t.Fatal(err)
+	}
+	aggRows := fetched() - before
+	if cnt != total {
+		t.Fatalf("COUNT(*) = %d, want %d", cnt, total)
+	}
+	if aggRows >= total/10 {
+		t.Fatalf("pushed COUNT(*) shipped %d rows over the WAN, want O(shards)", aggRows)
+	}
+	t.Logf("rows fetched: early-close=%d full-drain=%d count(*)=%d", early, full, aggRows)
 }
 
 // TestDSNAndStaleness exercises sql.Open with a registered cluster name

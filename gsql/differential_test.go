@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -179,6 +180,175 @@ func TestDifferentialStreamingVsMaterializing(t *testing.T) {
 				ON st.w_id = sp.w_id WHERE sp.w_id = %d AND st.i_id > %d AND sp.s_id = %d`, w, lo, 1+rng.Int63n(6)), false)
 		case 9: // DISTINCT streaming dedup
 			runBoth(fmt.Sprintf("SELECT DISTINCT grp FROM stock WHERE w_id = %d AND i_id > %d", w, lo), false)
+		}
+	}
+}
+
+// TestDifferentialPushdownVsCNSide runs randomly generated queries twice —
+// once with DN-side execution (filter, projection and partial-aggregate
+// pushdown) and once forced onto pure CN-side evaluation — and requires
+// byte-for-byte identical results. This is the correctness contract of the
+// distributed execution split: the fragment evaluator on the data nodes
+// and the partial-state merge must be indistinguishable from evaluating
+// everything at the computing node.
+func TestDifferentialPushdownVsCNSide(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE push (
+		w_id BIGINT, i_id BIGINT, grp BIGINT, qty BIGINT, ratio DOUBLE, tag TEXT,
+		PRIMARY KEY (w_id, i_id)
+	) SHARD BY w_id`)
+	rng := rand.New(rand.NewSource(23))
+	for w := int64(1); w <= 4; w++ {
+		for i := int64(1); i <= 60; i++ {
+			qty := fmt.Sprint(rng.Int63n(100))
+			if rng.Int63n(12) == 0 {
+				qty = "NULL" // exercise NULL semantics on both evaluators
+			}
+			tag := fmt.Sprintf("'t%d'", rng.Int63n(4))
+			if rng.Int63n(15) == 0 {
+				tag = "NULL"
+			}
+			exec(t, s, fmt.Sprintf("INSERT INTO push VALUES (%d, %d, %d, %s, %g, %s)",
+				w, i, rng.Int63n(5), qty, float64(i)/7, tag))
+		}
+	}
+
+	runBoth := func(sql string, ordered, wantPush bool) {
+		t.Helper()
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		p, err := planSelect(s, stmt.(*Select))
+		if err != nil {
+			t.Fatalf("plan %q: %v", sql, err)
+		}
+		if wantPush && p.push == nil {
+			t.Fatalf("%q: expected the planner to split off a DN fragment", sql)
+		}
+		run := func(noPush bool) *Result {
+			t.Helper()
+			bp, err := p.bind(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp.noPushdown = noPush
+			tx, err := s.sess.Begin(bg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tx.Abort(bg)
+			res, err := execSelect(bg, tx, bp)
+			if err != nil {
+				t.Fatalf("%s (noPush=%v): %v", sql, noPush, err)
+			}
+			return res
+		}
+		pushed := run(false)
+		cnSide := run(true)
+		a := rowStrings(pushed.Rows)
+		b := rowStrings(cnSide.Rows)
+		if !ordered {
+			sort.Strings(a)
+			sort.Strings(b)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%q: pushed %d rows vs CN-side %d\n pushed: %v\n cn:     %v", sql, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: row %d differs\n pushed: %s\n cn:     %s", sql, i, a[i], b[i])
+			}
+		}
+		// The pushed run must actually have saved WAN rows when a fragment
+		// dropped or aggregated anything (a filter that matches everything
+		// legitimately ships every row).
+		if wantPush && p.push.agg && pushed.Scan.WANRows >= pushed.Scan.StorageRows && pushed.Scan.StorageRows > 8 {
+			t.Fatalf("%q: pushed aggregation shipped %d of %d storage rows", sql, pushed.Scan.WANRows, pushed.Scan.StorageRows)
+		}
+	}
+
+	for trial := 0; trial < 120; trial++ {
+		w := 1 + rng.Int63n(4)
+		q := rng.Int63n(100)
+		g := rng.Int63n(5)
+		lo := 1 + rng.Int63n(50)
+		switch trial % 12 {
+		case 0: // plain comparison filter over a full scan
+			runBoth(fmt.Sprintf("SELECT * FROM push WHERE qty >= %d", q), false, true)
+		case 1: // conjunction with LIKE and a PK-prefix scan
+			runBoth(fmt.Sprintf("SELECT * FROM push WHERE w_id = %d AND tag LIKE 't%%' AND qty < %d", w, q), false, true)
+		case 2: // IN list and arithmetic on both evaluators
+			runBoth(fmt.Sprintf("SELECT i_id, qty FROM push WHERE grp IN (%d, %d) AND qty %% 3 = 1", g, (g+2)%5), false, true)
+		case 3: // NULL semantics: IS NULL and three-valued OR
+			runBoth(fmt.Sprintf("SELECT i_id FROM push WHERE qty IS NULL OR qty > %d", q), false, true)
+		case 4: // BETWEEN plus projection pushdown
+			runBoth(fmt.Sprintf("SELECT grp, qty FROM push WHERE i_id BETWEEN %d AND %d", lo, lo+10), false, true)
+		case 5: // global aggregates with a pushed filter
+			runBoth(fmt.Sprintf("SELECT COUNT(*), COUNT(qty), SUM(qty), MIN(qty), MAX(qty), AVG(qty) FROM push WHERE qty < %d", q), true, true)
+		case 6: // grouped aggregates
+			runBoth(fmt.Sprintf("SELECT grp, COUNT(*), SUM(qty) FROM push WHERE qty >= %d GROUP BY grp ORDER BY grp", q), true, true)
+		case 7: // multi-column grouping with HAVING on an aggregate
+			runBoth(fmt.Sprintf("SELECT w_id, grp, COUNT(*) FROM push WHERE i_id > %d GROUP BY w_id, grp HAVING COUNT(*) > 1 ORDER BY w_id, grp", lo), true, true)
+		case 8: // aggregate over an expression, NULL-heavy column
+			runBoth("SELECT tag, AVG(qty + 1), MIN(tag) FROM push GROUP BY tag ORDER BY tag", true, true)
+		case 9: // grouped agg on a PK-prefix scan with LIMIT/OFFSET
+			runBoth(fmt.Sprintf("SELECT grp, MAX(qty) FROM push WHERE w_id = %d GROUP BY grp ORDER BY grp LIMIT 3 OFFSET 1", w), true, true)
+		case 10: // residual split: float predicate pushes, the rest stays pushable too
+			runBoth(fmt.Sprintf("SELECT i_id FROM push WHERE ratio > %g AND qty <> %d", float64(lo)/9, q), false, true)
+		case 11: // empty result: zero-row global aggregate must agree
+			runBoth("SELECT COUNT(*), SUM(qty) FROM push WHERE qty > 1000", true, true)
+		}
+	}
+
+	// DISTINCT aggregates and float GROUP BY must NOT push down (no
+	// mergeable partial state / -0.0 vs +0.0 key ambiguity) — and still
+	// return identical results via the CN fallback.
+	for _, sql := range []string{
+		"SELECT COUNT(DISTINCT grp) FROM push",
+		"SELECT ratio, COUNT(*) FROM push GROUP BY ratio",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := planSelect(s, stmt.(*Select))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.push != nil && p.push.agg {
+			t.Fatalf("%q: must not push aggregation", sql)
+		}
+		runBoth(sql, false, false)
+	}
+}
+
+// TestExplainShowsPushdownSplit checks EXPLAIN renders the DN-partial /
+// CN-final split so the fragment plan is inspectable from the shell.
+func TestExplainShowsPushdownSplit(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE exp (
+		w_id BIGINT, i_id BIGINT, grp BIGINT, qty BIGINT,
+		PRIMARY KEY (w_id, i_id)
+	) SHARD BY w_id`)
+	planText := func(sql string) string {
+		res := exec(t, s, "EXPLAIN "+sql)
+		var lines []string
+		for _, r := range res.Rows {
+			lines = append(lines, fmt.Sprint(r[0]))
+		}
+		return fmt.Sprint(lines)
+	}
+	agg := planText("SELECT grp, COUNT(*), SUM(qty) FROM exp WHERE qty > 5 GROUP BY grp")
+	for _, want := range []string{"dn-pushdown", "partial-aggregate [COUNT(*), SUM(qty)]", "group by [grp]", "merge partial aggregate states"} {
+		if !strings.Contains(agg, want) {
+			t.Fatalf("EXPLAIN aggregate plan missing %q:\n%s", want, agg)
+		}
+	}
+	filt := planText("SELECT i_id FROM exp WHERE qty > 5")
+	for _, want := range []string{"dn-pushdown", "filter (qty > 5)", "project [", "cn-residual filter: none"} {
+		if !strings.Contains(filt, want) {
+			t.Fatalf("EXPLAIN filter plan missing %q:\n%s", want, filt)
 		}
 	}
 }

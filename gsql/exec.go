@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"globaldb"
+	"globaldb/gsql/fragment"
 	"globaldb/internal/table"
 )
 
@@ -58,17 +59,121 @@ func (e *rowEnv) paramValue(idx int) (any, error) {
 	return e.params[idx-1], nil
 }
 
-// execSelect runs a planned SELECT against a reader through the streaming
-// operator pipeline (scan -> join -> filter -> project/aggregate/sort/
-// limit). Orderings and aggregates drain the pipeline; everything else
-// streams and terminates the scans early once LIMIT is satisfied.
+// execSelect runs a planned SELECT against a reader. Plans with a pushed
+// aggregation run DN-partial/CN-final: data nodes fold matching rows into
+// per-group partial states and the CN merges them. Everything else runs
+// through the streaming operator pipeline (scan, with any pushed filter
+// and projection evaluated on the data nodes -> join -> residual filter ->
+// project/aggregate/sort/limit). Orderings and aggregates drain the
+// pipeline; everything else streams and terminates the scans early once
+// LIMIT is satisfied.
 func execSelect(ctx context.Context, r reader, p *boundPlan) (*Result, error) {
-	it, orderDone, err := buildPipeline(ctx, r, p)
+	if p.push != nil && p.push.agg && !p.noPushdown {
+		res, ok, err := execPushedAgg(ctx, r, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	it, orderDone, totals, err := buildPipeline(ctx, r, p)
 	if err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	return finishSelect(ctx, p, it, orderDone)
+	res, err := finishSelect(ctx, p, it, orderDone)
+	it.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Scan = totals.s
+	return res, nil
+}
+
+// execPushedAgg runs a grouped SELECT with DN-partial aggregation: each
+// shard ships one pre-merged partial state row per group, the coordinator
+// merge combines equal groups across shards, and this function finalizes
+// the states into SQL aggregate values, then applies HAVING, output
+// expressions, ORDER BY and LIMIT exactly as CN-side aggregation would.
+// ok=false means the fragment could not be bound for this execution and
+// the caller should fall back to the CN-side path.
+func execPushedAgg(ctx context.Context, r reader, p *boundPlan) (res *Result, ok bool, err error) {
+	pp := p.push
+	bf, err := pp.frag.Bind(p.params)
+	if err != nil {
+		return nil, false, nil
+	}
+	s := p.outer
+	sch := s.tab.schema
+	env := &rowEnv{tables: p.tables, params: p.params}
+	opts := globaldb.ScanOpts{Range: scanRange(s, env), Pushdown: bf}
+	var rows *globaldb.Rows
+	switch s.kind {
+	case accessFull:
+		rows, err = r.ScanTableRows(ctx, sch.Name, opts)
+	case accessPKPrefix:
+		keyVals := make([]any, len(s.keyExprs))
+		for i, e := range s.keyExprs {
+			v, evalErr := evalExpr(e, env)
+			if evalErr != nil {
+				return nil, true, evalErr
+			}
+			keyVals[i] = v
+		}
+		keyVals, err = coerceKey(sch, sch.PK[:len(keyVals)], keyVals)
+		if err != nil {
+			return nil, true, err
+		}
+		rows, err = r.ScanPKRows(ctx, sch.Name, keyVals, opts)
+	default:
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	defer rows.Close()
+
+	ngroup := len(pp.groupCols)
+	var groups []finishedGroup
+	for rows.Next() {
+		row := rows.Row()
+		if len(row) != ngroup+len(p.aggs) {
+			return nil, true, fmt.Errorf("gsql: partial aggregate row has %d values, want %d", len(row), ngroup+len(p.aggs))
+		}
+		// Rebuild a representative row from the group key so group-column
+		// references in outputs, HAVING and ORDER BY resolve.
+		rep := make(table.Row, len(sch.Columns))
+		for i, ci := range pp.groupCols {
+			rep[ci] = row[i]
+		}
+		vals := make(map[string]any, len(p.aggs))
+		for i := range p.aggs {
+			st, isState := row[ngroup+i].(fragment.AggState)
+			if !isState {
+				return nil, true, fmt.Errorf("gsql: partial aggregate slot %d holds %T", i, row[ngroup+i])
+			}
+			vals[p.aggKeys[i]] = st.Final(pp.frag.Aggs[i].Kind)
+		}
+		groups = append(groups, finishedGroup{rep: []table.Row{rep}, vals: vals})
+	}
+	if err := rows.Err(); err != nil {
+		return nil, true, err
+	}
+	// A global aggregate over zero rows still yields one output row, with
+	// the same empty-state results as CN-side aggregation.
+	if len(groups) == 0 && len(p.groupBy) == 0 {
+		vals := make(map[string]any, len(p.aggs))
+		for i, fn := range p.aggs {
+			vals[p.aggKeys[i]] = newAggState(fn).result()
+		}
+		groups = append(groups, finishedGroup{rep: nil, vals: vals})
+	}
+	res, err = finishAggGroups(p, groups)
+	if err != nil {
+		return nil, true, err
+	}
+	res.Scan = rows.ScanStats()
+	return res, true, nil
 }
 
 // execSelectMaterialized is the legacy drain-everything path: every scan
@@ -522,9 +627,20 @@ func evalWithAggs(e Expr, env *aggEnv) (any, error) {
 	}
 }
 
+// finishedGroup is one group ready for the CN-final phase: a
+// representative row for group-key references and the computed aggregate
+// values keyed by the aggregate call's text. Both the CN-side aggregation
+// and the DN-partial merge path converge on this shape, so HAVING, output
+// evaluation, ORDER BY and LIMIT are shared verbatim between them.
+type finishedGroup struct {
+	rep  []table.Row
+	vals map[string]any
+}
+
 // aggregateRows groups the combined-row stream and computes aggregate
-// outputs. Aggregation is a pipeline breaker — it consumes the stream to
-// the end — but still holds only per-group state, never the input rows.
+// outputs — the CN-side aggregation path. Aggregation is a pipeline
+// breaker — it consumes the stream to the end — but still holds only
+// per-group state, never the input rows.
 func aggregateRows(ctx context.Context, p *boundPlan, it rowIter) (*Result, error) {
 	type group struct {
 		rep    []table.Row // representative row for group-key evaluation
@@ -577,15 +693,26 @@ func aggregateRows(ctx context.Context, p *boundPlan, it rowIter) (*Result, erro
 		order = append(order, "")
 	}
 
-	out := &Result{Columns: p.outCols}
-	var sortKeys [][]any
+	finished := make([]finishedGroup, 0, len(order))
 	for _, key := range order {
 		grp := groups[key]
-		vals := map[string]any{}
+		vals := make(map[string]any, len(grp.states))
 		for i, st := range grp.states {
 			vals[p.aggKeys[i]] = st.result()
 		}
-		env := &aggEnv{base: &rowEnv{tables: p.tables, rows: grp.rep, params: p.params}, vals: vals}
+		finished = append(finished, finishedGroup{rep: grp.rep, vals: vals})
+	}
+	return finishAggGroups(p, finished)
+}
+
+// finishAggGroups runs the CN-final phase over computed groups: HAVING,
+// output expressions with aggregate slots substituted, ORDER BY keys, then
+// sort/DISTINCT/OFFSET/LIMIT.
+func finishAggGroups(p *boundPlan, groups []finishedGroup) (*Result, error) {
+	out := &Result{Columns: p.outCols}
+	var sortKeys [][]any
+	for _, grp := range groups {
+		env := &aggEnv{base: &rowEnv{tables: p.tables, rows: grp.rep, params: p.params}, vals: grp.vals}
 		if p.having != nil {
 			hv, err := evalWithAggs(p.having, env)
 			if err != nil {

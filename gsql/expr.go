@@ -1,142 +1,32 @@
 package gsql
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"regexp"
 	"strings"
-	"sync"
+
+	"globaldb/gsql/fragment"
 )
 
-// ErrType is returned when an expression combines incompatible values.
-var ErrType = errors.New("gsql: type error")
+// The scalar kernel — value comparison, arithmetic, LIKE matching and the
+// type-error sentinel — lives in gsql/fragment and is shared with the
+// data-node-side evaluator, so a predicate pushed to a data node cannot
+// drift from the same predicate evaluated here.
+
+// ErrType is returned when an expression combines incompatible values. It
+// aliases the fragment evaluator's sentinel: both sides of the CN/DN
+// execution split wrap the same error.
+var ErrType = fragment.ErrType
 
 // compare orders two non-nil SQL values. Mixed int64/float64 compare
 // numerically; otherwise both sides must share a type.
-func compare(a, b any) (int, error) {
-	switch x := a.(type) {
-	case int64:
-		switch y := b.(type) {
-		case int64:
-			switch {
-			case x < y:
-				return -1, nil
-			case x > y:
-				return 1, nil
-			}
-			return 0, nil
-		case float64:
-			return cmpFloat(float64(x), y), nil
-		}
-	case float64:
-		switch y := b.(type) {
-		case int64:
-			return cmpFloat(x, float64(y)), nil
-		case float64:
-			return cmpFloat(x, y), nil
-		}
-	case string:
-		if y, ok := b.(string); ok {
-			return strings.Compare(x, y), nil
-		}
-	case []byte:
-		if y, ok := b.([]byte); ok {
-			return strings.Compare(string(x), string(y)), nil
-		}
-	case bool:
-		if y, ok := b.(bool); ok {
-			switch {
-			case !x && y:
-				return -1, nil
-			case x && !y:
-				return 1, nil
-			}
-			return 0, nil
-		}
-	}
-	return 0, fmt.Errorf("%w: cannot compare %T and %T", ErrType, a, b)
-}
-
-func cmpFloat(x, y float64) int {
-	switch {
-	case x < y:
-		return -1
-	case x > y:
-		return 1
-	default:
-		return 0
-	}
-}
+func compare(a, b any) (int, error) { return fragment.Compare(a, b) }
 
 // arith applies +, -, *, /, % to two non-nil values.
-func arith(op string, a, b any) (any, error) {
-	ai, aIsInt := a.(int64)
-	bi, bIsInt := b.(int64)
-	if aIsInt && bIsInt {
-		switch op {
-		case "+":
-			return ai + bi, nil
-		case "-":
-			return ai - bi, nil
-		case "*":
-			return ai * bi, nil
-		case "/":
-			if bi == 0 {
-				return nil, fmt.Errorf("gsql: division by zero")
-			}
-			return ai / bi, nil
-		case "%":
-			if bi == 0 {
-				return nil, fmt.Errorf("gsql: division by zero")
-			}
-			return ai % bi, nil
-		}
-	}
-	af, aOK := toFloat(a)
-	bf, bOK := toFloat(b)
-	if !aOK || !bOK {
-		// String concatenation via + is a convenience extension.
-		if op == "+" {
-			as, aStr := a.(string)
-			bs, bStr := b.(string)
-			if aStr && bStr {
-				return as + bs, nil
-			}
-		}
-		return nil, fmt.Errorf("%w: %T %s %T", ErrType, a, op, b)
-	}
-	switch op {
-	case "+":
-		return af + bf, nil
-	case "-":
-		return af - bf, nil
-	case "*":
-		return af * bf, nil
-	case "/":
-		if bf == 0 {
-			return nil, fmt.Errorf("gsql: division by zero")
-		}
-		return af / bf, nil
-	case "%":
-		if bf == 0 {
-			return nil, fmt.Errorf("gsql: division by zero")
-		}
-		return math.Mod(af, bf), nil
-	}
-	return nil, fmt.Errorf("gsql: unknown operator %q", op)
-}
+func arith(op string, a, b any) (any, error) { return fragment.Arith(op, a, b) }
 
-func toFloat(v any) (float64, bool) {
-	switch x := v.(type) {
-	case int64:
-		return float64(x), true
-	case float64:
-		return x, true
-	default:
-		return 0, false
-	}
-}
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) (bool, error) { return fragment.LikeMatch(s, pattern) }
 
 // truthy interprets a value as a SQL condition; NULL is false.
 func truthy(v any) (bool, error) {
@@ -148,35 +38,6 @@ func truthy(v any) (bool, error) {
 	default:
 		return false, fmt.Errorf("%w: %T used as a condition", ErrType, v)
 	}
-}
-
-// likeCache memoizes compiled LIKE patterns.
-var likeCache sync.Map // string -> *regexp.Regexp
-
-// likeMatch implements SQL LIKE with % and _ wildcards.
-func likeMatch(s, pattern string) (bool, error) {
-	if cached, ok := likeCache.Load(pattern); ok {
-		return cached.(*regexp.Regexp).MatchString(s), nil
-	}
-	var sb strings.Builder
-	sb.WriteString("(?s)^")
-	for _, r := range pattern {
-		switch r {
-		case '%':
-			sb.WriteString(".*")
-		case '_':
-			sb.WriteString(".")
-		default:
-			sb.WriteString(regexp.QuoteMeta(string(r)))
-		}
-	}
-	sb.WriteString("$")
-	re, err := regexp.Compile(sb.String())
-	if err != nil {
-		return false, fmt.Errorf("gsql: bad LIKE pattern %q: %v", pattern, err)
-	}
-	likeCache.Store(pattern, re)
-	return re.MatchString(s), nil
 }
 
 // evalEnv resolves column references and statement parameters during

@@ -23,6 +23,11 @@ type Result struct {
 	// OnReplicas reports whether a SELECT was served from asynchronous
 	// replicas at the RCP (read-on-replica) rather than shard primaries.
 	OnReplicas bool
+	// Scan reports the SELECT's per-layer scan row counts: rows read from
+	// storage by data nodes, rows dropped DN-side (pushed filters and
+	// partial aggregation), and rows shipped over the WAN — the pushdown
+	// win, observable per query.
+	Scan globaldb.ScanStats
 }
 
 // stalenessMode selects where out-of-transaction SELECTs read.
@@ -46,6 +51,11 @@ type Session struct {
 
 	mode      stalenessMode
 	staleness time.Duration
+
+	// pushdownOff forces CN-side evaluation of filters and aggregates
+	// (differential testing and apples-to-apples measurement); pushdown is
+	// on by default.
+	pushdownOff bool
 
 	plans *planCache // statement text -> parsed statement + SELECT plan
 }
@@ -79,6 +89,13 @@ func (s *Session) Staleness() string {
 
 // Schema implements the planner's catalog over the cluster catalog.
 func (s *Session) Schema(name string) (*table.Schema, error) { return s.db.Schema(name) }
+
+// SetPushdown enables or disables DN-side execution (filter, projection
+// and partial-aggregate pushdown) for this session's queries. On by
+// default; disabling moves all evaluation back to the computing node
+// without changing any result — the differential tests rely on exactly
+// that equivalence.
+func (s *Session) SetPushdown(on bool) { s.pushdownOff = !on }
 
 // Exec runs one SQL statement with the given parameter values bound to its
 // `?`/`$n` placeholders. Parsed statements and SELECT plans are cached per
@@ -248,6 +265,7 @@ func (s *Session) execSelect(ctx context.Context, sel *Select, plan *selectPlan,
 	if err != nil {
 		return nil, err
 	}
+	bp.noPushdown = s.pushdownOff
 	r, onReplicas, finish, err := s.openReadContext(ctx, sel)
 	if err != nil {
 		return nil, err

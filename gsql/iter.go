@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"globaldb"
+	"globaldb/gsql/fragment"
 	"globaldb/internal/table"
 )
 
@@ -36,9 +37,18 @@ func (s *sliceIter) Next(context.Context) ([]table.Row, bool, error) {
 
 func (s *sliceIter) Close() {}
 
+// scanTotals accumulates per-layer scan row counts across every scan a
+// query opens (outer plus join inners), surfaced on the Result so pushdown
+// wins are observable per query.
+type scanTotals struct {
+	s globaldb.ScanStats
+}
+
 // scanIter adapts a streaming globaldb.Rows into single-table combined rows.
 type scanIter struct {
-	rows *globaldb.Rows
+	rows    *globaldb.Rows
+	totals  *scanTotals
+	counted bool
 }
 
 func (s *scanIter) Next(context.Context) ([]table.Row, bool, error) {
@@ -48,7 +58,15 @@ func (s *scanIter) Next(context.Context) ([]table.Row, bool, error) {
 	return nil, false, s.rows.Err()
 }
 
-func (s *scanIter) Close() { _ = s.rows.Close() }
+func (s *scanIter) Close() {
+	if !s.counted {
+		s.counted = true
+		if s.totals != nil {
+			s.totals.s = s.totals.s.Add(s.rows.ScanStats())
+		}
+	}
+	_ = s.rows.Close()
+}
 
 // filterIter drops combined rows failing the predicate.
 type filterIter struct {
@@ -124,8 +142,10 @@ func (j *nestedLoopIter) Close() {
 // non-nil, binds outer column references in the scan's key and range
 // expressions (join inner lookups). fetchLimit > 0 caps the rows the scan
 // requests from storage (a fully pushed LIMIT); pageHint > 0 sizes the
-// first fetched page (early-terminating consumers).
-func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int) (rowIter, error) {
+// first fetched page (early-terminating consumers). frag, when non-nil, is
+// the bound DN-side fragment attached to the scan's pages; totals, when
+// non-nil, accumulates the scan's per-layer row counts at Close.
+func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int, frag *fragment.Fragment, totals *scanTotals) (rowIter, error) {
 	env := &rowEnv{tables: p.tables, params: p.params}
 	if outerRow != nil {
 		env.rows = []table.Row{outerRow}
@@ -139,7 +159,7 @@ func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRo
 		keyVals[i] = v
 	}
 	name := s.tab.schema.Name
-	opts := globaldb.ScanOpts{Limit: fetchLimit, PageSize: pageHint, Range: scanRange(s, env)}
+	opts := globaldb.ScanOpts{Limit: fetchLimit, PageSize: pageHint, Range: scanRange(s, env), Pushdown: frag}
 	switch s.kind {
 	case accessPoint:
 		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK, keyVals)
@@ -160,7 +180,7 @@ func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRo
 		if err != nil {
 			return nil, err
 		}
-		return &scanIter{rows: rows}, nil
+		return &scanIter{rows: rows, totals: totals}, nil
 	case accessIndex:
 		ix, err := findIndex(s.tab.schema, s.index)
 		if err != nil {
@@ -174,13 +194,13 @@ func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRo
 		if err != nil {
 			return nil, err
 		}
-		return &scanIter{rows: rows}, nil
+		return &scanIter{rows: rows, totals: totals}, nil
 	case accessFull:
 		rows, err := r.ScanTableRows(ctx, name, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &scanIter{rows: rows}, nil
+		return &scanIter{rows: rows, totals: totals}, nil
 	default:
 		return nil, fmt.Errorf("gsql: unknown access kind %v", s.kind)
 	}
@@ -215,19 +235,38 @@ func scanRange(s *tableScan, env *rowEnv) *globaldb.ScanRange {
 }
 
 // buildPipeline assembles the streaming operator tree for a planned SELECT:
-// scan(outer) -> [nested-loop join(inner)] -> filter. orderDone reports
-// whether the scan already delivers rows in the plan's ORDER BY order (so
-// the driver can skip the sort and terminate early on LIMIT).
-func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, orderDone bool, err error) {
+// scan(outer, with any DN-side fragment attached) -> [nested-loop
+// join(inner)] -> residual filter. orderDone reports whether the scan
+// already delivers rows in the plan's ORDER BY order (so the driver can
+// skip the sort and terminate early on LIMIT). The returned totals
+// accumulate every scan's per-layer row counts as iterators close.
+func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, orderDone bool, totals *scanTotals, err error) {
+	totals = &scanTotals{}
 	orderDone = scanSatisfiesOrder(p.selectPlan)
+
+	// The DN-partial phase: bind the fragment template with this
+	// execution's parameters. A bind failure (e.g. an exotic parameter
+	// type) falls back to CN-side evaluation — the fragment is an
+	// optimization, not a dependency.
+	filter := p.filter
+	var frag *fragment.Fragment
+	if p.push != nil && !p.push.agg && !p.noPushdown {
+		if bf, bindErr := p.push.frag.Bind(p.params); bindErr == nil {
+			frag = bf
+			filter = p.push.cnFilter
+		}
+	}
+
 	// A limit is pushed all the way into the outer scan only when nothing
-	// above it can drop, add or reorder rows. Everything else still
+	// above it can drop, add or reorder rows. With the filter running
+	// DN-side the limit budgets qualifying rows, so `WHERE pushed LIMIT k`
+	// ships O(k) rows instead of scanning to the CN. Everything else still
 	// benefits from streaming: the limit operator simply stops pulling.
 	fetchLimit := 0
 	pageHint := 0
 	if p.limit >= 0 && p.inner == nil && !p.grouped &&
 		(len(p.orderBy) == 0 || orderDone) && !p.distinct {
-		if p.filter == nil {
+		if filter == nil {
 			fetchLimit = int(p.limit + p.offset)
 		}
 		// Early termination will stop the scan after limit+offset output
@@ -238,23 +277,23 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, ord
 			pageHint = 16
 		}
 	}
-	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint)
+	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint, frag, totals)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	it = scan
 	if p.inner != nil {
 		it = &nestedLoopIter{
 			outer: it,
 			openInner: func(outerRow table.Row) (rowIter, error) {
-				return openScan(ctx, r, p, p.inner, outerRow, 0, 0)
+				return openScan(ctx, r, p, p.inner, outerRow, 0, 0, nil, totals)
 			},
 		}
 	}
-	if p.filter != nil {
-		it = &filterIter{child: it, filter: p.filter, tables: p.tables, params: p.params}
+	if filter != nil {
+		it = &filterIter{child: it, filter: filter, tables: p.tables, params: p.params}
 	}
-	return it, orderDone, nil
+	return it, orderDone, totals, nil
 }
 
 // scanSatisfiesOrder reports whether the streaming outer scan already

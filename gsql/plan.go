@@ -123,6 +123,12 @@ type selectPlan struct {
 	limit    int64
 	offset   int64
 	distinct bool
+
+	// push is the DN-partial execution phase, when any part of the plan
+	// can run on data nodes (see pushdown.go); nil otherwise. Execution
+	// falls back to pure CN-side evaluation when disabled or when binding
+	// fails, so push is an optimization, never a semantic dependency.
+	push *pushPlan
 }
 
 // describe renders the plan for EXPLAIN.
@@ -137,6 +143,9 @@ func (p *selectPlan) describe() []string {
 	}
 	if p.filter != nil {
 		out = append(out, "  filter: "+p.filter.String())
+	}
+	if p.push != nil {
+		out = append(out, p.push.describe(p)...)
 	}
 	if len(p.orderBy) > 0 {
 		parts := make([]string, len(p.orderBy))
@@ -170,6 +179,9 @@ type boundPlan struct {
 	params []any
 	limit  int64
 	offset int64
+	// noPushdown forces CN-side evaluation for this execution (session
+	// toggle and the pushdown-vs-CN differential tests).
+	noPushdown bool
 }
 
 // bind attaches one execution's parameter values to a plan. The plan is
@@ -340,6 +352,9 @@ func planSelect(cat catalog, sel *Select) (*selectPlan, error) {
 			return nil, err
 		}
 	}
+
+	// Split the plan into DN-partial and CN-final phases where possible.
+	p.push = analyzePushdown(p)
 	return p, nil
 }
 

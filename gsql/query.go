@@ -154,20 +154,17 @@ func (s *Session) queryRows(ctx context.Context, sel *Select, plan *selectPlan, 
 	if err != nil {
 		return nil, err
 	}
+	bp.noPushdown = s.pushdownOff
 
 	r, onReplicas, finish, err := s.openReadContext(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
-	it, orderDone, err := buildPipeline(ctx, r, bp)
-	if err != nil {
-		_ = finish(false)
-		return nil, err
-	}
-	if bp.grouped || (len(bp.orderBy) > 0 && !orderDone) {
-		// Pipeline breaker: drain now, then iterate the materialized result.
-		res, err := finishSelect(ctx, bp, it, orderDone)
-		it.Close()
+	if bp.grouped || (len(bp.orderBy) > 0 && !scanSatisfiesOrder(bp.selectPlan)) {
+		// Pipeline breaker: run to completion (through the DN-partial
+		// aggregate path when the plan pushes down), then iterate the
+		// materialized result.
+		res, err := execSelect(ctx, r, bp)
 		ferr := finish(err == nil)
 		if err != nil {
 			return nil, err
@@ -176,6 +173,11 @@ func (s *Session) queryRows(ctx context.Context, sel *Select, plan *selectPlan, 
 			return nil, ferr
 		}
 		return &Rows{cols: res.Columns, onReplicas: onReplicas, mat: res.Rows}, nil
+	}
+	it, _, _, err := buildPipeline(ctx, r, bp)
+	if err != nil {
+		_ = finish(false)
+		return nil, err
 	}
 	rows := &Rows{
 		ctx: ctx, cols: bp.outCols, onReplicas: onReplicas,

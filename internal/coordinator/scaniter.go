@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"globaldb/internal/datanode"
+	"globaldb/internal/stats"
 	"globaldb/internal/storage/mvcc"
 )
 
@@ -109,12 +110,37 @@ func (c *ScanCursor) Err() error { return c.err }
 // Close implements KVCursor.
 func (c *ScanCursor) Close() { c.closed = true }
 
-// ScanCursor returns a lazy paged cursor over [start, end) on one shard's
-// primary at the transaction's snapshot, observing the transaction's own
-// writes. limit <= 0 means unlimited; pageSize <= 0 uses the data node's
-// default page size.
-func (t *Txn) ScanCursor(shard int, start, end []byte, limit, pageSize int) *ScanCursor {
-	return newScanCursor(start, limit, pageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+// ScanSpec describes one shard's paged scan: the key range, row budgets,
+// an optional encoded execution fragment the data node evaluates locally
+// (globaldb/gsql/fragment), and optional per-query counters fed by every
+// page fetch.
+type ScanSpec struct {
+	// Start and End bound the key range, [Start, End).
+	Start, End []byte
+	// Limit caps the qualifying rows the cursor yields; <= 0 unlimited.
+	Limit int
+	// PageSize is the first page's row budget; <= 0 uses the node default.
+	PageSize int
+	// Frag is the encoded execution fragment shipped with every page
+	// request; nil scans raw pairs.
+	Frag []byte
+	// Counters, when non-nil, accumulates per-fetch examined/shipped rows.
+	Counters *stats.ScanCounters
+}
+
+// observePage feeds one fetched page into the spec's counters.
+func (s ScanSpec) observePage(resp datanode.ScanPageResp) {
+	if s.Counters != nil {
+		s.Counters.Observe(resp.Examined, len(resp.KVs))
+	}
+}
+
+// ScanCursor returns a lazy paged cursor over the spec's range on one
+// shard's primary at the transaction's snapshot, observing the
+// transaction's own writes. Any attached fragment runs on the data node
+// before rows are shipped.
+func (t *Txn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
+	return newScanCursor(spec.Start, spec.Limit, spec.PageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
 		if t.done {
 			return nil, nil, false, ErrTxnDone
 		}
@@ -122,27 +148,40 @@ func (t *Txn) ScanCursor(shard int, start, end []byte, limit, pageSize int) *Sca
 		if tr := t.cn.placement; tr != nil {
 			tr.RecordRead(shard, t.cn.region)
 		}
-		return t.cn.client.ScanPage(ctx, t.cn.routing.Primary(shard), from, end, t.ts.Snap, remaining, page, t.id)
+		resp, err := t.cn.client.ScanPageFrag(ctx, t.cn.routing.Primary(shard), from, spec.End, t.ts.Snap, remaining, page, spec.Frag, t.id)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		spec.observePage(resp)
+		return resp.KVs, resp.Next, resp.More, nil
 	})
 }
 
-// ScanCursor returns a lazy paged cursor over [start, end) on one shard at
-// the query's snapshot, served by the skyline-selected node with a
-// per-page fallback to the primary when a replica fails mid-scan.
-func (r *ROTxn) ScanCursor(shard int, start, end []byte, limit, pageSize int) *ScanCursor {
-	return newScanCursor(start, limit, pageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+// ScanCursor returns a lazy paged cursor over the spec's range on one
+// shard at the query's snapshot, served by the skyline-selected node with
+// a per-page fallback to the primary when a replica fails mid-scan. Any
+// attached fragment runs on whichever node serves the page — the fragment
+// carries the snapshot-independent plan and the request carries the
+// snapshot, so replica execution at the RCP is identical to primary
+// execution.
+func (r *ROTxn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
+	return newScanCursor(spec.Start, spec.Limit, spec.PageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
 		node, replica, err := r.pick(shard)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		t0 := time.Now()
-		kvs, next, more, err := r.cn.client.ScanPage(ctx, node, from, end, r.snap, remaining, page, 0)
+		resp, err := r.cn.client.ScanPageFrag(ctx, node, from, spec.End, r.snap, remaining, page, spec.Frag, 0)
 		r.observe(node, replica, t0, err)
 		if err != nil && replica {
 			r.cn.primaryReads.Add(1)
-			return r.cn.client.ScanPage(ctx, r.cn.routing.Primary(shard), from, end, r.snap, remaining, page, 0)
+			resp, err = r.cn.client.ScanPageFrag(ctx, r.cn.routing.Primary(shard), from, spec.End, r.snap, remaining, page, spec.Frag, 0)
 		}
-		return kvs, next, more, err
+		if err != nil {
+			return nil, nil, false, err
+		}
+		spec.observePage(resp)
+		return resp.KVs, resp.Next, resp.More, nil
 	})
 }
 
@@ -272,6 +311,74 @@ func (c *ChainedCursor) Close() {
 		child.Close()
 	}
 }
+
+// AggMergeCursor coalesces runs of equal keys in an already key-ordered
+// stream, combining their values with a caller-supplied merge function.
+// This is the coordinator's CN-final half of aggregate pushdown: each
+// shard returns per-group partial states keyed by a memcomparable group
+// key, MergeCursors interleaves them in key order (equal groups adjacent),
+// and this cursor merges the adjacent partials into one state per group.
+type AggMergeCursor struct {
+	child       KVCursor
+	merge       func(a, b []byte) ([]byte, error)
+	cur         mvcc.KV
+	pending     mvcc.KV
+	havePending bool
+	err         error
+}
+
+// MergeAggregates wraps a key-ordered cursor of per-shard partial rows,
+// yielding exactly one pair per distinct key with values combined by
+// merge. A child error suppresses the group being assembled — a partial
+// aggregate missing one shard's contribution would be silently wrong.
+func MergeAggregates(child KVCursor, merge func(a, b []byte) ([]byte, error)) *AggMergeCursor {
+	return &AggMergeCursor{child: child, merge: merge}
+}
+
+// Next implements KVCursor.
+func (m *AggMergeCursor) Next(ctx context.Context) bool {
+	if m.err != nil {
+		return false
+	}
+	var cur mvcc.KV
+	if m.havePending {
+		cur, m.havePending = m.pending, false
+	} else {
+		if !m.child.Next(ctx) {
+			m.err = m.child.Err()
+			return false
+		}
+		cur = m.child.KV()
+	}
+	for m.child.Next(ctx) {
+		kv := m.child.KV()
+		if !bytes.Equal(kv.Key, cur.Key) {
+			m.pending, m.havePending = kv, true
+			break
+		}
+		merged, err := m.merge(cur.Value, kv.Value)
+		if err != nil {
+			m.err = err
+			return false
+		}
+		cur.Value = merged
+	}
+	if err := m.child.Err(); err != nil {
+		m.err = err
+		return false
+	}
+	m.cur = cur
+	return true
+}
+
+// KV implements KVCursor.
+func (m *AggMergeCursor) KV() mvcc.KV { return m.cur }
+
+// Err implements KVCursor.
+func (m *AggMergeCursor) Err() error { return m.err }
+
+// Close implements KVCursor.
+func (m *AggMergeCursor) Close() { m.child.Close() }
 
 // ScanRowsFetched reports the rows this CN has received in scan responses,
 // one layer above the storage engines' own RowsScanned counters.

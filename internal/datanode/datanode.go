@@ -78,19 +78,28 @@ type (
 
 	// ScanPageReq is one page of a resumable range scan. MaxPage caps the
 	// page size (rows per response); the node clamps it to its own limit so
-	// a single RPC never ships an unbounded result over the WAN.
+	// a single RPC never ships an unbounded result over the WAN. Frag, when
+	// non-nil, is an encoded execution fragment (globaldb/gsql/fragment)
+	// the node evaluates locally: rows are filtered, projected, or folded
+	// into partial aggregates before anything is shipped back, and Limit /
+	// MaxPage then budget the *qualifying* rows.
 	ScanPageReq struct {
 		Start, End []byte
 		SnapTS     ts.Timestamp
 		Limit      int // total rows the cursor still wants; <= 0 unlimited
 		MaxPage    int // rows per page; <= 0 uses DefaultScanPageSize
 		Txn        uint64
+		Frag       []byte // encoded execution fragment; nil = raw scan
 	}
 	// ScanPageResp returns one page plus the resume position.
 	ScanPageResp struct {
 		KVs  []mvcc.KV
 		Next []byte // resume key for the following page (when More)
 		More bool   // whether the range may hold further rows
+		// Examined counts the storage rows this request evaluated, so the
+		// coordinator can account rows filtered out at the data node
+		// (Examined - len(KVs)) without a second RPC.
+		Examined int
 	}
 
 	// PendingReq writes the PENDING COMMIT record before the commit
@@ -287,13 +296,11 @@ func (p *Primary) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 		}
 		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
 	case ScanPageReq:
-		kvs, next, more, err := p.store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
-			pageLimit(req.Limit, req.MaxPage), mvcc.TxnID(req.Txn))
+		resp, err := servePage(ctx, p.store, req, mvcc.TxnID(req.Txn))
 		if err != nil {
 			return netsim.Message{}, err
 		}
-		return netsim.Message{Payload: ScanPageResp{KVs: kvs, Next: next, More: more},
-			Size: scanSize(kvs) + len(next)}, nil
+		return netsim.Message{Payload: resp, Size: scanSize(resp.KVs) + len(resp.Next)}, nil
 	case PendingReq:
 		p.mu.Lock()
 		err := p.store.MarkPending(mvcc.TxnID(req.Txn))
@@ -421,6 +428,21 @@ func (p *Primary) commit(ctx context.Context, txn uint64, commitTS ts.Timestamp,
 	return p.mgr.WaitDurable(ctx, lsn)
 }
 
+// servePage dispatches one paged-scan request: a raw MVCC page when no
+// fragment is attached, or DN-side fragment execution otherwise. Raw scans
+// report Examined = rows shipped (nothing is dropped node-side).
+func servePage(ctx context.Context, store *mvcc.Store, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+	if req.Frag != nil {
+		return execFragScanPage(ctx, store, req, reader)
+	}
+	kvs, next, more, err := store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
+		pageLimit(req.Limit, req.MaxPage), reader)
+	if err != nil {
+		return ScanPageResp{}, err
+	}
+	return ScanPageResp{KVs: kvs, Next: next, More: more, Examined: len(kvs)}, nil
+}
+
 func scanSize(kvs []mvcc.KV) int {
 	n := 16
 	for _, kv := range kvs {
@@ -503,13 +525,11 @@ func (r *Replica) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 		}
 		return netsim.Message{Payload: ScanResp{KVs: kvs}, Size: scanSize(kvs)}, nil
 	case ScanPageReq:
-		kvs, next, more, err := store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
-			pageLimit(req.Limit, req.MaxPage), 0)
+		resp, err := servePage(ctx, store, req, 0)
 		if err != nil {
 			return netsim.Message{}, err
 		}
-		return netsim.Message{Payload: ScanPageResp{KVs: kvs, Next: next, More: more},
-			Size: scanSize(kvs) + len(next)}, nil
+		return netsim.Message{Payload: resp, Size: scanSize(resp.KVs) + len(resp.Next)}, nil
 	case StatusReq:
 		return netsim.Message{Payload: StatusResp{
 			LastCommitTS: r.applier.MaxCommitTS(),
@@ -578,14 +598,27 @@ func (c *Client) Scan(ctx context.Context, node string, start, end []byte, snap 
 // ScanPage fetches one page of a resumable range scan.
 func (c *Client) ScanPage(ctx context.Context, node string, start, end []byte, snap ts.Timestamp,
 	limit, maxPage int, txn uint64) (kvs []mvcc.KV, next []byte, more bool, err error) {
-	p, err := c.call(ctx, node, ScanPageReq{Start: start, End: end, SnapTS: snap,
-		Limit: limit, MaxPage: maxPage, Txn: txn}, len(start)+len(end)+40)
+	resp, err := c.ScanPageFrag(ctx, node, start, end, snap, limit, maxPage, nil, txn)
 	if err != nil {
 		return nil, nil, false, err
 	}
+	return resp.KVs, resp.Next, resp.More, nil
+}
+
+// ScanPageFrag fetches one page of a resumable range scan, optionally
+// shipping an encoded execution fragment for the data node to evaluate.
+// The returned response includes how many storage rows the node examined,
+// so callers can account DN-side filtering.
+func (c *Client) ScanPageFrag(ctx context.Context, node string, start, end []byte, snap ts.Timestamp,
+	limit, maxPage int, frag []byte, txn uint64) (ScanPageResp, error) {
+	p, err := c.call(ctx, node, ScanPageReq{Start: start, End: end, SnapTS: snap,
+		Limit: limit, MaxPage: maxPage, Txn: txn, Frag: frag}, len(start)+len(end)+len(frag)+40)
+	if err != nil {
+		return ScanPageResp{}, err
+	}
 	resp := p.(ScanPageResp)
 	c.scanRows.Add(int64(len(resp.KVs)))
-	return resp.KVs, resp.Next, resp.More, nil
+	return resp, nil
 }
 
 // ScanRowsFetched reports the total rows this client has received in scan

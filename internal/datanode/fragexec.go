@@ -1,0 +1,180 @@
+package datanode
+
+import (
+	"bytes"
+	"context"
+	"sort"
+
+	"globaldb/gsql/fragment"
+	"globaldb/internal/storage/mvcc"
+)
+
+// This file is the data-node side of GlobalDB's distributed execution
+// split: a ScanPageReq may carry an encoded plan fragment (filter +
+// projection + partial aggregates, see globaldb/gsql/fragment), and the
+// node evaluates it here, next to the data, so only qualifying or
+// pre-aggregated tuples cross the WAN back to the computing node. The
+// executor is stateless across requests — every page request re-decodes
+// the fragment and resumes from the request's start key — and snapshot
+// semantics come for free from the store's MVCC ScanPage, so the same code
+// serves primaries (with read-own-writes) and RCP replicas.
+
+const (
+	// fragScanBatch is how many storage rows the fragment executor pulls
+	// per internal storage page — the row budget that bounds per-iteration
+	// memory regardless of how much of the shard one RPC walks.
+	fragScanBatch = 512
+	// fragExamineBudget caps the storage rows one filter-pushdown RPC may
+	// examine, so a highly selective predicate cannot turn a single request
+	// into an unbounded full-shard walk; the request returns a resume key
+	// and the cursor follows up. Aggregate fragments are exempt: they hold
+	// only O(groups) state and must consume the whole range to produce a
+	// mergeable partial.
+	fragExamineBudget = 4096
+)
+
+// execFragScanPage serves one paged scan request that carries a fragment.
+// It returns the page, plus the count of storage rows examined so the
+// computing node can account rows filtered out DN-side.
+func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+	frag, err := fragment.Decode(req.Frag)
+	if err != nil {
+		return ScanPageResp{}, err
+	}
+	if frag.HasAggs() {
+		return execFragAggregate(ctx, store, frag, req, reader)
+	}
+	outBudget := pageLimit(req.Limit, req.MaxPage)
+	start := req.Start
+	examined := 0
+	var out []mvcc.KV
+	// The internal storage batch starts near the output budget — a
+	// selective LIMIT then reads O(k) storage rows, not a full batch — and
+	// grows geometrically when the filter keeps dropping rows, mirroring
+	// the coordinator cursor's adaptive page growth.
+	batch := outBudget
+	if batch < 16 {
+		batch = 16
+	}
+	if batch > fragScanBatch {
+		batch = fragScanBatch
+	}
+	for {
+		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, batch, reader)
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		if batch < fragScanBatch {
+			batch *= 4
+			if batch > fragScanBatch {
+				batch = fragScanBatch
+			}
+		}
+		for i := range kvs {
+			examined++
+			row, err := frag.DecodeStoredRow(kvs[i].Value)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			keep, err := frag.FilterRow(row)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			if !keep {
+				continue
+			}
+			val := kvs[i].Value
+			if frag.Project != nil {
+				if val, err = frag.EncodeProjected(row); err != nil {
+					return ScanPageResp{}, err
+				}
+			}
+			out = append(out, mvcc.KV{Key: kvs[i].Key, Value: val})
+			if len(out) >= outBudget {
+				// The page is full mid-range: resume at the successor of
+				// the last shipped key (the same resume convention as
+				// mvcc.ScanPage).
+				if i+1 < len(kvs) || more {
+					resume := append(bytes.Clone(kvs[i].Key), 0x00)
+					if req.End == nil || bytes.Compare(resume, req.End) < 0 {
+						return ScanPageResp{KVs: out, Next: resume, More: true, Examined: examined}, nil
+					}
+				}
+				return ScanPageResp{KVs: out, Examined: examined}, nil
+			}
+		}
+		if !more {
+			return ScanPageResp{KVs: out, Examined: examined}, nil
+		}
+		start = next
+		if examined >= fragExamineBudget {
+			// Work budget exhausted with the output page still open: hand
+			// the resume key back so the next RPC continues the walk.
+			return ScanPageResp{KVs: out, Next: next, More: true, Examined: examined}, nil
+		}
+	}
+}
+
+// execFragAggregate folds the entire requested range into per-group
+// partial aggregate states and returns them as one page of
+// (group key, encoded states) pairs in group-key order — O(groups) rows
+// over the WAN instead of O(matching rows). Group keys are memcomparable,
+// so the coordinator's cross-shard merge cursor sees equal groups from
+// different shards adjacent and combines their states.
+func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fragment, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+	type group struct {
+		key    []byte
+		states []fragment.AggState
+	}
+	groups := map[string]*group{}
+	start := req.Start
+	examined := 0
+	for {
+		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, fragScanBatch, reader)
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		for i := range kvs {
+			examined++
+			row, err := frag.DecodeStoredRow(kvs[i].Value)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			keep, err := frag.FilterRow(row)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			if !keep {
+				continue
+			}
+			gkey, err := frag.EncodeGroupKey(row)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			g := groups[string(gkey)]
+			if g == nil {
+				g = &group{key: gkey, states: make([]fragment.AggState, len(frag.Aggs))}
+				groups[string(gkey)] = g
+			}
+			for s, spec := range frag.Aggs {
+				if err := g.states[s].Accumulate(spec, row); err != nil {
+					return ScanPageResp{}, err
+				}
+			}
+		}
+		if !more {
+			break
+		}
+		start = next
+	}
+	out := make([]mvcc.KV, 0, len(groups))
+	for _, g := range groups {
+		val, err := fragment.EncodeStates(g.states)
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		out = append(out, mvcc.KV{Key: g.key, Value: val})
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return ScanPageResp{KVs: out, Examined: examined}, nil
+}

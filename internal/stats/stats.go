@@ -1,6 +1,7 @@
 // Package stats provides the measurement primitives the benchmark harness
-// uses: latency histograms with percentiles and exponential moving
-// averages.
+// uses — latency histograms with percentiles and exponential moving
+// averages — plus the per-query scan counters that make execution-pushdown
+// wins observable at runtime.
 package stats
 
 import (
@@ -8,8 +9,58 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ScanCounters accumulates one query's scan activity across every shard
+// cursor it opens: rows the data nodes read from storage, rows those nodes
+// dropped locally (filtered out or folded into partial aggregates), and
+// rows that actually crossed the WAN to the computing node. The gap
+// between StorageRows and WANRows is the pushdown win. Safe for concurrent
+// use; cursors for different shards may fetch from different goroutines.
+type ScanCounters struct {
+	storage  atomic.Int64
+	filtered atomic.Int64
+	wan      atomic.Int64
+}
+
+// Observe records one scan RPC's outcome: examined rows read at storage,
+// shipped rows returned over the network.
+func (c *ScanCounters) Observe(examined, shipped int) {
+	c.storage.Add(int64(examined))
+	c.filtered.Add(int64(examined - shipped))
+	c.wan.Add(int64(shipped))
+}
+
+// Snapshot returns the current totals.
+func (c *ScanCounters) Snapshot() ScanSnapshot {
+	return ScanSnapshot{
+		StorageRows:    c.storage.Load(),
+		DNFilteredRows: c.filtered.Load(),
+		WANRows:        c.wan.Load(),
+	}
+}
+
+// ScanSnapshot is a point-in-time read of ScanCounters.
+type ScanSnapshot struct {
+	// StorageRows is how many rows data nodes read from their MVCC stores.
+	StorageRows int64
+	// DNFilteredRows is how many of those the data nodes dropped locally
+	// (failed a pushed filter, or were folded into partial aggregates).
+	DNFilteredRows int64
+	// WANRows is how many rows were shipped over the (simulated) WAN.
+	WANRows int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s ScanSnapshot) Add(o ScanSnapshot) ScanSnapshot {
+	return ScanSnapshot{
+		StorageRows:    s.StorageRows + o.StorageRows,
+		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
+		WANRows:        s.WANRows + o.WANRows,
+	}
+}
 
 // Histogram collects duration samples and reports percentiles. It is safe
 // for concurrent use.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"globaldb/gsql/fragment"
 	"globaldb/internal/coordinator"
 	"globaldb/internal/datanode"
 	"globaldb/internal/keys"
+	"globaldb/internal/stats"
 	"globaldb/internal/storage/mvcc"
 	"globaldb/internal/table"
 )
@@ -33,7 +35,9 @@ type ScanRange struct {
 
 // ScanOpts tunes a streaming scan.
 type ScanOpts struct {
-	// Limit caps the total rows yielded; <= 0 means unlimited.
+	// Limit caps the total rows yielded; <= 0 means unlimited. With a
+	// Pushdown fragment attached, the limit budgets qualifying rows — the
+	// rows that survive the data-node-side filter.
 	Limit int
 	// PageSize is the rows fetched by the first storage RPC; <= 0 uses
 	// DefaultScanPageSize. Smaller first pages cut time-to-first-row and
@@ -44,6 +48,38 @@ type ScanOpts struct {
 	// Range optionally bounds the first key column after the equality
 	// prefix, narrowing the scanned key range inside storage.
 	Range *ScanRange
+	// Pushdown, when non-nil, is an execution fragment the data nodes
+	// evaluate next to the data: rows are filtered, projected, or folded
+	// into per-group partial aggregates before crossing the WAN. With
+	// aggregates, the Rows yield one row per group shaped
+	// [group values..., fragment.AggState per slot...] with per-shard
+	// partial states already merged. Not supported on index scans (index
+	// entries carry primary keys, not rows).
+	Pushdown *fragment.Fragment
+}
+
+// ScanStats reports one scan's per-layer row counts: rows read from MVCC
+// storage by data nodes, rows those nodes dropped locally (pushed filter
+// or partial aggregation), and rows that crossed the simulated WAN. The
+// StorageRows-to-WANRows gap is the pushdown win, observable per query at
+// runtime rather than only in benchmarks.
+type ScanStats struct {
+	StorageRows    int64
+	DNFilteredRows int64
+	WANRows        int64
+}
+
+// Add returns the element-wise sum of two stats.
+func (s ScanStats) Add(o ScanStats) ScanStats {
+	return ScanStats{
+		StorageRows:    s.StorageRows + o.StorageRows,
+		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
+		WANRows:        s.WANRows + o.WANRows,
+	}
+}
+
+func toScanStats(s stats.ScanSnapshot) ScanStats {
+	return ScanStats{StorageRows: s.StorageRows, DNFilteredRows: s.DNFilteredRows, WANRows: s.WANRows}
 }
 
 // Rows is a streaming scan result. Next advances to the following row,
@@ -55,6 +91,7 @@ type Rows struct {
 	sch       *table.Schema
 	cur       coordinator.KVCursor
 	resolve   func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+	ctrs      *stats.ScanCounters
 	remaining int // rows still to yield; < 0 means unlimited
 	row       Row
 	err       error
@@ -62,13 +99,23 @@ type Rows struct {
 }
 
 func newRows(ctx context.Context, sch *table.Schema, cur coordinator.KVCursor, limit int,
+	ctrs *stats.ScanCounters,
 	resolve func(ctx context.Context, kv mvcc.KV) (Row, bool, error)) *Rows {
 	remaining := -1
 	if limit > 0 {
 		remaining = limit
 	}
-	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: resolve, remaining: remaining}
+	if ctrs == nil {
+		ctrs = &stats.ScanCounters{}
+	}
+	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: resolve, ctrs: ctrs, remaining: remaining}
 }
+
+// ScanStats reports this scan's per-layer row counts so far: storage rows
+// examined by data nodes, rows dropped node-side, and rows shipped over
+// the WAN. Valid at any point during iteration; final once the scan is
+// drained or closed.
+func (r *Rows) ScanStats() ScanStats { return toScanStats(r.ctrs.Snapshot()) }
 
 // Next advances to the next row, returning false at the end of the scan or
 // on error (check Err afterwards).
@@ -177,6 +224,89 @@ func extendPrefix(prefix []any, v any) []any {
 	return append(out, v)
 }
 
+// scanSetup carries the per-scan pieces a pushdown-aware scan shares
+// across its shard cursors: the fragment encoded once, the per-query
+// counters every cursor feeds, and the resolve function that turns shipped
+// pairs back into rows.
+type scanSetup struct {
+	frag    []byte
+	ctrs    *stats.ScanCounters
+	resolve func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+}
+
+// setupScan validates a scan's pushdown fragment against the schema and
+// prepares the shared scan state.
+func setupScan(sch *table.Schema, o ScanOpts) (*scanSetup, error) {
+	st := &scanSetup{ctrs: &stats.ScanCounters{}}
+	p := o.Pushdown
+	if p == nil {
+		return st, nil
+	}
+	if len(p.Kinds) != len(sch.Columns) {
+		return nil, fmt.Errorf("globaldb: pushdown fragment has %d column kinds for table %s with %d columns",
+			len(p.Kinds), sch.Name, len(sch.Columns))
+	}
+	b, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	st.frag = b
+	switch {
+	case p.HasAggs():
+		// Partial-aggregate rows: group values decoded from the
+		// memcomparable key, one fragment.AggState per aggregate slot.
+		st.resolve = func(_ context.Context, kv mvcc.KV) (Row, bool, error) {
+			gvals, err := p.DecodeGroupKey(kv.Key)
+			if err != nil {
+				return nil, false, err
+			}
+			states, err := fragment.DecodeStates(kv.Value)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(states) != len(p.Aggs) {
+				return nil, false, fmt.Errorf("globaldb: partial row carries %d states for %d aggregates", len(states), len(p.Aggs))
+			}
+			row := make(Row, 0, len(gvals)+len(states))
+			row = append(row, gvals...)
+			for _, s := range states {
+				row = append(row, s)
+			}
+			return row, true, nil
+		}
+	case p.Project != nil:
+		// Projected rows re-expand to schema width with unshipped columns
+		// nil; the planner guarantees nothing downstream reads them.
+		st.resolve = func(_ context.Context, kv mvcc.KV) (Row, bool, error) {
+			vals, err := p.DecodeProjected(kv.Value)
+			if err != nil {
+				return nil, false, err
+			}
+			return Row(vals), true, nil
+		}
+	}
+	return st, nil
+}
+
+// spec builds one shard cursor's ScanSpec.
+func (st *scanSetup) spec(start, end []byte, o ScanOpts) coordinator.ScanSpec {
+	return coordinator.ScanSpec{
+		Start: start, End: end,
+		Limit: o.Limit, PageSize: o.PageSize,
+		Frag: st.frag, Counters: st.ctrs,
+	}
+}
+
+// combine merges per-shard cursors, adding the CN-final partial-aggregate
+// merge when the scan's fragment aggregates.
+func (st *scanSetup) combine(curs []coordinator.KVCursor, keyOrder bool, o ScanOpts) coordinator.KVCursor {
+	cur := combineCursors(curs, keyOrder)
+	if o.Pushdown != nil && o.Pushdown.HasAggs() {
+		cur = coordinator.MergeAggregates(cur, fragment.MergeEncodedStates)
+	}
+	return cur
+}
+
 // pkRowsSpec resolves everything a streaming PK scan needs.
 func pkRowsSpec(db *DB, sch *Schema, pkPrefix []any, o ScanOpts) (start, end []byte, shard int, err error) {
 	start, end, shard, err = pkScanBounds(db, sch, pkPrefix)
@@ -233,18 +363,29 @@ func (tx *Tx) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, 
 	if err != nil {
 		return nil, err
 	}
-	cur := tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize)
-	return newRows(ctx, sch, cur, o.Limit, nil), nil
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := st.combine([]coordinator.KVCursor{tx.txn.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	return newRows(ctx, sch, cur, o.Limit, st.ctrs, st.resolve), nil
 }
 
 // ScanIndexRows streams rows matched by a secondary-index prefix, resolving
 // each index entry to its row with a primary-key lookup on the same shard.
 func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, prefix []any, o ScanOpts) (*Rows, error) {
+	if o.Pushdown != nil {
+		return nil, fmt.Errorf("globaldb: pushdown is not supported on index scans (index entries carry keys, not rows)")
+	}
 	sch, start, end, shard, err := indexRowsSpec(tx.sess, tableName, indexName, prefix, o)
 	if err != nil {
 		return nil, err
 	}
-	cur := tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := tx.txn.ScanCursor(shard, st.spec(start, end, o))
 	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
 		if err != nil || !found {
@@ -253,7 +394,7 @@ func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, pr
 		r, err := sch.DecodeRow(v)
 		return r, err == nil, err
 	}
-	return newRows(ctx, sch, cur, o.Limit, resolve), nil
+	return newRows(ctx, sch, cur, o.Limit, st.ctrs, resolve), nil
 }
 
 // ScanTableRows streams every row of a table, merging per-shard paged
@@ -272,11 +413,15 @@ func (tx *Tx) tableRows(ctx context.Context, tableName string, o ScanOpts, keyOr
 	if err != nil {
 		return nil, err
 	}
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
 	curs := make([]coordinator.KVCursor, 0, tx.sess.db.c.Shards())
 	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
-		curs = append(curs, tx.txn.ScanCursor(shard, start, end, o.Limit, o.PageSize))
+		curs = append(curs, tx.txn.ScanCursor(shard, st.spec(start, end, o)))
 	}
-	return newRows(ctx, sch, combineCursors(curs, keyOrder), o.Limit, nil), nil
+	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st.ctrs, st.resolve), nil
 }
 
 // ScanPKRows streams rows by primary-key prefix at the query's snapshot.
@@ -289,17 +434,28 @@ func (q *Query) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any
 	if err != nil {
 		return nil, err
 	}
-	cur := q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize)
-	return newRows(ctx, sch, cur, o.Limit, nil), nil
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := st.combine([]coordinator.KVCursor{q.ro.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	return newRows(ctx, sch, cur, o.Limit, st.ctrs, st.resolve), nil
 }
 
 // ScanIndexRows streams rows matched by a secondary-index prefix.
 func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, prefix []any, o ScanOpts) (*Rows, error) {
+	if o.Pushdown != nil {
+		return nil, fmt.Errorf("globaldb: pushdown is not supported on index scans (index entries carry keys, not rows)")
+	}
 	sch, start, end, shard, err := indexRowsSpec(q.sess, tableName, indexName, prefix, o)
 	if err != nil {
 		return nil, err
 	}
-	cur := q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize)
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
+	cur := q.ro.ScanCursor(shard, st.spec(start, end, o))
 	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := q.ro.Get(ctx, shard, kv.Value)
 		if err != nil || !found {
@@ -308,7 +464,7 @@ func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, 
 		r, err := sch.DecodeRow(v)
 		return r, err == nil, err
 	}
-	return newRows(ctx, sch, cur, o.Limit, resolve), nil
+	return newRows(ctx, sch, cur, o.Limit, st.ctrs, resolve), nil
 }
 
 // ScanTableRows streams every row of a table in global primary-key order at
@@ -326,11 +482,15 @@ func (q *Query) tableRows(ctx context.Context, tableName string, o ScanOpts, key
 	if err != nil {
 		return nil, err
 	}
+	st, err := setupScan(sch, o)
+	if err != nil {
+		return nil, err
+	}
 	curs := make([]coordinator.KVCursor, 0, q.sess.db.c.Shards())
 	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
-		curs = append(curs, q.ro.ScanCursor(shard, start, end, o.Limit, o.PageSize))
+		curs = append(curs, q.ro.ScanCursor(shard, st.spec(start, end, o)))
 	}
-	return newRows(ctx, sch, combineCursors(curs, keyOrder), o.Limit, nil), nil
+	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st.ctrs, st.resolve), nil
 }
 
 func combineCursors(curs []coordinator.KVCursor, keyOrder bool) coordinator.KVCursor {
