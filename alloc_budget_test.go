@@ -1,0 +1,88 @@
+package globaldb_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"globaldb"
+	"globaldb/gsql"
+)
+
+// allocBudgetRows is the table size for the alloc-budget gate. Large
+// enough that a per-row allocation regression on the batch path dominates
+// the fixed per-query cost, small enough to keep the gate fast.
+const allocBudgetRows = 400
+
+// allocBudgetMax is the hard ceiling on allocations for one warm filtered
+// full-table scan over allocBudgetRows rows with the predicate pushed to
+// the data nodes. Measured ~1.0k after the batch-native refactor (decode
+// once per page into an arena, selection-vector filtering, slab-per-batch
+// CN decode); the pre-batch row-at-a-time pipeline measured ~3.3k. The
+// ceiling sits well under the old pipeline's cost with ~80% headroom over
+// the measured value for Go-version drift, so reintroducing even a couple
+// of per-row allocations on the hot path (+400/+800 here) fails this test
+// long before it reaches benchmarks.
+const allocBudgetMax = 1800
+
+// TestAllocBudget gates the warm filtered-scan hot path on a hard
+// allocation budget. The query is executed once to warm the plan cache and
+// arenas, then sampled several times with testing.AllocsPerRun; the
+// minimum sample is compared against the budget (minimum, not mean,
+// because cluster background goroutines — replication shippers,
+// heartbeats — also allocate and can inflate individual samples).
+func TestAllocBudget(t *testing.T) {
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 2
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := gsql.Connect(db, cfg.Regions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `CREATE TABLE items (
+		w_id BIGINT, i_id BIGINT, qty BIGINT, tag TEXT,
+		PRIMARY KEY (w_id, i_id)
+	) SHARD BY w_id`); err != nil {
+		t.Fatal(err)
+	}
+	perWarehouse := allocBudgetRows / 4
+	for w := 1; w <= 4; w++ {
+		var vals []string
+		for i := 1; i <= perWarehouse; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, %d, 't%d')", w, i, (i*7)%100, i%5))
+		}
+		if _, err := s.Exec(ctx, "INSERT INTO items VALUES "+strings.Join(vals, ", ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const query = "SELECT * FROM items WHERE qty >= 90"
+	run := func() {
+		res, err := s.Exec(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != allocBudgetRows/10 {
+			t.Fatalf("rows = %d, want %d", len(res.Rows), allocBudgetRows/10)
+		}
+	}
+	run() // warm the plan cache, cursors and arenas
+
+	best := float64(1 << 60)
+	for i := 0; i < 5; i++ {
+		if n := testing.AllocsPerRun(1, run); n < best {
+			best = n
+		}
+	}
+	t.Logf("warm filtered scan: %.0f allocs/op (budget %d)", best, allocBudgetMax)
+	if best > allocBudgetMax {
+		t.Fatalf("warm filtered-scan path allocated %.0f times, budget is %d — a batch-path regression reintroduced per-row allocations", best, allocBudgetMax)
+	}
+}

@@ -242,6 +242,7 @@ func benchScanQuery(b *testing.B, db *globaldb.DB, s *gsql.Session, sql string, 
 	b.Helper()
 	ctx := context.Background()
 	s0, w0 := storageRows(db), wanRows(db)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := s.Exec(ctx, sql)
@@ -353,6 +354,47 @@ func BenchmarkScanReadOnlyCrossRegion(b *testing.B) {
 	}
 	benchScanQuery(b, db, remote,
 		"SELECT * FROM items WHERE w_id = 2 AND i_id > 100 ORDER BY w_id, i_id LIMIT 10", 10)
+}
+
+// openJoinBenchDB extends the scan-bench dataset with a small warehouses
+// table so join benchmarks exercise the nested-loop operator over the
+// batch pipeline: an outer scan fanning out to per-row inner lookups.
+func openJoinBenchDB(b *testing.B) (*globaldb.DB, *gsql.Session) {
+	b.Helper()
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 4
+	db, s := openScanBenchDB(b, cfg, cfg.Regions[0])
+	if _, err := s.Exec(context.Background(), `CREATE TABLE warehouses (
+		w_id BIGINT, name TEXT, PRIMARY KEY (w_id)
+	) SHARD BY w_id`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Exec(context.Background(),
+		"INSERT INTO warehouses VALUES (1, 'xian'), (2, 'dongguan'), (3, 'shenyang'), (4, 'spare')"); err != nil {
+		b.Fatal(err)
+	}
+	return db, s
+}
+
+// BenchmarkJoinFilteredLookup joins the DN-filtered item scan to its
+// warehouse row: the outer scan streams the ~200 matching items in batches
+// (the filter runs on the data nodes) and the join performs one inner PK
+// lookup per surviving outer row.
+func BenchmarkJoinFilteredLookup(b *testing.B) {
+	db, s := openJoinBenchDB(b)
+	benchScanQuery(b, db, s,
+		"SELECT i.i_id, w.name FROM items i JOIN warehouses w ON w.w_id = i.w_id WHERE i.qty >= 90", 200)
+}
+
+// BenchmarkJoinFanout drives the join from the small side: 4 warehouse
+// rows each fan out to a 500-row inner item scan, so the inner scan's
+// batches dominate — the shape the batch-native nested loop moves as block
+// references rather than row-by-row pairs.
+func BenchmarkJoinFanout(b *testing.B) {
+	db, s := openJoinBenchDB(b)
+	benchScanQuery(b, db, s,
+		"SELECT w.name, i.i_id FROM warehouses w JOIN items i ON i.w_id = w.w_id", scanBenchRows)
 }
 
 // BenchmarkRCPCompute measures the Fig. 4 RCP calculation over a large

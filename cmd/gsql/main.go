@@ -21,11 +21,22 @@
 //	\explain SELECT * FROM kv WHERE k = 1   -- shortcut, no ';' needed
 //	SHOW TABLES; SHOW MODE; SHOW REGIONS;
 //
+// Prepared statements are available through shell meta-commands:
+//
+//	\prepare p1 SELECT * FROM kv WHERE k = ?
+//	\exec p1 1
+//	\exec p1 2
+//
+// \exec binds the space-separated arguments (integers, floats, 'quoted
+// strings', true/false, NULL) to the statement's placeholders and executes
+// the cached plan — no reparse, no replan.
+//
 // EXPLAIN prints the planned DN-partial / CN-final split: which filters,
 // projections and partial aggregates run on the data nodes versus the
-// computing node. After each SELECT the shell reports the per-layer scan
-// counters (rows read at storage, rows dropped at the data nodes, rows
-// shipped over the WAN), so pushdown wins are visible interactively.
+// computing node. After each SELECT — ad-hoc or prepared — the shell
+// reports the per-layer scan counters (rows read at storage, rows dropped
+// at the data nodes, rows shipped over the WAN), so pushdown wins are
+// visible interactively.
 package main
 
 import (
@@ -33,7 +44,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,38 +103,121 @@ func main() {
 
 	fmt.Printf("GlobalDB SQL shell — %s topology, session homed in %s (mode %v)\n",
 		*topology, home, db.Mode())
-	fmt.Println(`Statements end with ';'. Type \q to quit, \explain <select> to show the DN/CN plan split.`)
+	fmt.Println(`Statements end with ';'. Type \q to quit, \explain <select> to show the DN/CN plan split,` + "\n" +
+		`\prepare <name> <stmt with ? placeholders> then \exec <name> <args...> for prepared statements.`)
+
+	runREPL(ctx, sess, home, os.Stdin, os.Stdout)
+	fmt.Println()
+}
+
+// reportResult prints a statement's result table plus, for reads, where it
+// was served and the per-layer scan counters. It is shared by the ad-hoc
+// and prepared execution paths, so `\exec` reports the same
+// storage/DN-filtered/WAN numbers an ad-hoc SELECT does.
+func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration) {
+	fmt.Fprint(w, gsql.FormatTable(res))
+	if len(res.Columns) == 0 {
+		return
+	}
+	where := "primaries"
+	if res.OnReplicas {
+		where = "replicas (RCP snapshot)"
+	}
+	fmt.Fprintf(w, "read from %s — %v\n", where, elapsed.Round(time.Microsecond))
+	if sc := res.Scan; sc.StorageRows > 0 {
+		fmt.Fprintf(w, "scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d\n",
+			sc.StorageRows, sc.DNFilteredRows, sc.WANRows)
+	}
+}
+
+// splitExecArgs tokenizes a `\exec` argument string on whitespace while
+// keeping 'quoted strings' (with ” as an embedded quote) together, so a
+// quoted value may contain spaces.
+func splitExecArgs(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		start := i
+		if s[i] == '\'' {
+			i++
+			for i < len(s) {
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						i += 2 // escaped quote
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		} else {
+			for i < len(s) && s[i] != ' ' && s[i] != '\t' {
+				i++
+			}
+		}
+		out = append(out, s[start:i])
+	}
+	return out
+}
+
+// parseExecArgs converts `\exec` shell arguments to SQL parameter values:
+// integers, floats, 'quoted strings', true/false, NULL, and bare words as
+// strings.
+func parseExecArgs(args []string) []any {
+	out := make([]any, 0, len(args))
+	for _, a := range args {
+		switch {
+		case strings.EqualFold(a, "null"):
+			out = append(out, nil)
+		case strings.EqualFold(a, "true"):
+			out = append(out, true)
+		case strings.EqualFold(a, "false"):
+			out = append(out, false)
+		case len(a) >= 2 && a[0] == '\'' && a[len(a)-1] == '\'':
+			out = append(out, strings.ReplaceAll(a[1:len(a)-1], "''", "'"))
+		default:
+			if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+				out = append(out, n)
+			} else if f, err := strconv.ParseFloat(a, 64); err == nil {
+				out = append(out, f)
+			} else {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// runREPL drives the shell loop over the given streams — extracted from
+// main so tests can script a session and assert on its output.
+func runREPL(ctx context.Context, sess *gsql.Session, home string, in io.Reader, out io.Writer) {
+	prepared := map[string]*gsql.Stmt{}
 
 	runScript := func(script string) {
 		start := time.Now()
 		res, err := sess.ExecScript(ctx, script)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			return
 		}
-		fmt.Print(gsql.FormatTable(res))
-		if len(res.Columns) == 0 {
-			return
-		}
-		where := "primaries"
-		if res.OnReplicas {
-			where = "replicas (RCP snapshot)"
-		}
-		fmt.Printf("read from %s — %v\n", where, time.Since(start).Round(time.Microsecond))
-		if sc := res.Scan; sc.StorageRows > 0 {
-			fmt.Printf("scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d\n",
-				sc.StorageRows, sc.DNFilteredRows, sc.WANRows)
-		}
+		reportResult(out, res, time.Since(start))
 	}
 
-	scanner := bufio.NewScanner(os.Stdin)
+	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
-			fmt.Printf("%s> ", home)
+			fmt.Fprintf(out, "%s> ", home)
 		} else {
-			fmt.Printf("%s. ", strings.Repeat(" ", len(home)-1))
+			fmt.Fprintf(out, "%s. ", strings.Repeat(" ", len(home)-1))
 		}
 	}
 	prompt()
@@ -135,9 +231,50 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\explain`) {
 			q := strings.TrimSpace(strings.TrimPrefix(trimmed, `\explain`))
 			if q == "" {
-				fmt.Println(`usage: \explain SELECT ...`)
+				fmt.Fprintln(out, `usage: \explain SELECT ...`)
 			} else {
 				runScript("EXPLAIN " + strings.TrimSuffix(q, ";") + ";")
+			}
+			prompt()
+			continue
+		}
+		// \prepare <name> <stmt> caches a parsed-and-planned statement.
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\prepare`) {
+			rest := strings.TrimSpace(strings.TrimPrefix(trimmed, `\prepare`))
+			name, sql, ok := strings.Cut(rest, " ")
+			if !ok || name == "" || strings.TrimSpace(sql) == "" {
+				fmt.Fprintln(out, `usage: \prepare <name> <statement with ? or $n placeholders>`)
+			} else if st, err := sess.Prepare(ctx, strings.TrimSuffix(strings.TrimSpace(sql), ";")); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				prepared[name] = st
+				fmt.Fprintf(out, "prepared %s (%d parameters)\n", name, st.NumParams())
+			}
+			prompt()
+			continue
+		}
+		// \exec <name> <args...> runs a prepared statement with bound
+		// parameters; results and scan counters print exactly as for
+		// ad-hoc statements.
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\exec`) {
+			fields := splitExecArgs(strings.TrimSpace(strings.TrimPrefix(trimmed, `\exec`)))
+			if len(fields) == 0 {
+				fmt.Fprintln(out, `usage: \exec <name> <args...>`)
+				prompt()
+				continue
+			}
+			st, ok := prepared[fields[0]]
+			if !ok {
+				fmt.Fprintf(out, "error: no prepared statement %q\n", fields[0])
+				prompt()
+				continue
+			}
+			start := time.Now()
+			res, err := st.Exec(ctx, parseExecArgs(fields[1:])...)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				reportResult(out, res, time.Since(start))
 			}
 			prompt()
 			continue
@@ -151,5 +288,4 @@ func main() {
 		}
 		prompt()
 	}
-	fmt.Println()
 }

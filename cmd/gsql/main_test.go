@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"globaldb"
+	"globaldb/gsql"
+)
+
+// runShell scripts one REPL session against a fast one-region cluster and
+// returns everything the shell printed.
+func runShell(t *testing.T, script string) string {
+	t.Helper()
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 2
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	sess, err := gsql.Connect(db, db.Regions()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	runREPL(context.Background(), sess, "test", strings.NewReader(script), &out)
+	return out.String()
+}
+
+// TestShellPreparedScanCounters pins the shell's scan-counter reporting on
+// the prepared-statement path: a filtered scan executed via \prepare/\exec
+// must print the same storage/DN-filtered/WAN line an ad-hoc SELECT does.
+func TestShellPreparedScanCounters(t *testing.T) {
+	script := `CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY (k)) SHARD BY k;
+INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50);
+SELECT * FROM kv WHERE v >= 30;
+\prepare getbig SELECT * FROM kv WHERE v >= ?
+\exec getbig 30
+\exec getbig 50
+\exec getbig 'nope'
+\q
+`
+	out := runShell(t, script)
+
+	scanLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "scan: storage=") {
+			scanLines++
+			if !strings.Contains(line, "filtered at DN=") || !strings.Contains(line, "shipped over WAN=") {
+				t.Fatalf("malformed scan counter line: %q", line)
+			}
+		}
+	}
+	// One ad-hoc SELECT plus two successful \exec runs (each reads 5
+	// storage rows); the type-error execution reports an error instead.
+	if scanLines != 3 {
+		t.Fatalf("scan counter lines = %d, want 3 (1 ad-hoc + 2 prepared)\noutput:\n%s", scanLines, out)
+	}
+	if !strings.Contains(out, "prepared getbig (1 parameters)") {
+		t.Fatalf("missing prepare confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("expected a type error from the string-bound execution:\n%s", out)
+	}
+	// The two successful prepared runs saw 5 storage rows each and shipped
+	// 3 and 1 rows respectively.
+	if !strings.Contains(out, "scan: storage=5 rows, filtered at DN=2, shipped over WAN=3") {
+		t.Fatalf("missing counters for \\exec getbig 30:\n%s", out)
+	}
+	if !strings.Contains(out, "scan: storage=5 rows, filtered at DN=4, shipped over WAN=1") {
+		t.Fatalf("missing counters for \\exec getbig 50:\n%s", out)
+	}
+}
+
+// TestShellPreparedUsageErrors covers the meta-command error paths.
+func TestShellPreparedUsageErrors(t *testing.T) {
+	out := runShell(t, "\\prepare\n\\exec\n\\exec nosuch 1\n\\q\n")
+	for _, want := range []string{
+		`usage: \prepare <name>`,
+		`usage: \exec <name>`,
+		`no prepared statement "nosuch"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParseExecArgs covers the shell's argument tokenizing and
+// argument-to-value conversion, including quoted strings with spaces and
+// embedded quotes.
+func TestParseExecArgs(t *testing.T) {
+	got := parseExecArgs(splitExecArgs("42 -7  2.5 'it''s' true NULL plain 'two words'"))
+	want := []any{int64(42), int64(-7), 2.5, "it's", true, nil, "plain", "two words"}
+	if len(got) != len(want) {
+		t.Fatalf("got %#v, want %d values", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arg %d = %#v, want %#v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShellPreparedQuotedArg drives a quoted, space-containing string
+// parameter through \prepare/\exec end to end.
+func TestShellPreparedQuotedArg(t *testing.T) {
+	script := `CREATE TABLE notes (k BIGINT, txt TEXT, PRIMARY KEY (k)) SHARD BY k;
+INSERT INTO notes VALUES (1, 'two words'), (2, 'other');
+\prepare find SELECT k FROM notes WHERE txt = ?
+\exec find 'two words'
+\q
+`
+	out := runShell(t, script)
+	if !strings.Contains(out, "(1 rows)") {
+		t.Fatalf("quoted-arg execution did not match one row:\n%s", out)
+	}
+}

@@ -184,78 +184,139 @@ func execSelectMaterialized(ctx context.Context, r reader, p *boundPlan) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	return finishSelect(ctx, p, &sliceIter{rows: rows}, false)
+	return finishSelect(ctx, p, newSliceBlocks(rows, len(p.tables)), false)
 }
 
-// finishSelect consumes the combined-row stream and produces the result:
-// aggregation or projection, then ordering, DISTINCT, OFFSET and LIMIT.
-// When there is no ORDER BY — or orderDone says the stream already arrives
-// in ORDER BY order (order-preserving scan) — the non-grouped path streams
-// and stops pulling as soon as the limit is met: the early termination that
-// makes LIMIT k cost O(k·page) rows end to end.
-func finishSelect(ctx context.Context, p *boundPlan, it rowIter, orderDone bool) (*Result, error) {
+// finishSelect consumes the combined-row block stream and produces the
+// result: aggregation or projection, then ordering, DISTINCT, OFFSET and
+// LIMIT. When there is no ORDER BY — or orderDone says the stream already
+// arrives in ORDER BY order (order-preserving scan) — the non-grouped path
+// streams and stops pulling as soon as the limit is met: the early
+// termination that makes LIMIT k cost O(k·page) rows end to end. ORDER BY
+// with a LIMIT keeps only a bounded top-N heap instead of draining and
+// sorting the whole input.
+func finishSelect(ctx context.Context, p *boundPlan, it blockIter, orderDone bool) (*Result, error) {
 	if p.grouped {
 		return aggregateRows(ctx, p, it)
 	}
 	out := &Result{Columns: p.outCols}
+	env := rowEnv{tables: p.tables, params: p.params}
+	var scr [2]table.Row
 	if len(p.orderBy) == 0 || orderDone {
 		var seen map[string]bool
 		if p.distinct {
 			seen = make(map[string]bool)
 		}
 		skipped := int64(0)
+	stream:
 		for p.limit < 0 || int64(len(out.Rows)) < p.limit {
-			combined, ok, err := it.Next(ctx)
+			blk, err := it.NextBlock(ctx)
 			if err != nil {
 				return nil, err
 			}
-			if !ok {
+			if blk == nil {
 				break
 			}
-			outRow, err := projectRow(p, combined)
-			if err != nil {
-				return nil, err
-			}
-			if seen != nil {
-				key := distinctKey(outRow)
-				if seen[key] {
+			for i, n := 0, blk.n(); i < n; i++ {
+				if p.limit >= 0 && int64(len(out.Rows)) >= p.limit {
+					break stream
+				}
+				env.rows = blk.row(i, scr[:])
+				outRow, err := projectEnv(p, &env)
+				if err != nil {
+					return nil, err
+				}
+				if seen != nil {
+					key := distinctKey(outRow)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+				}
+				if skipped < p.offset {
+					skipped++
 					continue
 				}
-				seen[key] = true
+				out.Rows = append(out.Rows, outRow)
 			}
-			if skipped < p.offset {
-				skipped++
-				continue
-			}
-			out.Rows = append(out.Rows, outRow)
 		}
 		return out, nil
 	}
-	// ORDER BY: drain, then sort on pre-projection keys.
-	var sortKeys [][]any
-	for {
-		combined, ok, err := it.Next(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
-		outRow, err := projectRow(p, combined)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, outRow)
-		keys := make([]any, len(p.orderBy))
-		for i, o := range p.orderBy {
-			v, err := evalExpr(o.Expr, env)
+	// ORDER BY: with a LIMIT (and no DISTINCT, which dedups after the
+	// sort), keep only the top limit+offset rows in a bounded heap —
+	// O(N log k) comparisons and O(k) memory instead of materializing and
+	// fully sorting the input. Otherwise drain, then sort on
+	// pre-projection keys. limit+offset >= 0 rejects sentinel-huge limits
+	// whose sum overflows (MaxInt64 LIMITs are a common "no limit"
+	// idiom); those take the drain path, which never sums them.
+	if p.limit >= 0 && !p.distinct && p.limit+p.offset >= 0 {
+		top := newTopN(p.orderBy, p.limit+p.offset)
+		for {
+			blk, err := it.NextBlock(ctx)
 			if err != nil {
 				return nil, err
 			}
-			keys[i] = v
+			if blk == nil {
+				break
+			}
+			for i, n := 0, blk.n(); i < n; i++ {
+				env.rows = blk.row(i, scr[:])
+				keys, admit, err := top.tryAdmitKeys(&env)
+				if err != nil {
+					return nil, err
+				}
+				if !admit {
+					continue
+				}
+				outRow, err := projectEnv(p, &env)
+				if err != nil {
+					return nil, err
+				}
+				if err := top.add(outRow, keys); err != nil {
+					return nil, err
+				}
+			}
 		}
-		sortKeys = append(sortKeys, keys)
+		rows, err := top.sorted()
+		if err != nil {
+			return nil, err
+		}
+		if p.offset > 0 {
+			if int64(len(rows)) <= p.offset {
+				rows = nil
+			} else {
+				rows = rows[p.offset:]
+			}
+		}
+		out.Rows = rows
+		return out, nil
+	}
+	var sortKeys [][]any
+	for {
+		blk, err := it.NextBlock(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if blk == nil {
+			break
+		}
+		for i, n := 0, blk.n(); i < n; i++ {
+			env.rows = blk.row(i, scr[:])
+			outRow, err := projectEnv(p, &env)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, outRow)
+			keys := make([]any, len(p.orderBy))
+			for i, o := range p.orderBy {
+				v, err := evalExpr(o.Expr, &env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
 	}
 	if err := sortAndLimit(p, out, sortKeys); err != nil {
 		return nil, err
@@ -263,9 +324,11 @@ func finishSelect(ctx context.Context, p *boundPlan, it rowIter, orderDone bool)
 	return out, nil
 }
 
-// projectRow evaluates the output expressions over one combined row.
-func projectRow(p *boundPlan, combined []table.Row) ([]any, error) {
-	env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
+// projectEnv evaluates the output expressions over the environment's
+// current combined row. The environment is reused across rows; only the
+// output row is freshly allocated (it outlives the pipeline in the
+// Result).
+func projectEnv(p *boundPlan, env *rowEnv) ([]any, error) {
 	outRow := make([]any, len(p.outExprs))
 	for i, e := range p.outExprs {
 		v, err := evalExpr(e, env)
@@ -637,11 +700,14 @@ type finishedGroup struct {
 	vals map[string]any
 }
 
-// aggregateRows groups the combined-row stream and computes aggregate
-// outputs — the CN-side aggregation path. Aggregation is a pipeline
-// breaker — it consumes the stream to the end — but still holds only
-// per-group state, never the input rows.
-func aggregateRows(ctx context.Context, p *boundPlan, it rowIter) (*Result, error) {
+// aggregateRows groups the combined-row block stream and computes
+// aggregate outputs — the CN-side aggregation path. The hash probe is a
+// true row edge: each block's rows feed the group map one at a time
+// through a reused environment, but the pipeline below still moves whole
+// blocks. Aggregation is a pipeline breaker — it consumes the stream to
+// the end — but still holds only per-group state, never the input rows
+// (each group retains one cloned representative row).
+func aggregateRows(ctx context.Context, p *boundPlan, it blockIter) (*Result, error) {
 	type group struct {
 		rep    []table.Row // representative row for group-key evaluation
 		states []*aggState
@@ -649,36 +715,40 @@ func aggregateRows(ctx context.Context, p *boundPlan, it rowIter) (*Result, erro
 	groups := map[string]*group{}
 	var order []string
 
+	env := rowEnv{tables: p.tables, params: p.params}
+	var scr [2]table.Row
+	keyVals := make([]any, len(p.groupBy))
 	for {
-		combined, ok, err := it.Next(ctx)
+		blk, err := it.NextBlock(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if blk == nil {
 			break
 		}
-		env := &rowEnv{tables: p.tables, rows: combined, params: p.params}
-		keyVals := make([]any, len(p.groupBy))
-		for i, g := range p.groupBy {
-			v, err := evalExpr(g, env)
-			if err != nil {
-				return nil, err
+		for i, n := 0, blk.n(); i < n; i++ {
+			env.rows = blk.row(i, scr[:])
+			for gi, g := range p.groupBy {
+				v, err := evalExpr(g, &env)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[gi] = v
 			}
-			keyVals[i] = v
-		}
-		key := distinctKey(keyVals)
-		grp, ok := groups[key]
-		if !ok {
-			grp = &group{rep: combined}
-			for _, fn := range p.aggs {
-				grp.states = append(grp.states, newAggState(fn))
+			key := distinctKey(keyVals)
+			grp, ok := groups[key]
+			if !ok {
+				grp = &group{rep: append([]table.Row(nil), env.rows...)}
+				for _, fn := range p.aggs {
+					grp.states = append(grp.states, newAggState(fn))
+				}
+				groups[key] = grp
+				order = append(order, key)
 			}
-			groups[key] = grp
-			order = append(order, key)
-		}
-		for _, st := range grp.states {
-			if err := st.add(env); err != nil {
-				return nil, err
+			for _, st := range grp.states {
+				if err := st.add(&env); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

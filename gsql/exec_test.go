@@ -615,3 +615,56 @@ func TestFormatTable(t *testing.T) {
 		t.Fatalf("msg format: %q", msg)
 	}
 }
+
+// TestOrderByLimitTopN cross-checks the bounded top-N heap (used when
+// ORDER BY has a LIMIT) against the full-sort path (no LIMIT): with a
+// heavily duplicated sort key, every LIMIT/OFFSET window must equal the
+// corresponding slice of the fully sorted result — including tie order,
+// which must stay stable (scan arrival order) exactly as the stable sort
+// it replaces.
+func TestOrderByLimitTopN(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE tn (k BIGINT, grp BIGINT, PRIMARY KEY (k)) SHARD BY k`)
+	var vals []string
+	for k := 1; k <= 60; k++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", k, k%7))
+	}
+	exec(t, s, "INSERT INTO tn VALUES "+strings.Join(vals, ", "))
+
+	// A sentinel-huge LIMIT whose sum with OFFSET overflows int64 must not
+	// clamp the heap to zero — it takes the unbounded sort path.
+	huge := exec(t, s, "SELECT k FROM tn ORDER BY grp LIMIT 9223372036854775807 OFFSET 1")
+	if len(huge.Rows) != 59 {
+		t.Fatalf("overflowing LIMIT+OFFSET returned %d rows, want 59", len(huge.Rows))
+	}
+
+	for _, orderBy := range []string{"grp", "grp DESC", "grp DESC, k"} {
+		full := exec(t, s, "SELECT k, grp FROM tn ORDER BY "+orderBy)
+		if len(full.Rows) != 60 {
+			t.Fatalf("full sort returned %d rows", len(full.Rows))
+		}
+		for _, w := range []struct{ limit, offset int }{
+			{0, 0}, {1, 0}, {5, 0}, {5, 3}, {60, 0}, {10, 55}, {10, 99},
+		} {
+			q := fmt.Sprintf("SELECT k, grp FROM tn ORDER BY %s LIMIT %d OFFSET %d", orderBy, w.limit, w.offset)
+			got := exec(t, s, q)
+			lo := w.offset
+			if lo > len(full.Rows) {
+				lo = len(full.Rows)
+			}
+			hi := lo + w.limit
+			if hi > len(full.Rows) {
+				hi = len(full.Rows)
+			}
+			want := full.Rows[lo:hi]
+			if len(got.Rows) != len(want) {
+				t.Fatalf("%s: %d rows, want %d", q, len(got.Rows), len(want))
+			}
+			for i := range want {
+				if got.Rows[i][0] != want[i][0] || got.Rows[i][1] != want[i][1] {
+					t.Fatalf("%s: row %d = %v, want %v", q, i, got.Rows[i], want[i])
+				}
+			}
+		}
+	}
+}

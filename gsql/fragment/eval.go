@@ -284,6 +284,154 @@ func (f *Fragment) FilterRow(row []any) (bool, error) {
 	}
 }
 
+// ---- Batch evaluation ----
+//
+// The batch entry points below are the kernel's vectorized face: they
+// evaluate one expression over a RowBatch, producing a selection vector
+// (FilterBatch) or an output value vector (EvalBatch) instead of being
+// called once per row. Semantics are identical to the scalar evaluator by
+// construction — the generic path calls Eval row by row over a reused row
+// view, and the comparison fast path runs the same Compare kernel in the
+// same argument order — so a batched data node accepts exactly the rows a
+// row-at-a-time one would.
+
+// FilterBatch evaluates the fragment's filter over rows [from, b.Len()) of
+// the batch, appending the indexes of accepted rows to sel (the selection
+// vector) until maxKeep rows are kept (maxKeep <= 0 keeps all). It returns
+// the extended selection vector and how many rows were evaluated, which
+// callers use for exact examined-row accounting when an output budget stops
+// the walk mid-batch. A nil filter accepts every row; NULL results drop the
+// row, as in SQL.
+func (f *Fragment) FilterBatch(b *RowBatch, from, maxKeep int, sel []int) ([]int, int, error) {
+	n := b.Len()
+	evaluated, kept := 0, 0
+	if f.Filter == nil {
+		for r := from; r < n; r++ {
+			evaluated++
+			sel = append(sel, r)
+			if kept++; maxKeep > 0 && kept >= maxKeep {
+				break
+			}
+		}
+		return sel, evaluated, nil
+	}
+	if col, cval, op, swapped, ok := constCmpFilter(f.Filter); ok {
+		colv := b.cols[col]
+		valid := b.valid[col]
+		for r := from; r < n; {
+			// The validity bitmap lets a NULL-heavy stretch drop a whole
+			// word of rows at a time: NULL never passes a comparison.
+			if r&63 == 0 && r+64 <= n && valid[r>>6] == 0 {
+				evaluated += 64
+				r += 64
+				continue
+			}
+			v := colv[r]
+			r++
+			evaluated++
+			if v == nil || cval == nil {
+				continue
+			}
+			lv, rv := v, cval
+			if swapped {
+				lv, rv = cval, v
+			}
+			c, err := Compare(lv, rv)
+			if err != nil {
+				return sel, evaluated, err
+			}
+			if !cmpAccepts(op, c) {
+				continue
+			}
+			sel = append(sel, r-1)
+			if kept++; maxKeep > 0 && kept >= maxKeep {
+				break
+			}
+		}
+		return sel, evaluated, nil
+	}
+	for r := from; r < n; r++ {
+		evaluated++
+		keep, err := f.FilterRow(b.rowView(r))
+		if err != nil {
+			return sel, evaluated, err
+		}
+		if !keep {
+			continue
+		}
+		sel = append(sel, r)
+		if kept++; maxKeep > 0 && kept >= maxKeep {
+			break
+		}
+	}
+	return sel, evaluated, nil
+}
+
+// constCmpFilter recognizes the dominant pushed-filter shape — a single
+// comparison between one column and one constant — so FilterBatch can run
+// it as a tight loop over the column vector.
+func constCmpFilter(e *Expr) (col int, cval any, op Op, swapped, ok bool) {
+	switch e.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return 0, nil, 0, false, false
+	}
+	l, r := &e.Args[0], &e.Args[1]
+	switch {
+	case l.Op == OpCol && r.Op == OpConst:
+		return l.Col, r.Val, e.Op, false, true
+	case l.Op == OpConst && r.Op == OpCol:
+		return r.Col, l.Val, e.Op, true, true
+	}
+	return 0, nil, 0, false, false
+}
+
+// cmpAccepts maps a comparison opcode over the three-way Compare result.
+func cmpAccepts(op Op, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// EvalBatch evaluates e once per selected row, writing the result for row
+// sel[i] into out[i]. Column references and constants read the batch
+// directly; everything else runs the scalar evaluator over a reused row
+// view.
+func EvalBatch(e *Expr, b *RowBatch, sel []int, out []any) error {
+	switch e.Op {
+	case OpConst:
+		for i := range sel {
+			out[i] = e.Val
+		}
+		return nil
+	case OpCol:
+		colv := b.cols[e.Col]
+		for i, r := range sel {
+			out[i] = colv[r]
+		}
+		return nil
+	}
+	for i, r := range sel {
+		v, err := Eval(e, b.rowView(r))
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
 // Compare orders two non-nil SQL values: mixed int64/float64 compare
 // numerically; otherwise both sides must share a type. This is the single
 // comparison kernel for both the CN and DN evaluators.
@@ -469,11 +617,18 @@ func (st *AggState) Accumulate(spec AggSpec, row []any) error {
 	if err != nil {
 		return err
 	}
+	return st.Fold(spec.Kind, v)
+}
+
+// Fold folds one already-evaluated argument value into the state — the
+// entry point batch evaluation uses after EvalBatch has produced the
+// argument vector. NULL values are skipped, as SQL aggregates require.
+func (st *AggState) Fold(kind AggKind, v any) error {
 	if v == nil {
 		return nil
 	}
 	st.Count++
-	switch spec.Kind {
+	switch kind {
 	case AggCount:
 		return nil
 	case AggSum, AggAvg:
@@ -485,7 +640,7 @@ func (st *AggState) Accumulate(spec AggSpec, row []any) error {
 			st.IsFloat = true
 			st.SumF += x
 		default:
-			return fmt.Errorf("%w: %v(%T)", ErrType, spec.Kind, v)
+			return fmt.Errorf("%w: %v(%T)", ErrType, kind, v)
 		}
 		return nil
 	case AggMin:
@@ -515,7 +670,7 @@ func (st *AggState) Accumulate(spec AggSpec, row []any) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("fragment: unknown aggregate %v", spec.Kind)
+		return fmt.Errorf("fragment: unknown aggregate %v", kind)
 	}
 }
 

@@ -249,7 +249,9 @@ func decodeValue(b []byte) (any, []byte, error) {
 
 func decodeLen(b []byte) (int, []byte, error) {
 	v, n := binary.Uvarint(b)
-	if n <= 0 {
+	// Reject lengths that do not fit a non-negative int32: a hostile
+	// uvarint must never reach make() as a huge or negative length.
+	if n <= 0 || v > math.MaxInt32 {
 		return 0, nil, ErrCorrupt
 	}
 	return int(v), b[n:], nil
@@ -398,6 +400,9 @@ func Decode(b []byte) (*Fragment, error) {
 		if np, b, err = decodeLen(b); err != nil {
 			return nil, err
 		}
+		if np > len(b) { // each position takes >= 1 byte; bound before allocating
+			return nil, ErrCorrupt
+		}
 		f.Project = make([]int, np)
 		for i := 0; i < np; i++ {
 			if f.Project[i], b, err = decodeLen(b); err != nil {
@@ -409,6 +414,9 @@ func Decode(b []byte) (*Fragment, error) {
 	ng, b, err := decodeLen(b)
 	if err != nil {
 		return nil, err
+	}
+	if ng > len(b) { // each position takes >= 1 byte; bound before allocating
+		return nil, ErrCorrupt
 	}
 	f.GroupBy = make([]int, ng)
 	for i := 0; i < ng; i++ {
@@ -646,6 +654,65 @@ func (f *Fragment) EncodeProjected(row []any) ([]byte, error) {
 		}
 	}
 	return e.Bytes(), nil
+}
+
+// AppendProjected encodes the projected columns of batch row r onto enc —
+// the batch form of EncodeProjected, producing identical bytes. Callers
+// encode a whole page of survivors into one buffer and slice per-row
+// values out of it instead of allocating an encoder per row.
+func (f *Fragment) AppendProjected(enc *keys.Encoder, b *RowBatch, r int) error {
+	for _, c := range f.Project {
+		if err := encodeKeyValue(enc, b.cols[c][r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendGroupKey encodes batch row r's memcomparable group key onto enc —
+// the batch form of EncodeGroupKey, producing identical bytes.
+func (f *Fragment) AppendGroupKey(enc *keys.Encoder, b *RowBatch, r int) error {
+	for _, c := range f.GroupBy {
+		if err := encodeKeyValue(enc, b.cols[c][r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProjectedKinds returns the column kinds of the projected (shipped)
+// columns, in shipped order. Computing this once per scan lets the
+// receiving side batch-decode projected rows without rebuilding it per row.
+func (f *Fragment) ProjectedKinds() []table.Kind {
+	kinds := make([]table.Kind, len(f.Project))
+	for i, c := range f.Project {
+		kinds[i] = f.Kinds[c]
+	}
+	return kinds
+}
+
+// DecodeProjectedAppend decodes a projected row value, appending the
+// re-expanded full-width row (unshipped columns nil) to dst and returning
+// the extended slice. narrowKinds must be ProjectedKinds(). Batch consumers
+// decode a whole page into one backing slab this way.
+func (f *Fragment) DecodeProjectedAppend(narrowKinds []table.Kind, val []byte, dst []any) ([]any, error) {
+	var d keys.Decoder
+	d.Reset(val)
+	base := len(dst)
+	for i := 0; i < len(f.Kinds); i++ {
+		dst = append(dst, nil)
+	}
+	for i, k := range narrowKinds {
+		v, err := decodeKeyValue(&d, k)
+		if err != nil {
+			return nil, fmt.Errorf("fragment: column %d: %w", i, err)
+		}
+		dst[base+f.Project[i]] = v
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing row bytes", ErrCorrupt)
+	}
+	return dst, nil
 }
 
 // DecodeProjected expands a projected row value back to full schema width,

@@ -9,33 +9,85 @@ import (
 	"globaldb/internal/table"
 )
 
-// rowIter is a volcano-style operator: each Next pulls one combined row
-// (one table.Row per FROM table) from the operator below it. Operators
-// fetch lazily, so a consumer that stops early — a LIMIT, an aggregate
-// short-circuit — stops the whole pipeline, and the scan at the bottom
-// stops requesting pages from storage.
-type rowIter interface {
-	Next(ctx context.Context) ([]table.Row, bool, error)
+// The operator pipeline is batch-native: each operator's NextBlock moves a
+// rowBlock — a batch of combined rows, one column of table.Rows per FROM
+// table — pulled from the operator below it. Scans hand whole decoded
+// storage pages upward as blocks, filters compact a block in place
+// (selection, not per-row copying), and joins fan one outer row out across
+// an inner block. Operators still fetch lazily, so a consumer that stops
+// early — a LIMIT, an aggregate short-circuit — stops the whole pipeline,
+// and the scan at the bottom stops requesting pages from storage. Rows
+// leave block form only at the true row edges: result assembly / driver
+// Rows.Next, and the aggregation hash probe.
+
+// rowBlock is a batch of combined rows: tabs[t][i] is FROM-table t's row
+// in combined row i. All tabs have equal length. A block returned by
+// NextBlock is valid until the following NextBlock call; consumers may
+// retain the table.Rows inside it, but not the block or its slices.
+type rowBlock struct {
+	tabs [][]table.Row
+}
+
+// n returns the number of combined rows in the block.
+func (b *rowBlock) n() int {
+	if len(b.tabs) == 0 {
+		return 0
+	}
+	return len(b.tabs[0])
+}
+
+// row copies combined row i into scratch, the bridge to row-at-a-time
+// expression evaluation.
+func (b *rowBlock) row(i int, scratch []table.Row) []table.Row {
+	out := scratch[:len(b.tabs)]
+	for t := range b.tabs {
+		out[t] = b.tabs[t][i]
+	}
+	return out
+}
+
+// blockIter is a batch-native volcano operator: NextBlock returns the next
+// non-empty block, or nil at the end of the stream.
+type blockIter interface {
+	NextBlock(ctx context.Context) (*rowBlock, error)
 	Close()
 }
 
-// sliceIter yields a pre-materialized row set. It backs point-get results
-// and the materializing legacy path used as a differential oracle.
-type sliceIter struct {
-	rows [][]table.Row
-	i    int
+// sliceBlocks yields one pre-materialized row set as a single block. It
+// backs point-get results and the materializing legacy path used as a
+// differential oracle.
+type sliceBlocks struct {
+	blk  rowBlock
+	done bool
 }
 
-func (s *sliceIter) Next(context.Context) ([]table.Row, bool, error) {
-	if s.i >= len(s.rows) {
-		return nil, false, nil
+// newSliceBlocks converts row-major combined rows into one block.
+func newSliceBlocks(rows [][]table.Row, ntabs int) *sliceBlocks {
+	s := &sliceBlocks{}
+	if len(rows) == 0 {
+		s.done = true
+		return s
 	}
-	r := s.rows[s.i]
-	s.i++
-	return r, true, nil
+	s.blk.tabs = make([][]table.Row, ntabs)
+	for t := 0; t < ntabs; t++ {
+		col := make([]table.Row, len(rows))
+		for i, r := range rows {
+			col[i] = r[t]
+		}
+		s.blk.tabs[t] = col
+	}
+	return s
 }
 
-func (s *sliceIter) Close() {}
+func (s *sliceBlocks) NextBlock(context.Context) (*rowBlock, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return &s.blk, nil
+}
+
+func (s *sliceBlocks) Close() {}
 
 // scanTotals accumulates per-layer scan row counts across every scan a
 // query opens (outer plus join inners), surfaced on the Result so pushdown
@@ -44,18 +96,23 @@ type scanTotals struct {
 	s globaldb.ScanStats
 }
 
-// scanIter adapts a streaming globaldb.Rows into single-table combined rows.
+// scanIter adapts a streaming globaldb.Rows into single-table blocks,
+// moving each decoded storage page upward as one block reference.
 type scanIter struct {
 	rows    *globaldb.Rows
 	totals  *scanTotals
 	counted bool
+	blk     rowBlock
+	tabs    [1][]table.Row
 }
 
-func (s *scanIter) Next(context.Context) ([]table.Row, bool, error) {
-	if s.rows.Next() {
-		return []table.Row{table.Row(s.rows.Row())}, true, nil
+func (s *scanIter) NextBlock(context.Context) (*rowBlock, error) {
+	if !s.rows.NextBatch() {
+		return nil, s.rows.Err()
 	}
-	return nil, false, s.rows.Err()
+	s.tabs[0] = s.rows.Batch()
+	s.blk.tabs = s.tabs[:]
+	return &s.blk, nil
 }
 
 func (s *scanIter) Close() {
@@ -68,26 +125,53 @@ func (s *scanIter) Close() {
 	_ = s.rows.Close()
 }
 
-// filterIter drops combined rows failing the predicate.
+// filterIter drops combined rows failing the predicate, compacting each
+// block in place: survivors are selected by shifting references down, never
+// by re-allocating rows.
 type filterIter struct {
-	child  rowIter
+	child  blockIter
 	filter Expr
-	tables []*boundTable
-	params []any
+	env    rowEnv
+	scr    [2]table.Row
 }
 
-func (f *filterIter) Next(ctx context.Context) ([]table.Row, bool, error) {
+func newFilterIter(child blockIter, filter Expr, tables []*boundTable, params []any) *filterIter {
+	return &filterIter{child: child, filter: filter, env: rowEnv{tables: tables, params: params}}
+}
+
+func (f *filterIter) NextBlock(ctx context.Context) (*rowBlock, error) {
 	for {
-		combined, ok, err := f.child.Next(ctx)
-		if err != nil || !ok {
-			return nil, false, err
+		blk, err := f.child.NextBlock(ctx)
+		if blk == nil || err != nil {
+			return nil, err
 		}
-		pass, err := passes(f.filter, f.tables, combined, f.params)
-		if err != nil {
-			return nil, false, err
+		n := blk.n()
+		keep := 0
+		for i := 0; i < n; i++ {
+			f.env.rows = blk.row(i, f.scr[:])
+			v, err := evalExpr(f.filter, &f.env)
+			if err != nil {
+				return nil, err
+			}
+			pass, err := truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+			if keep != i {
+				for t := range blk.tabs {
+					blk.tabs[t][keep] = blk.tabs[t][i]
+				}
+			}
+			keep++
 		}
-		if pass {
-			return combined, true, nil
+		if keep > 0 {
+			for t := range blk.tabs {
+				blk.tabs[t] = blk.tabs[t][:keep]
+			}
+			return blk, nil
 		}
 	}
 }
@@ -96,38 +180,60 @@ func (f *filterIter) Close() { f.child.Close() }
 
 // nestedLoopIter streams a nested-loop join: for each outer row it opens a
 // fresh inner scan (whose key expressions may bind outer columns) and
-// yields [outer, inner] pairs as the inner streams.
+// yields [outer, inner] blocks — the outer row's reference fanned across
+// each inner block.
 type nestedLoopIter struct {
-	outer     rowIter
-	openInner func(outerRow table.Row) (rowIter, error)
-	curOuter  table.Row
-	inner     rowIter
+	outer     blockIter
+	openInner func(outerRow table.Row) (blockIter, error)
+
+	outerBlk *rowBlock
+	oi       int
+	curOuter table.Row
+	inner    blockIter
+
+	blk      rowBlock
+	tabs     [2][]table.Row
+	outerRep []table.Row
 }
 
-func (j *nestedLoopIter) Next(ctx context.Context) ([]table.Row, bool, error) {
+func (j *nestedLoopIter) NextBlock(ctx context.Context) (*rowBlock, error) {
 	for {
 		if j.inner == nil {
-			combined, ok, err := j.outer.Next(ctx)
-			if err != nil || !ok {
-				return nil, false, err
+			if j.outerBlk == nil || j.oi >= j.outerBlk.n() {
+				blk, err := j.outer.NextBlock(ctx)
+				if blk == nil || err != nil {
+					return nil, err
+				}
+				j.outerBlk, j.oi = blk, 0
 			}
-			j.curOuter = combined[0]
+			j.curOuter = j.outerBlk.tabs[0][j.oi]
+			j.oi++
 			inner, err := j.openInner(j.curOuter)
 			if err != nil {
-				return nil, false, err
+				return nil, err
 			}
 			j.inner = inner
 		}
-		irow, ok, err := j.inner.Next(ctx)
+		iblk, err := j.inner.NextBlock(ctx)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		if !ok {
+		if iblk == nil {
 			j.inner.Close()
 			j.inner = nil
 			continue
 		}
-		return []table.Row{j.curOuter, irow[0]}, true, nil
+		irows := iblk.tabs[0]
+		if cap(j.outerRep) < len(irows) {
+			j.outerRep = make([]table.Row, len(irows))
+		}
+		rep := j.outerRep[:len(irows)]
+		for i := range rep {
+			rep[i] = j.curOuter
+		}
+		j.tabs[0], j.tabs[1] = rep, irows
+		j.blk.tabs = j.tabs[:]
+		return &j.blk, nil
 	}
 }
 
@@ -145,7 +251,7 @@ func (j *nestedLoopIter) Close() {
 // first fetched page (early-terminating consumers). frag, when non-nil, is
 // the bound DN-side fragment attached to the scan's pages; totals, when
 // non-nil, accumulates the scan's per-layer row counts at Close.
-func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int, frag *fragment.Fragment, totals *scanTotals) (rowIter, error) {
+func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int, frag *fragment.Fragment, totals *scanTotals) (blockIter, error) {
 	env := &rowEnv{tables: p.tables, params: p.params}
 	if outerRow != nil {
 		env.rows = []table.Row{outerRow}
@@ -168,9 +274,9 @@ func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRo
 		}
 		row, found, err := r.Get(ctx, name, keyVals)
 		if err != nil || !found {
-			return &sliceIter{}, err
+			return &sliceBlocks{done: true}, err
 		}
-		return &sliceIter{rows: [][]table.Row{{row}}}, nil
+		return newSliceBlocks([][]table.Row{{row}}, 1), nil
 	case accessPKPrefix:
 		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK[:len(keyVals)], keyVals)
 		if err != nil {
@@ -234,13 +340,13 @@ func scanRange(s *tableScan, env *rowEnv) *globaldb.ScanRange {
 	return rng
 }
 
-// buildPipeline assembles the streaming operator tree for a planned SELECT:
-// scan(outer, with any DN-side fragment attached) -> [nested-loop
+// buildPipeline assembles the batch-native operator tree for a planned
+// SELECT: scan(outer, with any DN-side fragment attached) -> [nested-loop
 // join(inner)] -> residual filter. orderDone reports whether the scan
 // already delivers rows in the plan's ORDER BY order (so the driver can
 // skip the sort and terminate early on LIMIT). The returned totals
 // accumulate every scan's per-layer row counts as iterators close.
-func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, orderDone bool, totals *scanTotals, err error) {
+func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, orderDone bool, totals *scanTotals, err error) {
 	totals = &scanTotals{}
 	orderDone = scanSatisfiesOrder(p.selectPlan)
 
@@ -285,13 +391,13 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it rowIter, ord
 	if p.inner != nil {
 		it = &nestedLoopIter{
 			outer: it,
-			openInner: func(outerRow table.Row) (rowIter, error) {
+			openInner: func(outerRow table.Row) (blockIter, error) {
 				return openScan(ctx, r, p, p.inner, outerRow, 0, 0, nil, totals)
 			},
 		}
 	}
 	if filter != nil {
-		it = &filterIter{child: it, filter: filter, tables: p.tables, params: p.params}
+		it = newFilterIter(it, filter, p.tables, p.params)
 	}
 	return it, orderDone, totals, nil
 }

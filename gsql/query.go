@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"globaldb/internal/table"
 )
 
 // ErrNotSelect is returned by the Query entry points when the statement is
@@ -26,9 +28,15 @@ type Rows struct {
 	cols       []string
 	onReplicas bool
 
-	// Streaming state.
+	// Streaming state: the batch-native pipeline below, with this Rows as
+	// the thin row adapter at the consumer edge (each Next steps through
+	// the current block; blocks are pulled on demand).
 	bp      *boundPlan
-	it      rowIter
+	it      blockIter
+	blk     *rowBlock
+	bi      int
+	env     rowEnv
+	scr     [2]table.Row
 	seen    map[string]bool // DISTINCT filter
 	skipped int64
 	yielded int64
@@ -65,15 +73,20 @@ func (r *Rows) Next() bool {
 		return true
 	}
 	for r.bp.limit < 0 || r.yielded < r.bp.limit {
-		combined, ok, err := r.it.Next(r.ctx)
-		if err != nil {
-			r.err = err
-			return false
+		if r.blk == nil || r.bi >= r.blk.n() {
+			blk, err := r.it.NextBlock(r.ctx)
+			if err != nil {
+				r.err = err
+				return false
+			}
+			if blk == nil {
+				break
+			}
+			r.blk, r.bi = blk, 0
 		}
-		if !ok {
-			break
-		}
-		out, err := projectRow(r.bp, combined)
+		r.env.rows = r.blk.row(r.bi, r.scr[:])
+		r.bi++
+		out, err := projectEnv(r.bp, &r.env)
 		if err != nil {
 			r.err = err
 			return false
@@ -182,6 +195,7 @@ func (s *Session) queryRows(ctx context.Context, sel *Select, plan *selectPlan, 
 	rows := &Rows{
 		ctx: ctx, cols: bp.outCols, onReplicas: onReplicas,
 		bp: bp, it: it, finish: finish,
+		env: rowEnv{tables: bp.tables, params: bp.params},
 	}
 	if bp.distinct {
 		rows.seen = make(map[string]bool)

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"bytes"
 	"context"
+	"sort"
 	"time"
 
 	"globaldb/internal/datanode"
@@ -10,10 +11,30 @@ import (
 	"globaldb/internal/storage/mvcc"
 )
 
-// KVCursor is a pull-based iterator over key/value pairs. Implementations
-// fetch lazily: no page is requested from a data node until Next demands it,
-// which is what lets LIMIT-style consumers terminate a scan after O(pages)
-// rather than O(table) work.
+// BatchCursor is the batch-native pull iterator the scan pipeline runs on:
+// each NextBatch yields a reference to the next run of key/value pairs —
+// typically a whole data-node page — instead of one pair at a time.
+// Implementations fetch lazily (no page is requested until NextBatch
+// demands it) and move batch references rather than copying rows: the
+// cross-shard merge only splits a page where another shard's keys
+// interleave. A returned batch is valid until the following NextBatch
+// call, and its pairs must be treated as read-only (they may alias storage
+// memory end to end).
+type BatchCursor interface {
+	// NextBatch advances to the following batch, fetching if needed. It
+	// returns false at the end of the stream or on error.
+	NextBatch(ctx context.Context) bool
+	// Batch returns the current batch (valid after a true NextBatch, until
+	// the following NextBatch).
+	Batch() []mvcc.KV
+	// Err returns the first error encountered, if any.
+	Err() error
+	// Close releases the cursor. It is safe to call multiple times.
+	Close()
+}
+
+// KVCursor is the row-at-a-time view of a batch stream, kept for consumers
+// that genuinely want one pair per step. AsKVCursor adapts any BatchCursor.
 type KVCursor interface {
 	// Next advances to the following pair, fetching a page if needed.
 	Next(ctx context.Context) bool
@@ -25,13 +46,41 @@ type KVCursor interface {
 	Close()
 }
 
+// AsKVCursor wraps a batch cursor in a row-at-a-time view.
+func AsKVCursor(bc BatchCursor) KVCursor { return &rowCursor{bc: bc} }
+
+type rowCursor struct {
+	bc    BatchCursor
+	batch []mvcc.KV
+	pos   int
+	cur   mvcc.KV
+}
+
+func (r *rowCursor) Next(ctx context.Context) bool {
+	for r.pos >= len(r.batch) {
+		if !r.bc.NextBatch(ctx) {
+			return false
+		}
+		r.batch, r.pos = r.bc.Batch(), 0
+	}
+	r.cur = r.batch[r.pos]
+	r.pos++
+	return true
+}
+
+func (r *rowCursor) KV() mvcc.KV { return r.cur }
+func (r *rowCursor) Err() error  { return r.bc.Err() }
+func (r *rowCursor) Close()      { r.bc.Close() }
+
 // fetchPage retrieves one page starting at start: it returns the pairs, the
 // resume key, and whether the range may hold more. remaining is the total
 // row budget still wanted (<= 0 means unlimited); page is the requested
 // page size for this fetch (<= 0 lets the data node pick its default).
 type fetchPage func(ctx context.Context, start []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error)
 
-// ScanCursor streams one shard's key range as pages pulled on demand.
+// ScanCursor streams one shard's key range as pages pulled on demand. It is
+// the pipeline's batch source: each data-node page is handed upward as one
+// batch reference.
 //
 // Pages grow adaptively: the first page uses the caller's hint (cheap
 // time-to-first-row, little wasted prefetch when a LIMIT stops the scan),
@@ -44,7 +93,8 @@ type ScanCursor struct {
 	pageSize  int // current page size; <= 0 lets the node pick
 	pageCap   int // growth ceiling
 	buf       []mvcc.KV
-	pos       int
+	pos       int // row-view position within buf
+	batch     []mvcc.KV
 	cur       mvcc.KV
 	started   bool
 	more      bool
@@ -65,13 +115,15 @@ func newScanCursor(start []byte, limit, pageSize int, fetch fetchPage) *ScanCurs
 		pageSize: pageSize, pageCap: cap}
 }
 
-// Next implements KVCursor.
-func (c *ScanCursor) Next(ctx context.Context) bool {
-	if c.closed || c.err != nil || c.remaining == 0 {
+// fill ensures buf[pos:] holds at least one unconsumed pair, fetching the
+// next page when the current one is drained. The row budget truncates at
+// the page level, so batch and row consumers see identical limits.
+func (c *ScanCursor) fill(ctx context.Context) bool {
+	if c.closed || c.err != nil {
 		return false
 	}
 	for c.pos >= len(c.buf) {
-		if c.started && !c.more {
+		if (c.started && !c.more) || c.remaining == 0 {
 			return false
 		}
 		want := 0
@@ -84,6 +136,12 @@ func (c *ScanCursor) Next(ctx context.Context) bool {
 			return false
 		}
 		c.started = true
+		if c.remaining > 0 {
+			if len(kvs) > c.remaining {
+				kvs = kvs[:c.remaining]
+			}
+			c.remaining -= len(kvs)
+		}
 		c.buf, c.pos = kvs, 0
 		c.next, c.more = next, more
 		if c.pageSize > 0 && c.pageSize < c.pageCap {
@@ -93,21 +151,40 @@ func (c *ScanCursor) Next(ctx context.Context) bool {
 			}
 		}
 	}
+	return true
+}
+
+// NextBatch implements BatchCursor: it yields the unconsumed remainder of
+// the current page, or fetches the next one.
+func (c *ScanCursor) NextBatch(ctx context.Context) bool {
+	if !c.fill(ctx) {
+		return false
+	}
+	c.batch = c.buf[c.pos:]
+	c.pos = len(c.buf)
+	return true
+}
+
+// Batch implements BatchCursor.
+func (c *ScanCursor) Batch() []mvcc.KV { return c.batch }
+
+// Next implements KVCursor.
+func (c *ScanCursor) Next(ctx context.Context) bool {
+	if !c.fill(ctx) {
+		return false
+	}
 	c.cur = c.buf[c.pos]
 	c.pos++
-	if c.remaining > 0 {
-		c.remaining--
-	}
 	return true
 }
 
 // KV implements KVCursor.
 func (c *ScanCursor) KV() mvcc.KV { return c.cur }
 
-// Err implements KVCursor.
+// Err implements KVCursor and BatchCursor.
 func (c *ScanCursor) Err() error { return c.err }
 
-// Close implements KVCursor.
+// Close implements KVCursor and BatchCursor.
 func (c *ScanCursor) Close() { c.closed = true }
 
 // ScanSpec describes one shard's paged scan: the key range, row budgets,
@@ -185,109 +262,137 @@ func (r *ROTxn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
 	})
 }
 
-// MergedCursor merges several cursors into one stream in ascending key
+// MergedCursor merges several batch streams into one in ascending key
 // order — the cross-shard merge that turns per-shard paged scans into a
-// single table-wide scan in primary-key order.
+// single table-wide scan in primary-key order. It moves batch references:
+// each NextBatch emits the longest prefix of the leading shard's current
+// batch whose keys precede every other shard's head, splitting a page only
+// at a genuine shard-interleave boundary rather than re-copying rows one
+// by one.
 type MergedCursor struct {
-	children []KVCursor
-	heads    []mvcc.KV
+	children []BatchCursor
+	heads    [][]mvcc.KV // unconsumed remainder of each child's batch
 	alive    []bool
 	inited   bool
-	cur      mvcc.KV
+	batch    []mvcc.KV
 	err      error
 }
 
-// MergeCursors combines cursors in ascending key order. The inputs must
-// each yield keys in ascending order (as ScanCursor does).
-func MergeCursors(children ...KVCursor) *MergedCursor {
+// MergeCursors combines batch cursors in ascending key order. The inputs
+// must each yield keys in ascending order (as ScanCursor does). Ties
+// between shards break toward the lower-index child, matching row-at-a-time
+// merge order.
+func MergeCursors(children ...BatchCursor) *MergedCursor {
 	return &MergedCursor{
 		children: children,
-		heads:    make([]mvcc.KV, len(children)),
+		heads:    make([][]mvcc.KV, len(children)),
 		alive:    make([]bool, len(children)),
 	}
 }
 
-func (m *MergedCursor) advance(ctx context.Context, i int) bool {
-	m.alive[i] = m.children[i].Next(ctx)
-	if m.alive[i] {
-		m.heads[i] = m.children[i].KV()
-		return true
+// refill pulls child i's next batch if its current one is consumed.
+func (m *MergedCursor) refill(ctx context.Context, i int) {
+	if !m.alive[i] || len(m.heads[i]) > 0 {
+		return
 	}
+	if m.children[i].NextBatch(ctx) {
+		m.heads[i] = m.children[i].Batch()
+		return
+	}
+	m.alive[i] = false
 	if err := m.children[i].Err(); err != nil && m.err == nil {
 		m.err = err
 	}
-	return false
 }
 
-// Next implements KVCursor.
-func (m *MergedCursor) Next(ctx context.Context) bool {
+// NextBatch implements BatchCursor.
+func (m *MergedCursor) NextBatch(ctx context.Context) bool {
 	if m.err != nil {
 		return false
 	}
 	if !m.inited {
 		m.inited = true
-		for i := range m.children {
-			m.advance(ctx, i)
-			if m.err != nil {
-				return false
-			}
+		for i := range m.alive {
+			m.alive[i] = true
 		}
 	}
+	for i := range m.children {
+		m.refill(ctx, i)
+		if m.err != nil {
+			return false
+		}
+	}
+	// Pick the child whose head key is smallest (lowest index on ties).
 	best := -1
-	for i, ok := range m.alive {
-		if !ok {
+	for i, h := range m.heads {
+		if len(h) == 0 {
 			continue
 		}
-		if best < 0 || bytes.Compare(m.heads[i].Key, m.heads[best].Key) < 0 {
+		if best < 0 || bytes.Compare(h[0].Key, m.heads[best][0].Key) < 0 {
 			best = i
 		}
 	}
 	if best < 0 {
 		return false
 	}
-	m.cur = m.heads[best]
-	// Pre-fetch that child's next head; if it errors, the current pair is
-	// still valid and the error surfaces on the following Next.
-	m.advance(ctx, best)
+	// Emit the run of the best child's keys that precede every other head.
+	var minOther []byte
+	haveOther := false
+	for i, h := range m.heads {
+		if i == best || len(h) == 0 {
+			continue
+		}
+		if !haveOther || bytes.Compare(h[0].Key, minOther) < 0 {
+			minOther, haveOther = h[0].Key, true
+		}
+	}
+	h := m.heads[best]
+	run := len(h)
+	if haveOther {
+		run = sort.Search(len(h), func(i int) bool { return bytes.Compare(h[i].Key, minOther) >= 0 })
+		if run == 0 {
+			run = 1 // head ties another shard: emit it alone, lower index first
+		}
+	}
+	m.batch = h[:run]
+	m.heads[best] = h[run:]
 	return true
 }
 
-// KV implements KVCursor.
-func (m *MergedCursor) KV() mvcc.KV { return m.cur }
+// Batch implements BatchCursor.
+func (m *MergedCursor) Batch() []mvcc.KV { return m.batch }
 
-// Err implements KVCursor.
+// Err implements BatchCursor.
 func (m *MergedCursor) Err() error { return m.err }
 
-// Close implements KVCursor.
+// Close implements BatchCursor.
 func (m *MergedCursor) Close() {
 	for _, c := range m.children {
 		c.Close()
 	}
 }
 
-// ChainedCursor concatenates cursors, draining each in turn — the legacy
-// shard-order traversal (shard 0's keys, then shard 1's, ...).
+// ChainedCursor concatenates batch streams, draining each in turn — the
+// legacy shard-order traversal (shard 0's keys, then shard 1's, ...).
 type ChainedCursor struct {
-	children []KVCursor
+	children []BatchCursor
 	i        int
-	cur      mvcc.KV
 	err      error
 }
 
 // ChainCursors concatenates cursors in the given order.
-func ChainCursors(children ...KVCursor) *ChainedCursor {
+func ChainCursors(children ...BatchCursor) *ChainedCursor {
 	return &ChainedCursor{children: children}
 }
 
-// Next implements KVCursor.
-func (c *ChainedCursor) Next(ctx context.Context) bool {
+// NextBatch implements BatchCursor.
+func (c *ChainedCursor) NextBatch(ctx context.Context) bool {
 	if c.err != nil {
 		return false
 	}
 	for c.i < len(c.children) {
 		child := c.children[c.i]
-		if child.Next(ctx) {
-			c.cur = child.KV()
+		if child.NextBatch(ctx) {
 			return true
 		}
 		if err := child.Err(); err != nil {
@@ -299,13 +404,15 @@ func (c *ChainedCursor) Next(ctx context.Context) bool {
 	return false
 }
 
-// KV implements KVCursor.
-func (c *ChainedCursor) KV() mvcc.KV { return c.cur }
+// Batch implements BatchCursor.
+func (c *ChainedCursor) Batch() []mvcc.KV {
+	return c.children[c.i].Batch()
+}
 
-// Err implements KVCursor.
+// Err implements BatchCursor.
 func (c *ChainedCursor) Err() error { return c.err }
 
-// Close implements KVCursor.
+// Close implements BatchCursor.
 func (c *ChainedCursor) Close() {
 	for _, child := range c.children {
 		child.Close()
@@ -313,71 +420,90 @@ func (c *ChainedCursor) Close() {
 }
 
 // AggMergeCursor coalesces runs of equal keys in an already key-ordered
-// stream, combining their values with a caller-supplied merge function.
-// This is the coordinator's CN-final half of aggregate pushdown: each
-// shard returns per-group partial states keyed by a memcomparable group
-// key, MergeCursors interleaves them in key order (equal groups adjacent),
-// and this cursor merges the adjacent partials into one state per group.
+// batch stream, combining their values with a caller-supplied merge
+// function. This is the coordinator's CN-final half of aggregate pushdown:
+// each shard returns per-group partial states keyed by a memcomparable
+// group key, MergeCursors interleaves them in key order (equal groups
+// adjacent), and this cursor merges the adjacent partials into one state
+// per group. A group is emitted only once a strictly greater key (or end
+// of stream) proves it complete, so groups spanning shard-batch boundaries
+// are never split.
 type AggMergeCursor struct {
-	child       KVCursor
-	merge       func(a, b []byte) ([]byte, error)
-	cur         mvcc.KV
-	pending     mvcc.KV
-	havePending bool
-	err         error
+	child        BatchCursor
+	merge        func(a, b []byte) ([]byte, error)
+	out          []mvcc.KV // reused output buffer; valid until next NextBatch
+	pending      mvcc.KV
+	havePending  bool
+	pendingOwned bool // pending no longer aliases the child's batch
+	done         bool
+	err          error
 }
 
-// MergeAggregates wraps a key-ordered cursor of per-shard partial rows,
-// yielding exactly one pair per distinct key with values combined by
+// MergeAggregates wraps a key-ordered batch cursor of per-shard partial
+// rows, yielding exactly one pair per distinct key with values combined by
 // merge. A child error suppresses the group being assembled — a partial
 // aggregate missing one shard's contribution would be silently wrong.
-func MergeAggregates(child KVCursor, merge func(a, b []byte) ([]byte, error)) *AggMergeCursor {
+func MergeAggregates(child BatchCursor, merge func(a, b []byte) ([]byte, error)) *AggMergeCursor {
 	return &AggMergeCursor{child: child, merge: merge}
 }
 
-// Next implements KVCursor.
-func (m *AggMergeCursor) Next(ctx context.Context) bool {
-	if m.err != nil {
+// NextBatch implements BatchCursor.
+func (m *AggMergeCursor) NextBatch(ctx context.Context) bool {
+	if m.err != nil || m.done {
 		return false
 	}
-	var cur mvcc.KV
-	if m.havePending {
-		cur, m.havePending = m.pending, false
-	} else {
-		if !m.child.Next(ctx) {
-			m.err = m.child.Err()
-			return false
+	m.out = m.out[:0]
+	for {
+		// The group being assembled is about to outlive the child's
+		// current batch (the refill below invalidates it), so take
+		// ownership of its bytes first.
+		if m.havePending && !m.pendingOwned {
+			m.pending.Key = bytes.Clone(m.pending.Key)
+			m.pending.Value = bytes.Clone(m.pending.Value)
+			m.pendingOwned = true
 		}
-		cur = m.child.KV()
-	}
-	for m.child.Next(ctx) {
-		kv := m.child.KV()
-		if !bytes.Equal(kv.Key, cur.Key) {
-			m.pending, m.havePending = kv, true
-			break
+		if !m.child.NextBatch(ctx) {
+			if err := m.child.Err(); err != nil {
+				m.err = err
+				return false
+			}
+			m.done = true
+			if m.havePending {
+				m.out = append(m.out, m.pending)
+				m.havePending = false
+			}
+			return len(m.out) > 0
 		}
-		merged, err := m.merge(cur.Value, kv.Value)
-		if err != nil {
-			m.err = err
-			return false
+		for _, kv := range m.child.Batch() {
+			if m.havePending && bytes.Equal(kv.Key, m.pending.Key) {
+				merged, err := m.merge(m.pending.Value, kv.Value)
+				if err != nil {
+					m.err = err
+					return false
+				}
+				m.pending.Value = merged
+				continue
+			}
+			if m.havePending {
+				m.out = append(m.out, m.pending)
+			}
+			m.pending, m.havePending, m.pendingOwned = kv, true, false
 		}
-		cur.Value = merged
+		// Groups closed within this child batch are ready; the last one
+		// stays pending until a greater key or end of stream closes it.
+		if len(m.out) > 0 {
+			return true
+		}
 	}
-	if err := m.child.Err(); err != nil {
-		m.err = err
-		return false
-	}
-	m.cur = cur
-	return true
 }
 
-// KV implements KVCursor.
-func (m *AggMergeCursor) KV() mvcc.KV { return m.cur }
+// Batch implements BatchCursor.
+func (m *AggMergeCursor) Batch() []mvcc.KV { return m.out }
 
-// Err implements KVCursor.
+// Err implements BatchCursor.
 func (m *AggMergeCursor) Err() error { return m.err }
 
-// Close implements KVCursor.
+// Close implements BatchCursor.
 func (m *AggMergeCursor) Close() { m.child.Close() }
 
 // ScanRowsFetched reports the rows this CN has received in scan responses,

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"sort"
+	"sync"
 
 	"globaldb/gsql/fragment"
+	"globaldb/internal/keys"
 	"globaldb/internal/storage/mvcc"
 )
 
@@ -17,7 +19,14 @@ import (
 // executor is stateless across requests — every page request re-decodes
 // the fragment and resumes from the request's start key — and snapshot
 // semantics come for free from the store's MVCC ScanPage, so the same code
-// serves primaries (with read-own-writes) and RCP replicas.
+// serves primaries (with read-own-writes and RCP replicas).
+//
+// Execution is batch-native: each storage page is decoded once into a
+// column-major fragment.RowBatch backed by a pooled arena, the filter runs
+// over the batch producing a selection vector, and survivors are either
+// encoded for the wire (rows / projections, into one page buffer) or
+// folded into per-group aggregate states — no per-row []any allocation
+// anywhere on the hot path.
 
 const (
 	// fragScanBatch is how many storage rows the fragment executor pulls
@@ -33,6 +42,11 @@ const (
 	fragExamineBudget = 4096
 )
 
+// arenaPool recycles batch arenas across scan RPCs; an arena's slabs reach
+// steady-state capacity after the first page and are then reused for every
+// subsequent page and request.
+var arenaPool = sync.Pool{New: func() any { return fragment.NewArena() }}
+
 // execFragScanPage serves one paged scan request that carries a fragment.
 // It returns the page, plus the count of storage rows examined so the
 // computing node can account rows filtered out DN-side.
@@ -41,78 +55,109 @@ func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, r
 	if err != nil {
 		return ScanPageResp{}, err
 	}
+	arena := arenaPool.Get().(*fragment.Arena)
+	defer arenaPool.Put(arena)
 	if frag.HasAggs() {
-		return execFragAggregate(ctx, store, frag, req, reader)
+		return execFragAggregate(ctx, store, frag, arena, req, reader)
 	}
 	outBudget := pageLimit(req.Limit, req.MaxPage)
 	start := req.Start
 	examined := 0
 	var out []mvcc.KV
+	// Projected page values are encoded into one buffer per page and sliced
+	// per row after the page settles (appends may relocate the buffer, so
+	// only offsets are recorded during the walk).
+	var pageEnc *keys.Encoder
+	var valOffs []int
+	if frag.Project != nil {
+		pageEnc = keys.NewEncoder(0)
+	}
 	// The internal storage batch starts near the output budget — a
 	// selective LIMIT then reads O(k) storage rows, not a full batch — and
 	// grows geometrically when the filter keeps dropping rows, mirroring
 	// the coordinator cursor's adaptive page growth.
-	batch := outBudget
-	if batch < 16 {
-		batch = 16
+	storageBatch := outBudget
+	if storageBatch < 16 {
+		storageBatch = 16
 	}
-	if batch > fragScanBatch {
-		batch = fragScanBatch
+	if storageBatch > fragScanBatch {
+		storageBatch = fragScanBatch
 	}
 	for {
-		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, batch, reader)
+		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, storageBatch, reader)
 		if err != nil {
 			return ScanPageResp{}, err
 		}
-		if batch < fragScanBatch {
-			batch *= 4
-			if batch > fragScanBatch {
-				batch = fragScanBatch
+		if storageBatch < fragScanBatch {
+			storageBatch *= 4
+			if storageBatch > fragScanBatch {
+				storageBatch = fragScanBatch
 			}
 		}
+		// Decode the whole page once into the arena's column slabs.
+		batch := arena.NewBatch(frag.Kinds, len(kvs))
 		for i := range kvs {
-			examined++
-			row, err := frag.DecodeStoredRow(kvs[i].Value)
-			if err != nil {
+			if err := batch.AppendStored(kvs[i].Value); err != nil {
 				return ScanPageResp{}, err
 			}
-			keep, err := frag.FilterRow(row)
-			if err != nil {
-				return ScanPageResp{}, err
-			}
-			if !keep {
-				continue
-			}
-			val := kvs[i].Value
+		}
+		// Filter the batch, stopping exactly when the output budget is met
+		// so examined-row accounting matches row-at-a-time execution.
+		sel, evaluated, err := frag.FilterBatch(batch, 0, outBudget-len(out), arena.Sel(len(kvs)))
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		examined += evaluated
+		for _, r := range sel {
+			kv := mvcc.KV{Key: kvs[r].Key, Value: kvs[r].Value}
 			if frag.Project != nil {
-				if val, err = frag.EncodeProjected(row); err != nil {
+				valOffs = append(valOffs, len(pageEnc.Bytes()))
+				if err := frag.AppendProjected(pageEnc, batch, r); err != nil {
 					return ScanPageResp{}, err
 				}
+				kv.Value = nil // sliced out of the page buffer below
 			}
-			out = append(out, mvcc.KV{Key: kvs[i].Key, Value: val})
-			if len(out) >= outBudget {
-				// The page is full mid-range: resume at the successor of
-				// the last shipped key (the same resume convention as
-				// mvcc.ScanPage).
-				if i+1 < len(kvs) || more {
-					resume := append(bytes.Clone(kvs[i].Key), 0x00)
-					if req.End == nil || bytes.Compare(resume, req.End) < 0 {
-						return ScanPageResp{KVs: out, Next: resume, More: true, Examined: examined}, nil
-					}
+			out = append(out, kv)
+		}
+		if len(out) >= outBudget {
+			// The page is full mid-range: resume at the successor of the
+			// last shipped key (the same resume convention as
+			// mvcc.ScanPage).
+			last := evaluated - 1 // FilterBatch stops on the kept row
+			if last+1 < len(kvs) || more {
+				resume := append(bytes.Clone(kvs[last].Key), 0x00)
+				if req.End == nil || bytes.Compare(resume, req.End) < 0 {
+					return finishFragPage(out, pageEnc, valOffs, resume, true, examined), nil
 				}
-				return ScanPageResp{KVs: out, Examined: examined}, nil
 			}
+			return finishFragPage(out, pageEnc, valOffs, nil, false, examined), nil
 		}
 		if !more {
-			return ScanPageResp{KVs: out, Examined: examined}, nil
+			return finishFragPage(out, pageEnc, valOffs, nil, false, examined), nil
 		}
 		start = next
 		if examined >= fragExamineBudget {
 			// Work budget exhausted with the output page still open: hand
 			// the resume key back so the next RPC continues the walk.
-			return ScanPageResp{KVs: out, Next: next, More: true, Examined: examined}, nil
+			return finishFragPage(out, pageEnc, valOffs, next, true, examined), nil
 		}
 	}
+}
+
+// finishFragPage slices projected values out of the settled page buffer
+// (offset i to offset i+1) and assembles the response.
+func finishFragPage(out []mvcc.KV, pageEnc *keys.Encoder, valOffs []int, next []byte, more bool, examined int) ScanPageResp {
+	if pageEnc != nil {
+		buf := pageEnc.Bytes()
+		for i := range out {
+			end := len(buf)
+			if i+1 < len(valOffs) {
+				end = valOffs[i+1]
+			}
+			out[i].Value = buf[valOffs[i]:end]
+		}
+	}
+	return ScanPageResp{KVs: out, Next: next, More: more, Examined: examined}
 }
 
 // execFragAggregate folds the entire requested range into per-group
@@ -121,12 +166,14 @@ func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, r
 // over the WAN instead of O(matching rows). Group keys are memcomparable,
 // so the coordinator's cross-shard merge cursor sees equal groups from
 // different shards adjacent and combines their states.
-func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fragment, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fragment, arena *fragment.Arena, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
 	type group struct {
 		key    []byte
 		states []fragment.AggState
 	}
 	groups := map[string]*group{}
+	gids := make([]*group, 0, fragScanBatch) // group of each selected row
+	keyEnc := keys.NewEncoder(64)
 	start := req.Start
 	examined := 0
 	for {
@@ -134,30 +181,48 @@ func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fr
 		if err != nil {
 			return ScanPageResp{}, err
 		}
+		batch := arena.NewBatch(frag.Kinds, len(kvs))
 		for i := range kvs {
-			examined++
-			row, err := frag.DecodeStoredRow(kvs[i].Value)
-			if err != nil {
+			if err := batch.AppendStored(kvs[i].Value); err != nil {
 				return ScanPageResp{}, err
 			}
-			keep, err := frag.FilterRow(row)
-			if err != nil {
+		}
+		sel, evaluated, err := frag.FilterBatch(batch, 0, 0, arena.Sel(len(kvs)))
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		examined += evaluated
+		// Resolve each surviving row's group once: the key is encoded into
+		// a reused buffer and only cloned when a new group appears.
+		gids = gids[:0]
+		for _, r := range sel {
+			keyEnc.Reset()
+			if err := frag.AppendGroupKey(keyEnc, batch, r); err != nil {
 				return ScanPageResp{}, err
 			}
-			if !keep {
-				continue
-			}
-			gkey, err := frag.EncodeGroupKey(row)
-			if err != nil {
-				return ScanPageResp{}, err
-			}
-			g := groups[string(gkey)]
+			g := groups[string(keyEnc.Bytes())]
 			if g == nil {
+				gkey := bytes.Clone(keyEnc.Bytes())
 				g = &group{key: gkey, states: make([]fragment.AggState, len(frag.Aggs))}
 				groups[string(gkey)] = g
 			}
-			for s, spec := range frag.Aggs {
-				if err := g.states[s].Accumulate(spec, row); err != nil {
+			gids = append(gids, g)
+		}
+		// Fold slot by slot: evaluate the argument over the whole selection
+		// at once, then accumulate each value into its row's group state.
+		for s, spec := range frag.Aggs {
+			if spec.Star {
+				for i := range gids {
+					gids[i].states[s].Count++
+				}
+				continue
+			}
+			vals := arena.Out(len(sel))
+			if err := fragment.EvalBatch(spec.Arg, batch, sel, vals); err != nil {
+				return ScanPageResp{}, err
+			}
+			for i, g := range gids {
+				if err := g.states[s].Fold(spec.Kind, vals[i]); err != nil {
 					return ScanPageResp{}, err
 				}
 			}
@@ -176,5 +241,5 @@ func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fr
 		out = append(out, mvcc.KV{Key: g.key, Value: val})
 	}
 	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
-	return ScanPageResp{KVs: out, Examined: examined}, nil
+	return ScanPageResp{KVs: out, Next: nil, More: false, Examined: examined}, nil
 }

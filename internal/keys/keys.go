@@ -91,7 +91,7 @@ func (e *Encoder) Bool(v bool) *Encoder {
 // before "ab" and no string is a raw prefix of another's encoding.
 func (e *Encoder) String(s string) *Encoder {
 	e.buf = append(e.buf, tagString)
-	e.appendEscaped([]byte(s))
+	e.appendEscapedString(s)
 	return e
 }
 
@@ -122,6 +122,19 @@ func (e *Encoder) appendEscaped(b []byte) {
 	e.buf = append(e.buf, 0x00, 0x01)
 }
 
+// appendEscapedString is appendEscaped for strings, skipping the []byte
+// conversion (and its allocation) on the encode hot path.
+func (e *Encoder) appendEscapedString(s string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			e.buf = append(e.buf, 0x00, 0xFF)
+		} else {
+			e.buf = append(e.buf, s[i])
+		}
+	}
+	e.buf = append(e.buf, 0x00, 0x01)
+}
+
 // Decoder reads back a composite key produced by Encoder.
 type Decoder struct {
 	buf []byte
@@ -129,6 +142,10 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over the encoded key b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Reset points the decoder at a new encoded key, allowing one decoder
+// (often stack-allocated) to decode many values without reallocating.
+func (d *Decoder) Reset(b []byte) { d.buf = b }
 
 // Remaining reports how many undecoded bytes are left.
 func (d *Decoder) Remaining() int { return len(d.buf) }
@@ -207,16 +224,38 @@ func (d *Decoder) String() (string, error) {
 	if err := d.expect(tagString); err != nil {
 		return "", err
 	}
+	if seg, rest, ok := fastSegment(d.buf); ok {
+		d.buf = rest
+		return string(seg), nil
+	}
 	b, err := d.unescape()
 	return string(b), err
 }
 
-// RawBytes decodes a bytes element.
+// RawBytes decodes a bytes element. The result never aliases the encoded
+// input.
 func (d *Decoder) RawBytes() ([]byte, error) {
 	if err := d.expect(tagBytes); err != nil {
 		return nil, err
 	}
+	if seg, rest, ok := fastSegment(d.buf); ok {
+		d.buf = rest
+		return bytes.Clone(seg), nil
+	}
 	return d.unescape()
+}
+
+// fastSegment recognizes the common escape-free case: the element's content
+// runs up to the first 0x00, which starts the 0x00 0x01 terminator. It
+// returns the content (aliasing b) and the remaining buffer. ok is false
+// when the content contains escaped bytes (or is malformed), in which case
+// the caller falls back to the allocating unescape walk.
+func fastSegment(b []byte) (seg, rest []byte, ok bool) {
+	i := bytes.IndexByte(b, 0x00)
+	if i >= 0 && i+1 < len(b) && b[i+1] == 0x01 {
+		return b[:i], b[i+2:], true
+	}
+	return nil, nil, false
 }
 
 // IsNull consumes a NULL marker if one is next and reports whether it did.

@@ -475,7 +475,11 @@ func visible(versions []Version, snapTS ts.Timestamp) (Version, bool) {
 	return Version{}, false
 }
 
-// KV is one key/value pair returned by Scan.
+// KV is one key/value pair returned by Scan. Both slices may alias the
+// store's immutable internals (tree keys and committed version values), so
+// callers must treat them as read-only; deriving a new key (e.g. a resume
+// key) requires copying first. This is what lets a page scan hand back a
+// whole page without one clone per row.
 type KV struct {
 	Key   []byte
 	Value []byte
@@ -562,7 +566,7 @@ func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, read
 		if it != nil {
 			if reader != 0 && it.txn == reader {
 				if !it.deleted {
-					out = append(out, KV{Key: bytes.Clone(key), Value: bytes.Clone(it.value)})
+					out = append(out, KV{Key: key, Value: it.value})
 				}
 				if limit > 0 && len(out) >= limit {
 					truncated = true
@@ -576,7 +580,7 @@ func (s *Store) scanOnce(start, end []byte, snapTS ts.Timestamp, limit int, read
 			}
 		}
 		if v, found := visible(versions, snapTS); found && !v.Deleted {
-			out = append(out, KV{Key: bytes.Clone(key), Value: v.Value})
+			out = append(out, KV{Key: key, Value: v.Value})
 		}
 		if limit > 0 && len(out) >= limit {
 			truncated = true

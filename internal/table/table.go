@@ -288,34 +288,46 @@ func (s *Schema) EncodeRow(r Row) ([]byte, error) {
 
 // DecodeRow parses a stored value back into a row.
 func (s *Schema) DecodeRow(b []byte) (Row, error) {
-	d := keys.NewDecoder(b)
-	out := make(Row, len(s.Columns))
-	for i, c := range s.Columns {
+	out, err := s.DecodeRowAppend(b, make([]any, 0, len(s.Columns)))
+	return Row(out), err
+}
+
+// DecodeRowAppend parses a stored value, appending the column values to dst
+// and returning the extended slice. Batch consumers decode many rows into
+// one backing slab this way, one slab allocation per page instead of one
+// Row allocation per row.
+func (s *Schema) DecodeRowAppend(b []byte, dst []any) ([]any, error) {
+	var d keys.Decoder
+	d.Reset(b)
+	for i := range s.Columns {
+		c := &s.Columns[i]
 		if d.IsNull() {
-			out[i] = nil
+			dst = append(dst, nil)
 			continue
 		}
+		var v any
 		var err error
 		switch c.Kind {
 		case Int64:
-			out[i], err = d.Int64()
+			v, err = d.Int64()
 		case Float64:
-			out[i], err = d.Float64()
+			v, err = d.Float64()
 		case String:
-			out[i], err = d.String()
+			v, err = d.String()
 		case Bytes:
-			out[i], err = d.RawBytes()
+			v, err = d.RawBytes()
 		case Bool:
-			out[i], err = d.Bool()
+			v, err = d.Bool()
 		}
 		if err != nil {
 			return nil, fmt.Errorf("table %s column %s: %w", s.Name, c.Name, err)
 		}
+		dst = append(dst, v)
 	}
 	if d.Remaining() != 0 {
 		return nil, fmt.Errorf("table %s: %w: trailing bytes", s.Name, keys.ErrCorrupt)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeIndexKey parses a secondary index entry produced by IndexKey back

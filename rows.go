@@ -82,33 +82,37 @@ func toScanStats(s stats.ScanSnapshot) ScanStats {
 	return ScanStats{StorageRows: s.StorageRows, DNFilteredRows: s.DNFilteredRows, WANRows: s.WANRows}
 }
 
-// Rows is a streaming scan result. Next advances to the following row,
-// fetching storage pages lazily; Row returns the current row; Err reports
-// the first error; Close releases the cursor. A Rows must be closed (Close
-// is idempotent, and draining to exhaustion also suffices).
+// Rows is a streaming scan result. It is batch-native inside: the cursor
+// below it yields whole data-node pages, and each page is decoded in one
+// pass into a fresh backing slab (one slab per batch instead of one
+// allocation per row). NextBatch/Batch expose the batches to batch-aware
+// consumers like the SQL operator pipeline; Next/Row remain the
+// row-at-a-time edge for everything else. A Rows must be closed (Close is
+// idempotent, and draining to exhaustion also suffices).
 type Rows struct {
 	ctx       context.Context
 	sch       *table.Schema
-	cur       coordinator.KVCursor
+	cur       coordinator.BatchCursor
 	resolve   func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+	projFrag  *fragment.Fragment // batch-decode of projected rows
+	narrow    []table.Kind       // projFrag.ProjectedKinds()
 	ctrs      *stats.ScanCounters
 	remaining int // rows still to yield; < 0 means unlimited
+	batch     []Row
+	bpos      int
+	bview     []Row
 	row       Row
 	err       error
 	closed    bool
 }
 
-func newRows(ctx context.Context, sch *table.Schema, cur coordinator.KVCursor, limit int,
-	ctrs *stats.ScanCounters,
-	resolve func(ctx context.Context, kv mvcc.KV) (Row, bool, error)) *Rows {
+func newRows(ctx context.Context, sch *table.Schema, cur coordinator.BatchCursor, limit int, st *scanSetup) *Rows {
 	remaining := -1
 	if limit > 0 {
 		remaining = limit
 	}
-	if ctrs == nil {
-		ctrs = &stats.ScanCounters{}
-	}
-	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: resolve, ctrs: ctrs, remaining: remaining}
+	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: st.resolve,
+		projFrag: st.projFrag, narrow: st.narrow, ctrs: st.ctrs, remaining: remaining}
 }
 
 // ScanStats reports this scan's per-layer row counts so far: storage rows
@@ -117,43 +121,111 @@ func newRows(ctx context.Context, sch *table.Schema, cur coordinator.KVCursor, l
 // drained or closed.
 func (r *Rows) ScanStats() ScanStats { return toScanStats(r.ctrs.Snapshot()) }
 
-// Next advances to the next row, returning false at the end of the scan or
-// on error (check Err afterwards).
-func (r *Rows) Next() bool {
+// fillBatch decodes the cursor's next non-empty batch into r.batch. Rows
+// are backed by one fresh slab per batch, never reused, so a caller may
+// retain any yielded Row indefinitely.
+func (r *Rows) fillBatch() bool {
 	if r.closed || r.err != nil || r.remaining == 0 {
 		return false
 	}
-	for r.cur.Next(r.ctx) {
-		kv := r.cur.KV()
-		if r.resolve != nil {
-			row, ok, err := r.resolve(r.ctx, kv)
-			if err != nil {
-				r.err = err
-				return false
+	for {
+		if !r.cur.NextBatch(r.ctx) {
+			r.err = r.cur.Err()
+			return false
+		}
+		kvs := r.cur.Batch()
+		if r.remaining > 0 && len(kvs) > r.remaining {
+			kvs = kvs[:r.remaining]
+		}
+		if len(kvs) == 0 {
+			continue
+		}
+		n := len(kvs)
+		rows := make([]Row, 0, n)
+		switch {
+		case r.resolve != nil:
+			for i := range kvs {
+				row, ok, err := r.resolve(r.ctx, kvs[i])
+				if err != nil {
+					r.err = err
+					return false
+				}
+				if !ok {
+					continue // row deleted with a stale index entry in-flight
+				}
+				rows = append(rows, row)
 			}
-			if !ok {
-				continue // row deleted with a stale index entry in-flight
+		case r.projFrag != nil:
+			w := len(r.projFrag.Kinds)
+			slab := make([]any, 0, w*n)
+			for i := range kvs {
+				var err error
+				slab, err = r.projFrag.DecodeProjectedAppend(r.narrow, kvs[i].Value, slab)
+				if err != nil {
+					r.err = err
+					return false
+				}
 			}
-			r.row = row
-		} else {
-			row, err := r.sch.DecodeRow(kv.Value)
-			if err != nil {
-				r.err = err
-				return false
+			for i := 0; i < n; i++ {
+				rows = append(rows, Row(slab[i*w:(i+1)*w:(i+1)*w]))
 			}
-			r.row = row
+		default:
+			w := len(r.sch.Columns)
+			slab := make([]any, 0, w*n)
+			for i := range kvs {
+				var err error
+				slab, err = r.sch.DecodeRowAppend(kvs[i].Value, slab)
+				if err != nil {
+					r.err = err
+					return false
+				}
+			}
+			for i := 0; i < n; i++ {
+				rows = append(rows, Row(slab[i*w:(i+1)*w:(i+1)*w]))
+			}
 		}
 		if r.remaining > 0 {
-			r.remaining--
+			r.remaining -= len(rows)
 		}
+		if len(rows) == 0 {
+			continue
+		}
+		r.batch, r.bpos = rows, 0
 		return true
 	}
-	r.err = r.cur.Err()
-	return false
 }
 
-// Row returns the current row. It is valid after a Next that returned true
-// and until the following Next call.
+// Next advances to the next row, returning false at the end of the scan or
+// on error (check Err afterwards).
+func (r *Rows) Next() bool {
+	if r.bpos >= len(r.batch) && !r.fillBatch() {
+		return false
+	}
+	r.row = r.batch[r.bpos]
+	r.bpos++
+	return true
+}
+
+// NextBatch advances to the next batch of rows — the unconsumed remainder
+// of the current batch, or the next decoded page — returning false at the
+// end of the scan or on error. Batch-aware consumers use this instead of
+// Next to move whole pages through the pipeline.
+func (r *Rows) NextBatch() bool {
+	if r.bpos >= len(r.batch) && !r.fillBatch() {
+		return false
+	}
+	r.bview = r.batch[r.bpos:]
+	r.bpos = len(r.batch)
+	return true
+}
+
+// Batch returns the current batch of rows (valid after a true NextBatch,
+// until the following NextBatch). The rows themselves may be retained
+// indefinitely; only the slice is reused.
+func (r *Rows) Batch() []Row { return r.bview }
+
+// Row returns the current row. It is valid after a Next that returned true;
+// the row's backing storage is never reused, so retaining it is safe.
 func (r *Rows) Row() Row { return r.row }
 
 // Err returns the first error encountered while scanning, or nil.
@@ -226,12 +298,14 @@ func extendPrefix(prefix []any, v any) []any {
 
 // scanSetup carries the per-scan pieces a pushdown-aware scan shares
 // across its shard cursors: the fragment encoded once, the per-query
-// counters every cursor feeds, and the resolve function that turns shipped
-// pairs back into rows.
+// counters every cursor feeds, and either a per-pair resolve function or a
+// batch-decode mode that turns shipped pairs back into rows.
 type scanSetup struct {
-	frag    []byte
-	ctrs    *stats.ScanCounters
-	resolve func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+	frag     []byte
+	ctrs     *stats.ScanCounters
+	resolve  func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
+	projFrag *fragment.Fragment
+	narrow   []table.Kind
 }
 
 // setupScan validates a scan's pushdown fragment against the schema and
@@ -275,15 +349,11 @@ func setupScan(sch *table.Schema, o ScanOpts) (*scanSetup, error) {
 			return row, true, nil
 		}
 	case p.Project != nil:
-		// Projected rows re-expand to schema width with unshipped columns
-		// nil; the planner guarantees nothing downstream reads them.
-		st.resolve = func(_ context.Context, kv mvcc.KV) (Row, bool, error) {
-			vals, err := p.DecodeProjected(kv.Value)
-			if err != nil {
-				return nil, false, err
-			}
-			return Row(vals), true, nil
-		}
+		// Projected rows batch-decode back to schema width with unshipped
+		// columns nil; the planner guarantees nothing downstream reads
+		// them. The narrow kinds are computed once per scan, not per row.
+		st.projFrag = p
+		st.narrow = p.ProjectedKinds()
 	}
 	return st, nil
 }
@@ -299,7 +369,7 @@ func (st *scanSetup) spec(start, end []byte, o ScanOpts) coordinator.ScanSpec {
 
 // combine merges per-shard cursors, adding the CN-final partial-aggregate
 // merge when the scan's fragment aggregates.
-func (st *scanSetup) combine(curs []coordinator.KVCursor, keyOrder bool, o ScanOpts) coordinator.KVCursor {
+func (st *scanSetup) combine(curs []coordinator.BatchCursor, keyOrder bool, o ScanOpts) coordinator.BatchCursor {
 	cur := combineCursors(curs, keyOrder)
 	if o.Pushdown != nil && o.Pushdown.HasAggs() {
 		cur = coordinator.MergeAggregates(cur, fragment.MergeEncodedStates)
@@ -367,8 +437,8 @@ func (tx *Tx) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, 
 	if err != nil {
 		return nil, err
 	}
-	cur := st.combine([]coordinator.KVCursor{tx.txn.ScanCursor(shard, st.spec(start, end, o))}, true, o)
-	return newRows(ctx, sch, cur, o.Limit, st.ctrs, st.resolve), nil
+	cur := st.combine([]coordinator.BatchCursor{tx.txn.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
 // ScanIndexRows streams rows matched by a secondary-index prefix, resolving
@@ -386,7 +456,7 @@ func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, pr
 		return nil, err
 	}
 	cur := tx.txn.ScanCursor(shard, st.spec(start, end, o))
-	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
+	st.resolve = func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
 		if err != nil || !found {
 			return nil, false, err
@@ -394,7 +464,7 @@ func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, pr
 		r, err := sch.DecodeRow(v)
 		return r, err == nil, err
 	}
-	return newRows(ctx, sch, cur, o.Limit, st.ctrs, resolve), nil
+	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
 // ScanTableRows streams every row of a table, merging per-shard paged
@@ -417,11 +487,11 @@ func (tx *Tx) tableRows(ctx context.Context, tableName string, o ScanOpts, keyOr
 	if err != nil {
 		return nil, err
 	}
-	curs := make([]coordinator.KVCursor, 0, tx.sess.db.c.Shards())
+	curs := make([]coordinator.BatchCursor, 0, tx.sess.db.c.Shards())
 	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
 		curs = append(curs, tx.txn.ScanCursor(shard, st.spec(start, end, o)))
 	}
-	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st.ctrs, st.resolve), nil
+	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st), nil
 }
 
 // ScanPKRows streams rows by primary-key prefix at the query's snapshot.
@@ -438,8 +508,8 @@ func (q *Query) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any
 	if err != nil {
 		return nil, err
 	}
-	cur := st.combine([]coordinator.KVCursor{q.ro.ScanCursor(shard, st.spec(start, end, o))}, true, o)
-	return newRows(ctx, sch, cur, o.Limit, st.ctrs, st.resolve), nil
+	cur := st.combine([]coordinator.BatchCursor{q.ro.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
 // ScanIndexRows streams rows matched by a secondary-index prefix.
@@ -456,7 +526,7 @@ func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, 
 		return nil, err
 	}
 	cur := q.ro.ScanCursor(shard, st.spec(start, end, o))
-	resolve := func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
+	st.resolve = func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := q.ro.Get(ctx, shard, kv.Value)
 		if err != nil || !found {
 			return nil, false, err
@@ -464,7 +534,7 @@ func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, 
 		r, err := sch.DecodeRow(v)
 		return r, err == nil, err
 	}
-	return newRows(ctx, sch, cur, o.Limit, st.ctrs, resolve), nil
+	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
 // ScanTableRows streams every row of a table in global primary-key order at
@@ -486,14 +556,14 @@ func (q *Query) tableRows(ctx context.Context, tableName string, o ScanOpts, key
 	if err != nil {
 		return nil, err
 	}
-	curs := make([]coordinator.KVCursor, 0, q.sess.db.c.Shards())
+	curs := make([]coordinator.BatchCursor, 0, q.sess.db.c.Shards())
 	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
 		curs = append(curs, q.ro.ScanCursor(shard, st.spec(start, end, o)))
 	}
-	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st.ctrs, st.resolve), nil
+	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st), nil
 }
 
-func combineCursors(curs []coordinator.KVCursor, keyOrder bool) coordinator.KVCursor {
+func combineCursors(curs []coordinator.BatchCursor, keyOrder bool) coordinator.BatchCursor {
 	if len(curs) == 1 {
 		return curs[0]
 	}
