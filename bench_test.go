@@ -397,6 +397,170 @@ func BenchmarkJoinFanout(b *testing.B) {
 		"SELECT w.name, i.i_id FROM warehouses w JOIN items i ON i.w_id = w.w_id", scanBenchRows)
 }
 
+// ---- Scan latency benchmarks (prefetch pipeline) ----
+//
+// These measure wall-clock latency — time-to-first-row and full-drain
+// time — of cross-region scans under the paper's three-city RTT triangle
+// (25/35/55 ms, time-scaled), comparing the synchronous paged cursor
+// (ScanOpts.Prefetch < 0) against the pipelined prefetcher (default).
+// The structural claims they quantify:
+//
+//   - merged K-shard TTFR: every shard's first page travels in parallel,
+//     so the first batch arrives after ~1 (maximum) RTT instead of the
+//     sum of per-shard RTTs the serial refill pays;
+//   - multi-page drain: page N+1 is requested the moment page N's resume
+//     key arrives, and the K shard pipelines run concurrently, so a drain
+//     approaches pages-per-shard x max-RTT instead of total-pages x RTT.
+//
+// Row counters are identical in both modes — prefetching only reorders
+// when the same pages are requested. Results are recorded in CHANGES.md
+// as "bench: <name> ttfr=<ms> drain=<ms> (sync ttfr=<ms> drain=<ms>)".
+
+// latencyBenchWarehouses spreads latencyBenchRows over this many
+// single-shard warehouses across the three cities' 8 shards.
+const (
+	latencyBenchWarehouses    = 8
+	latencyBenchRowsPerW      = 300
+	latencyBenchFirstPageHint = 32 // small first page => several pages per shard
+)
+
+// openLatencyBenchDB builds the three-city cluster with 8 shards and a
+// typed items table of 8 warehouses x 300 rows, returning a session homed
+// in Xi'an (so roughly two thirds of the shards are across the WAN).
+func openLatencyBenchDB(b *testing.B) (*globaldb.DB, *globaldb.Session) {
+	b.Helper()
+	cfg := globaldb.ThreeCity()
+	cfg.TimeScale = 0.02
+	cfg.Shards = 8
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	sch := &globaldb.Schema{
+		Name: "items",
+		Columns: []globaldb.Column{
+			{Name: "w_id", Kind: globaldb.Int64},
+			{Name: "i_id", Kind: globaldb.Int64},
+			{Name: "qty", Kind: globaldb.Int64},
+		},
+		PK: []int{0, 1},
+	}
+	ctx := context.Background()
+	if err := db.CreateTable(ctx, sch); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := db.Connect("xian")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for w := 1; w <= latencyBenchWarehouses; w++ {
+		for base := 1; base <= latencyBenchRowsPerW; base += 100 {
+			tx, err := sess.Begin(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := base; i < base+100 && i <= latencyBenchRowsPerW; i++ {
+				if err := tx.Insert(ctx, "items", globaldb.Row{int64(w), int64(i), int64(i % 97)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db, sess
+}
+
+// remoteWarehouse picks a warehouse whose shard primary is in Dongguan —
+// the city farthest from Xi'an (55 ms RTT) — so the single-shard scan
+// crosses the widest link.
+func remoteWarehouse(b *testing.B, db *globaldb.DB) int64 {
+	b.Helper()
+	primaries := db.Cluster().Primaries()
+	for w := int64(1); w <= latencyBenchWarehouses; w++ {
+		if primaries[db.Cluster().ShardOf(w)].Region() == "dongguan" {
+			return w
+		}
+	}
+	b.Fatal("no warehouse hashes to a dongguan shard")
+	return 0
+}
+
+// benchScanLatency runs the scan b.N times on primaries via a read-write
+// transaction (deterministic WAN routing), reporting mean time-to-first-
+// row and full-drain wall time.
+func benchScanLatency(b *testing.B, merged bool, prefetch int) {
+	db, sess := openLatencyBenchDB(b)
+	ctx := context.Background()
+	w := remoteWarehouse(b, db)
+	wantRows := latencyBenchRowsPerW
+	if merged {
+		wantRows = latencyBenchWarehouses * latencyBenchRowsPerW
+	}
+	opts := globaldb.ScanOpts{PageSize: latencyBenchFirstPageHint, Prefetch: prefetch}
+	var ttfr, drain time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := sess.Begin(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		var rows *globaldb.Rows
+		if merged {
+			rows, err = tx.ScanTableRows(ctx, "items", opts)
+		} else {
+			rows, err = tx.ScanPKRows(ctx, "items", []any{w}, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows.Next() {
+			b.Fatalf("no first row: %v", rows.Err())
+		}
+		ttfr += time.Since(start)
+		n := 1
+		for rows.Next() {
+			n++
+		}
+		drain += time.Since(start)
+		rows.Close()
+		if rows.Err() != nil || n != wantRows {
+			b.Fatalf("drained %d rows (want %d), err=%v", n, wantRows, rows.Err())
+		}
+		_ = tx.Abort(ctx)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ttfr.Microseconds())/float64(b.N)/1e3, "ttfr-ms")
+	b.ReportMetric(float64(drain.Microseconds())/float64(b.N)/1e3, "drain-ms")
+}
+
+// BenchmarkScanLatencyThreeCity drains one remote shard (Xi'an -> Dongguan,
+// the triangle's 55 ms edge) across several pages: sync pays RTT + decode
+// per page serially, prefetch overlaps the next page's round trip with
+// consumption of the current one.
+func BenchmarkScanLatencyThreeCity(b *testing.B) {
+	b.Run("sync", func(b *testing.B) { benchScanLatency(b, false, -1) })
+	b.Run("prefetch", func(b *testing.B) { benchScanLatency(b, false, 0) })
+}
+
+// BenchmarkScanLatencyThreeCityMerged drains the key-order merge of all 8
+// shards across three cities. Sync opens and refills the shard cursors one
+// at a time — TTFR is the *sum* of the per-shard first-page RTTs and the
+// drain is total-pages x RTT; prefetch runs all shard pipelines
+// concurrently — TTFR is ~1 max-RTT and the drain approaches
+// pages-per-shard x max-RTT.
+func BenchmarkScanLatencyThreeCityMerged(b *testing.B) {
+	b.Run("sync", func(b *testing.B) { benchScanLatency(b, true, -1) })
+	b.Run("prefetch", func(b *testing.B) { benchScanLatency(b, true, 0) })
+	// The leading PK column is the warehouse, so the key-order merge
+	// consumes shard runs one after another; a deeper window lets idle
+	// shards pipeline further ahead while an earlier shard drains.
+	b.Run("prefetch-window3", func(b *testing.B) { benchScanLatency(b, true, 3) })
+}
+
 // BenchmarkRCPCompute measures the Fig. 4 RCP calculation over a large
 // replica set — the operation the designated CN performs on every poll.
 func BenchmarkRCPCompute(b *testing.B) {

@@ -124,9 +124,17 @@ func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration) {
 		where = "replicas (RCP snapshot)"
 	}
 	fmt.Fprintf(w, "read from %s — %v\n", where, elapsed.Round(time.Microsecond))
-	if sc := res.Scan; sc.StorageRows > 0 {
+	// The two counter lines share one gate so they always appear as a
+	// pair: the per-layer row counters, then WAN latency observability —
+	// page RPCs issued, pages already prefetched when the executor asked
+	// for them (round trips hidden behind consumption), and the total time
+	// actually spent blocked on the network. An empty scan (zero storage
+	// rows) still pays at least one page RPC and reports it.
+	if sc := res.Scan; sc.StorageRows > 0 || sc.PagesFetched > 0 {
 		fmt.Fprintf(w, "scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d\n",
 			sc.StorageRows, sc.DNFilteredRows, sc.WANRows)
+		fmt.Fprintf(w, "wan: pages=%d, prefetch-hits=%d, wait=%v\n",
+			sc.PagesFetched, sc.PrefetchHits, sc.WANWait.Round(time.Microsecond))
 	}
 }
 

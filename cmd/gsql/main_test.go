@@ -45,7 +45,7 @@ SELECT * FROM kv WHERE v >= 30;
 `
 	out := runShell(t, script)
 
-	scanLines := 0
+	scanLines, wanLines := 0, 0
 	for _, line := range strings.Split(out, "\n") {
 		if strings.HasPrefix(line, "scan: storage=") {
 			scanLines++
@@ -53,11 +53,22 @@ SELECT * FROM kv WHERE v >= 30;
 				t.Fatalf("malformed scan counter line: %q", line)
 			}
 		}
+		if strings.HasPrefix(line, "wan: pages=") {
+			wanLines++
+			if !strings.Contains(line, "prefetch-hits=") || !strings.Contains(line, "wait=") {
+				t.Fatalf("malformed wan observability line: %q", line)
+			}
+		}
 	}
 	// One ad-hoc SELECT plus two successful \exec runs (each reads 5
 	// storage rows); the type-error execution reports an error instead.
 	if scanLines != 3 {
 		t.Fatalf("scan counter lines = %d, want 3 (1 ad-hoc + 2 prepared)\noutput:\n%s", scanLines, out)
+	}
+	// Every scan line is accompanied by the WAN observability line (pages
+	// fetched / prefetch hits / cumulative WAN wait).
+	if wanLines != scanLines {
+		t.Fatalf("wan observability lines = %d, want %d\noutput:\n%s", wanLines, scanLines, out)
 	}
 	if !strings.Contains(out, "prepared getbig (1 parameters)") {
 		t.Fatalf("missing prepare confirmation:\n%s", out)

@@ -224,7 +224,10 @@ func TestRowsStreamLazily(t *testing.T) {
 	if full < total {
 		t.Fatalf("full scan fetched %d rows, want >= %d", full, total)
 	}
-	if early >= full/2 {
+	// The paged cursor prefetches one page beyond the one being read (the
+	// default double-buffering window), so an early close pays for at most
+	// two pages — still far below the full drain.
+	if early > 2*int64(globaldb.DefaultScanPageSize) {
 		t.Fatalf("early close fetched %d of %d rows: driver Rows are not streaming", early, full)
 	}
 

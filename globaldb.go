@@ -43,6 +43,21 @@
 // remain as thin wrappers that drain the corresponding iterator (ScanTable
 // keeps its historical shard-by-shard order).
 //
+// # Latency hiding
+//
+// Scans hide the WAN behind themselves: each shard cursor runs a bounded
+// page prefetcher (ScanOpts.Prefetch, double buffering by default) that
+// issues the next page's RPC while the current batch is consumed, and a
+// multi-shard scan opens every shard's cursor concurrently so all first
+// pages travel in parallel. A cross-region merged scan therefore reaches
+// its first batch in about one (maximum) round trip instead of one per
+// shard, and a multi-page drain approaches max(compute, pipelined-RTT)
+// instead of pages x RTT. Rows.ScanStats reports the effect per query:
+// pages fetched, prefetch hits (pages ready before they were asked for)
+// and cumulative WAN wait, alongside the per-layer row counters — which
+// prefetching never changes, since it only reorders when the same pages
+// are requested.
+//
 // # SQL access
 //
 // Most clients should not use this typed API directly: the globaldb/gsql

@@ -248,10 +248,13 @@ func (j *nestedLoopIter) Close() {
 // non-nil, binds outer column references in the scan's key and range
 // expressions (join inner lookups). fetchLimit > 0 caps the rows the scan
 // requests from storage (a fully pushed LIMIT); pageHint > 0 sizes the
-// first fetched page (early-terminating consumers). frag, when non-nil, is
-// the bound DN-side fragment attached to the scan's pages; totals, when
-// non-nil, accumulates the scan's per-layer row counts at Close.
-func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint int, frag *fragment.Fragment, totals *scanTotals) (blockIter, error) {
+// first fetched page (early-terminating consumers); prefetch is the
+// pages-ahead window hint passed to the shard cursors (< 0 disables
+// background prefetching for scans the executor expects to stop early).
+// frag, when non-nil, is the bound DN-side fragment attached to the scan's
+// pages; totals, when non-nil, accumulates the scan's per-layer row counts
+// at Close.
+func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRow table.Row, fetchLimit, pageHint, prefetch int, frag *fragment.Fragment, totals *scanTotals) (blockIter, error) {
 	env := &rowEnv{tables: p.tables, params: p.params}
 	if outerRow != nil {
 		env.rows = []table.Row{outerRow}
@@ -265,7 +268,7 @@ func openScan(ctx context.Context, r reader, p *boundPlan, s *tableScan, outerRo
 		keyVals[i] = v
 	}
 	name := s.tab.schema.Name
-	opts := globaldb.ScanOpts{Limit: fetchLimit, PageSize: pageHint, Range: scanRange(s, env), Pushdown: frag}
+	opts := globaldb.ScanOpts{Limit: fetchLimit, PageSize: pageHint, Prefetch: prefetch, Range: scanRange(s, env), Pushdown: frag}
 	switch s.kind {
 	case accessPoint:
 		keyVals, err := coerceKey(s.tab.schema, s.tab.schema.PK, keyVals)
@@ -370,10 +373,20 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, o
 	// benefits from streaming: the limit operator simply stops pulling.
 	fetchLimit := 0
 	pageHint := 0
+	prefetch := 0
 	if p.limit >= 0 && p.inner == nil && !p.grouped &&
 		(len(p.orderBy) == 0 || orderDone) && !p.distinct {
 		if filter == nil {
 			fetchLimit = int(p.limit + p.offset)
+		} else {
+			// The LIMIT will terminate the scan early but cannot be pushed
+			// into the cursor's row budget (a CN-side residual filter still
+			// drops rows), so the cursor cannot know when the consumer will
+			// stop. Cap the prefetch window to zero — fetch pages strictly
+			// on demand — so early termination never pays the WAN for pages
+			// nobody reads. Fully pushed limits (fetchLimit > 0) keep the
+			// prefetcher: the cursor's own row budget stops it exactly.
+			prefetch = -1
 		}
 		// Early termination will stop the scan after limit+offset output
 		// rows; start with a page of about that size so a satisfied LIMIT
@@ -383,7 +396,7 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, o
 			pageHint = 16
 		}
 	}
-	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint, frag, totals)
+	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint, prefetch, frag, totals)
 	if err != nil {
 		return nil, false, nil, err
 	}
@@ -392,7 +405,11 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, o
 		it = &nestedLoopIter{
 			outer: it,
 			openInner: func(outerRow table.Row) (blockIter, error) {
-				return openScan(ctx, r, p, p.inner, outerRow, 0, 0, nil, totals)
+				// Inner lookups are opened per outer row, drained, and
+				// closed immediately — there is no consumption to overlap a
+				// prefetch with, so keep them on the synchronous path
+				// rather than paying a goroutine + channel per outer row.
+				return openScan(ctx, r, p, p.inner, outerRow, 0, 0, -1, nil, totals)
 			},
 		}
 	}

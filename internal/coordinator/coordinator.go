@@ -238,11 +238,15 @@ func (c *CN) Begin(ctx context.Context) (*Txn, error) {
 
 // Txn is a read-write transaction coordinated by one CN.
 type Txn struct {
-	cn       *CN
-	id       uint64
-	ts       tso.TxnTS
-	touched  map[int]bool
-	done     bool
+	cn      *CN
+	id      uint64
+	ts      tso.TxnTS
+	touched map[int]bool
+	// done flips once at Commit/Abort. It is atomic because scan-cursor
+	// prefetch goroutines check it while issuing page RPCs in the
+	// background; an in-flight prefetch racing a commit observes either
+	// state safely and at worst gets ErrTxnDone on its next page.
+	done     atomic.Bool
 	sync     bool // wait for replica acknowledgement at commit
 	commitTS ts.Timestamp
 }
@@ -264,7 +268,7 @@ func (t *Txn) Snapshot() ts.Timestamp { return t.ts.Snap }
 
 // WriteBatch stages a batch of mutations on one shard.
 func (t *Txn) WriteBatch(ctx context.Context, shard int, ops []datanode.WriteOp) error {
-	if t.done {
+	if t.done.Load() {
 		return ErrTxnDone
 	}
 	node := t.cn.routing.Primary(shard)
@@ -291,7 +295,7 @@ func (t *Txn) Delete(ctx context.Context, shard int, key []byte) error {
 // Get reads a key from the shard primary at the transaction's snapshot,
 // observing the transaction's own writes.
 func (t *Txn) Get(ctx context.Context, shard int, key []byte) ([]byte, bool, error) {
-	if t.done {
+	if t.done.Load() {
 		return nil, false, ErrTxnDone
 	}
 	t.cn.primaryReads.Add(1)
@@ -303,7 +307,7 @@ func (t *Txn) Get(ctx context.Context, shard int, key []byte) ([]byte, bool, err
 
 // Scan range-scans a shard primary at the transaction's snapshot.
 func (t *Txn) Scan(ctx context.Context, shard int, start, end []byte, limit int) ([]mvcc.KV, error) {
-	if t.done {
+	if t.done.Load() {
 		return nil, ErrTxnDone
 	}
 	t.cn.primaryReads.Add(1)
@@ -317,10 +321,9 @@ func (t *Txn) Scan(ctx context.Context, shard int, start, end []byte, limit int)
 // PENDING COMMIT then COMMIT; the multi-shard path runs two-phase commit.
 // The commit wait completes before Commit returns (external consistency).
 func (t *Txn) Commit(ctx context.Context) error {
-	if t.done {
+	if !t.done.CompareAndSwap(false, true) {
 		return ErrTxnDone
 	}
-	t.done = true
 	shards := t.shards()
 	if len(shards) == 0 {
 		return nil // read-only: nothing to resolve
@@ -403,10 +406,9 @@ func (t *Txn) resolvePrepared(shards []int, commitTS ts.Timestamp) error {
 
 // Abort rolls back the transaction on every touched shard.
 func (t *Txn) Abort(ctx context.Context) error {
-	if t.done {
+	if !t.done.CompareAndSwap(false, true) {
 		return ErrTxnDone
 	}
-	t.done = true
 	t.abortShards(t.shards())
 	t.cn.aborts.Add(1)
 	return nil
@@ -421,14 +423,28 @@ func (t *Txn) shards() []int {
 }
 
 func (t *Txn) forEachShard(ctx context.Context, shards []int, fn func(context.Context, string) error) error {
+	return fanOut(len(shards), func(i int) error {
+		return fn(ctx, t.cn.routing.Primary(shards[i]))
+	})
+}
+
+// fanOut runs fn(0..n-1) concurrently and joins the errors — the
+// coordinator's fan-out primitive for "touch all shards" rounds (2PC
+// prepare/commit/abort), so they cost one round trip instead of K serial
+// ones. Scans reach the same shape differently: their per-shard
+// concurrency lives in the cursors' long-lived prefetch goroutines.
+func fanOut(n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0) // skip the goroutine for the single-shard fast path
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(shards))
-	for i, s := range shards {
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i, s int) {
+		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(ctx, t.cn.routing.Primary(s))
-		}(i, s)
+			errs[i] = fn(i)
+		}(i)
 	}
 	wg.Wait()
 	return errors.Join(errs...)

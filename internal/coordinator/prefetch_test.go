@@ -1,0 +1,303 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"globaldb/internal/stats"
+	"globaldb/internal/storage/mvcc"
+)
+
+// slowPages builds a prefetching cursor whose fetch signals `started` when
+// a page request begins and parks until `release` closes — a deterministic
+// stand-in for an in-flight WAN RPC.
+func slowPages(ctx context.Context, window int, pages [][]mvcc.KV, started chan<- struct{}, release <-chan struct{}) *ScanCursor {
+	i := 0
+	return newScanCursor(ctx, nil, 0, 0, window, nil, func(fctx context.Context, _ []byte, _, _ int) ([]mvcc.KV, []byte, bool, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		if release != nil {
+			select {
+			case <-release:
+			case <-fctx.Done():
+				return nil, nil, false, fctx.Err()
+			}
+		}
+		p := pages[i]
+		i++
+		return p, nil, i < len(pages), nil
+	})
+}
+
+// TestPrefetchFirstPagesFanOutInParallel pins the structural claim behind
+// the merged-scan latency win: every shard cursor's first page RPC is
+// issued at creation, before anyone consumes, so K first pages are in
+// flight concurrently — the merge's first batch costs ~1 round trip, not
+// K serial ones. The test is timing-free: it observes all K fetches start
+// while all of them are still blocked.
+func TestPrefetchFirstPagesFanOutInParallel(t *testing.T) {
+	const k = 4
+	started := make(chan struct{}, k)
+	release := make(chan struct{})
+	children := make([]BatchCursor, k)
+	for i := 0; i < k; i++ {
+		children[i] = slowPages(context.Background(), DefaultPrefetchWindow,
+			[][]mvcc.KV{{kv(string(rune('a' + i)))}}, started, release)
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d first-page fetches started in parallel", i, k)
+		}
+	}
+	close(release)
+	m := MergeCursors(children...)
+	defer m.Close()
+	var got []string
+	for m.NextBatch(context.Background()) {
+		for _, kv := range m.Batch() {
+			got = append(got, string(kv.Key))
+		}
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if len(got) != k || got[0] != "a" || got[k-1] != "d" {
+		t.Fatalf("merged keys = %v", got)
+	}
+}
+
+// TestPrefetchWindowBoundsInFlightPages pins the window semantics: with a
+// window of one page ahead, the prefetcher fetches page 1 immediately but
+// does not start page 2 until page 1 is handed to the consumer.
+func TestPrefetchWindowBoundsInFlightPages(t *testing.T) {
+	var fetches atomic.Int64
+	pages := [][]mvcc.KV{{kv("a")}, {kv("b")}, {kv("c")}, {kv("d")}}
+	i := 0
+	c := newScanCursor(context.Background(), nil, 0, 0, 1, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+		fetches.Add(1)
+		p := pages[i]
+		i++
+		return p, nil, i < len(pages), nil
+	})
+	defer c.Close()
+
+	waitFor := func(want int64) {
+		deadline := time.Now().Add(5 * time.Second)
+		for fetches.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("fetches = %d, want %d", fetches.Load(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(1)
+	time.Sleep(20 * time.Millisecond) // would overrun here if unbounded
+	if n := fetches.Load(); n > 1 {
+		t.Fatalf("window 1 issued %d fetches before any consumption", n)
+	}
+	if !c.NextBatch(context.Background()) {
+		t.Fatal("first batch missing")
+	}
+	waitFor(2) // handing page 1 over frees the window for page 2
+	time.Sleep(20 * time.Millisecond)
+	if n := fetches.Load(); n > 2 {
+		t.Fatalf("window 1 ran %d fetches ahead after one batch", n)
+	}
+}
+
+// TestPrefetchLimitStopsFetching pins that a satisfied row budget stops
+// the prefetcher outright: once the limit is consumed by fetched pages, no
+// further RPC is issued no matter how deep the window — LIMIT pushdown
+// wastes no WAN bandwidth on prefetch.
+func TestPrefetchLimitStopsFetching(t *testing.T) {
+	var fetches atomic.Int64
+	c := newScanCursor(context.Background(), nil, 2, 0, 3, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+		fetches.Add(1)
+		return []mvcc.KV{kv("a"), kv("b"), kv("c")}, []byte("resume"), true, nil
+	})
+	defer c.Close()
+	var got []string
+	for c.NextBatch(context.Background()) {
+		for _, kv := range c.Batch() {
+			got = append(got, string(kv.Key))
+		}
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if len(got) != 2 {
+		t.Fatalf("limit 2 yielded %v", got)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("limit-satisfied cursor issued %d fetches, want 1", n)
+	}
+}
+
+// TestPrefetchCloseCancelsInFlight pins Close's obligations: it cancels
+// the outstanding page RPC and joins the prefetch goroutine before
+// returning, so closing a cursor mid-fetch neither blocks on the WAN nor
+// leaks the goroutine.
+func TestPrefetchCloseCancelsInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	c := slowPages(context.Background(), 1, [][]mvcc.KV{{kv("a")}}, started, make(chan struct{}))
+	<-started // the page RPC is in flight and will never complete on its own
+	done := make(chan struct{})
+	go func() {
+		c.Close() // waits for the prefetch goroutine internally
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the in-flight fetch")
+	}
+}
+
+// TestPrefetchConsumerContextCancel pins the consumer-side unblock path: a
+// NextBatch waiting for a page honors its own context even while the
+// fetch is stuck, and the cursor surfaces the cancellation as its error.
+func TestPrefetchConsumerContextCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	c := slowPages(context.Background(), 1, [][]mvcc.KV{{kv("a")}}, nil, release)
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if c.NextBatch(ctx) {
+		t.Fatal("NextBatch succeeded under a canceled context")
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", c.Err())
+	}
+}
+
+// TestPrefetchErrorSurfaces pins error delivery through the prefetch
+// channel: pages before the failure are yielded, then the fetch error
+// terminates the stream exactly as in synchronous mode.
+func TestPrefetchErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	i := 0
+	c := newScanCursor(context.Background(), nil, 0, 0, 2, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+		i++
+		if i == 2 {
+			return nil, nil, false, boom
+		}
+		return []mvcc.KV{kv("a")}, []byte("r"), true, nil
+	})
+	defer c.Close()
+	if !c.NextBatch(context.Background()) {
+		t.Fatalf("first page missing, err=%v", c.Err())
+	}
+	if c.NextBatch(context.Background()) {
+		t.Fatal("batch yielded past the failing fetch")
+	}
+	if !errors.Is(c.Err(), boom) {
+		t.Fatalf("err = %v, want boom", c.Err())
+	}
+}
+
+// TestPrefetchCountersObserveHitsAndWait pins the WAN observability feed:
+// a page that is ready before the consumer asks counts as a prefetch hit,
+// and the consumer's blocked time accumulates as WAN wait.
+func TestPrefetchCountersObserveHitsAndWait(t *testing.T) {
+	ctrs := &stats.ScanCounters{}
+	release := make(chan struct{}, 2)
+	release <- struct{}{} // page 1 may fetch immediately
+	i := 0
+	c := newScanCursor(context.Background(), nil, 0, 0, 1, ctrs, func(fctx context.Context, _ []byte, _, _ int) ([]mvcc.KV, []byte, bool, error) {
+		select {
+		case <-release:
+		case <-fctx.Done():
+			return nil, nil, false, fctx.Err()
+		}
+		i++
+		ctrs.Observe(1, 1) // what ScanSpec.observePage does per fetched page
+		return []mvcc.KV{kv(string(rune('a' + i)))}, []byte("r"), i < 2, nil
+	})
+	defer c.Close()
+
+	// Page 1: give the prefetcher time to have it ready — a hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := ctrs.Snapshot()
+		if s.PagesFetched >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first page never fetched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ObserveWait(hit) fires on the handoff, not the fetch: give the
+	// prefetcher a beat to park on the handoff channel, then consume.
+	time.Sleep(50 * time.Millisecond)
+	if !c.NextBatch(context.Background()) {
+		t.Fatalf("page 1 missing, err=%v", c.Err())
+	}
+	if s := ctrs.Snapshot(); s.PrefetchHits != 1 {
+		t.Fatalf("prefetch hits = %d after a ready page, want 1", s.PrefetchHits)
+	}
+	// Page 2 is still blocked: the consumer must wait, accruing WAN wait
+	// and no hit.
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		release <- struct{}{}
+	}()
+	if !c.NextBatch(context.Background()) {
+		t.Fatalf("page 2 missing, err=%v", c.Err())
+	}
+	s := ctrs.Snapshot()
+	if s.PrefetchHits != 1 {
+		t.Fatalf("prefetch hits = %d, want 1 (page 2 was a miss)", s.PrefetchHits)
+	}
+	if s.WANWait < 10*time.Millisecond {
+		t.Fatalf("WAN wait = %v, want >= 10ms from the blocked second page", s.WANWait)
+	}
+	if s.PagesFetched != 2 {
+		t.Fatalf("pages fetched = %d, want 2", s.PagesFetched)
+	}
+}
+
+// TestSyncModeUnchanged pins that a negative prefetch window reproduces
+// the fully synchronous cursor: no fetch happens before demand, and a
+// consumer that stops early never pays for pages it did not read.
+func TestSyncModeUnchanged(t *testing.T) {
+	var fetches atomic.Int64
+	specWindow := ScanSpec{Prefetch: -1}.window()
+	if specWindow != 0 {
+		t.Fatalf("Prefetch -1 resolved to window %d, want 0", specWindow)
+	}
+	if w := (ScanSpec{}).window(); w != DefaultPrefetchWindow {
+		t.Fatalf("default window = %d, want %d", w, DefaultPrefetchWindow)
+	}
+	i := 0
+	pages := [][]mvcc.KV{{kv("a")}, {kv("b")}}
+	c := newScanCursor(context.Background(), nil, 0, 0, 0, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+		fetches.Add(1)
+		p := pages[i]
+		i++
+		return p, nil, i < len(pages), nil
+	})
+	defer c.Close()
+	time.Sleep(10 * time.Millisecond)
+	if fetches.Load() != 0 {
+		t.Fatal("synchronous cursor fetched before demand")
+	}
+	if !c.NextBatch(context.Background()) || fetches.Load() != 1 {
+		t.Fatalf("after one batch: fetches=%d", fetches.Load())
+	}
+	c.Close()
+	if fetches.Load() != 1 {
+		t.Fatalf("close issued fetches: %d", fetches.Load())
+	}
+}

@@ -14,8 +14,7 @@ import (
 // BatchCursor is the batch-native pull iterator the scan pipeline runs on:
 // each NextBatch yields a reference to the next run of key/value pairs —
 // typically a whole data-node page — instead of one pair at a time.
-// Implementations fetch lazily (no page is requested until NextBatch
-// demands it) and move batch references rather than copying rows: the
+// Implementations move batch references rather than copying rows: the
 // cross-shard merge only splits a page where another shard's keys
 // interleave. A returned batch is valid until the following NextBatch
 // call, and its pairs must be treated as read-only (they may alias storage
@@ -78,31 +77,75 @@ func (r *rowCursor) Close()      { r.bc.Close() }
 // page size for this fetch (<= 0 lets the data node pick its default).
 type fetchPage func(ctx context.Context, start []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error)
 
-// ScanCursor streams one shard's key range as pages pulled on demand. It is
-// the pipeline's batch source: each data-node page is handed upward as one
-// batch reference.
+// DefaultPrefetchWindow is the number of pages a cursor keeps fetched (or
+// in flight) ahead of the page being consumed when the caller does not
+// choose a window: classic double buffering. One page ahead already turns
+// a multi-page drain from serial (RTT + consume, per page) into pipelined
+// (max(RTT, consume) per page), and — because every cursor's prefetcher
+// starts at creation — gives a K-shard merged scan all K first pages in
+// parallel. Deeper windows only help when consumption is burstier than one
+// page; they cost proportionally more wasted WAN bandwidth when the
+// consumer stops early.
+const DefaultPrefetchWindow = 1
+
+// prefetched is one page handed from the prefetch goroutine to the
+// consumer. A non-nil err terminates the stream.
+type prefetched struct {
+	kvs []mvcc.KV
+	err error
+}
+
+// ScanCursor streams one shard's key range as pages. It is the pipeline's
+// batch source: each data-node page is handed upward as one batch
+// reference.
 //
-// Pages grow adaptively: the first page uses the caller's hint (cheap
-// time-to-first-row, little wasted prefetch when a LIMIT stops the scan),
-// and each following page quadruples up to the data node's default so deep
-// scans amortize WAN round trips.
+// With a prefetch window (the default), a per-cursor goroutine runs the
+// page fetch loop ahead of consumption: the first page's RPC is issued the
+// moment the cursor is created and each following page is requested as
+// soon as its predecessor's resume key arrives, so the WAN round trip of
+// page N+1 overlaps the consumer processing page N, and the first pages of
+// K sibling shard cursors travel in parallel. The window bounds how many
+// unconsumed pages may be fetched or in flight, which is also the maximum
+// WAN waste when a consumer stops early. With the window disabled the
+// cursor fetches synchronously on demand, exactly as before.
+//
+// Pages grow adaptively in either mode: the first page uses the caller's
+// hint (cheap time-to-first-row, little wasted prefetch when a LIMIT stops
+// the scan), and each following page quadruples up to the data node's
+// default so deep scans amortize WAN round trips. The growth state lives
+// in the serial fetch loop, so issuing requests ahead of consumption
+// cannot reorder or skip the growth schedule.
 type ScanCursor struct {
-	fetch     fetchPage
+	fetch fetchPage
+	ctrs  *stats.ScanCounters // optional; fed page-wait/prefetch-hit stats
+
+	// Fetch-side state machine. The consumer drives it from fill in
+	// synchronous mode; with prefetch it is owned exclusively by the
+	// prefetch goroutine (no lock needed — pages cross via the channel).
 	next      []byte
 	remaining int // rows still wanted; < 0 means unlimited
 	pageSize  int // current page size; <= 0 lets the node pick
 	pageCap   int // growth ceiling
-	buf       []mvcc.KV
-	pos       int // row-view position within buf
-	batch     []mvcc.KV
-	cur       mvcc.KV
 	started   bool
 	more      bool
-	err       error
-	closed    bool
+
+	// Consumer-side state.
+	buf    []mvcc.KV
+	pos    int // row-view position within buf
+	batch  []mvcc.KV
+	cur    mvcc.KV
+	err    error
+	closed bool
+
+	// Prefetcher plumbing; nil cancel means synchronous mode.
+	pages  chan prefetched
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
-func newScanCursor(start []byte, limit, pageSize int, fetch fetchPage) *ScanCursor {
+// newScanCursor builds a cursor; window > 0 starts a prefetcher fetching
+// that many pages ahead of consumption under ctx (canceled by Close).
+func newScanCursor(ctx context.Context, start []byte, limit, pageSize, window int, ctrs *stats.ScanCounters, fetch fetchPage) *ScanCursor {
 	remaining := -1
 	if limit > 0 {
 		remaining = limit
@@ -111,45 +154,148 @@ func newScanCursor(start []byte, limit, pageSize int, fetch fetchPage) *ScanCurs
 	if pageSize > cap {
 		cap = pageSize
 	}
-	return &ScanCursor{fetch: fetch, next: bytes.Clone(start), remaining: remaining,
+	c := &ScanCursor{fetch: fetch, ctrs: ctrs, next: bytes.Clone(start), remaining: remaining,
 		pageSize: pageSize, pageCap: cap}
+	if window > 0 {
+		pctx, cancel := context.WithCancel(ctx)
+		// Channel capacity window-1: one page rests in the goroutine's hand
+		// (fetched, blocked on send) and window-1 more are buffered, so at
+		// most `window` unconsumed pages exist at any moment.
+		c.pages = make(chan prefetched, window-1)
+		c.cancel = cancel
+		c.done = make(chan struct{})
+		go c.prefetchLoop(pctx)
+	}
+	return c
 }
 
-// fill ensures buf[pos:] holds at least one unconsumed pair, fetching the
-// next page when the current one is drained. The row budget truncates at
-// the page level, so batch and row consumers see identical limits.
+// fetchOnce advances the serial fetch state machine by one page. It
+// returns the page (possibly empty), whether the stream is exhausted, and
+// any error. It must only be called from one goroutine at a time: the
+// consumer (synchronous mode) or the prefetcher.
+func (c *ScanCursor) fetchOnce(ctx context.Context) (kvs []mvcc.KV, done bool, err error) {
+	if (c.started && !c.more) || c.remaining == 0 {
+		return nil, true, nil
+	}
+	want := 0
+	if c.remaining > 0 {
+		want = c.remaining
+	}
+	kvs, next, more, err := c.fetch(ctx, c.next, want, c.pageSize)
+	if err != nil {
+		return nil, true, err
+	}
+	c.started = true
+	if c.remaining > 0 {
+		if len(kvs) > c.remaining {
+			kvs = kvs[:c.remaining]
+		}
+		c.remaining -= len(kvs)
+	}
+	c.next, c.more = next, more
+	if c.pageSize > 0 && c.pageSize < c.pageCap {
+		c.pageSize *= 4
+		if c.pageSize > c.pageCap {
+			c.pageSize = c.pageCap
+		}
+	}
+	return kvs, false, nil
+}
+
+// prefetchLoop runs the fetch state machine ahead of consumption, handing
+// pages to the consumer over the bounded channel. It exits — closing the
+// channel so the consumer observes end-of-stream — when the range is
+// exhausted, the row budget is spent, an error occurs, or ctx is canceled
+// (Close, or the scan's parent context).
+func (c *ScanCursor) prefetchLoop(ctx context.Context) {
+	defer close(c.done)
+	defer close(c.pages)
+	for {
+		kvs, done, err := c.fetchOnce(ctx)
+		if err != nil {
+			select {
+			case c.pages <- prefetched{err: err}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		if done {
+			return
+		}
+		if len(kvs) == 0 {
+			continue // empty page mid-range (e.g. a DN examine budget)
+		}
+		select {
+		case c.pages <- prefetched{kvs: kvs}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// recvPage takes the next prefetched page. The fast path is a ready page —
+// a prefetch hit, the WAN round trip fully hidden — otherwise the consumer
+// blocks (accounted as WAN wait) until a page, an error, the end of the
+// stream, or ctx cancellation arrives.
+func (c *ScanCursor) recvPage(ctx context.Context) bool {
+	var p prefetched
+	var ok bool
+	select {
+	case p, ok = <-c.pages:
+		if ok && c.ctrs != nil {
+			c.ctrs.ObserveWait(0, true)
+		}
+	default:
+		start := time.Now()
+		select {
+		case p, ok = <-c.pages:
+		case <-ctx.Done():
+			c.err = ctx.Err()
+			return false
+		}
+		if ok && c.ctrs != nil {
+			c.ctrs.ObserveWait(time.Since(start), false)
+		}
+	}
+	if !ok {
+		return false // clean end of stream (channel closed)
+	}
+	if p.err != nil {
+		c.err = p.err
+		return false
+	}
+	c.buf, c.pos = p.kvs, 0
+	return true
+}
+
+// fill ensures buf[pos:] holds at least one unconsumed pair, taking the
+// next page from the prefetcher (or fetching it synchronously) when the
+// current one is drained. The row budget truncates at the page level, so
+// batch and row consumers see identical limits.
 func (c *ScanCursor) fill(ctx context.Context) bool {
 	if c.closed || c.err != nil {
 		return false
 	}
 	for c.pos >= len(c.buf) {
-		if (c.started && !c.more) || c.remaining == 0 {
-			return false
+		if c.cancel != nil {
+			if !c.recvPage(ctx) {
+				return false
+			}
+			continue
 		}
-		want := 0
-		if c.remaining > 0 {
-			want = c.remaining
-		}
-		kvs, next, more, err := c.fetch(ctx, c.next, want, c.pageSize)
+		start := time.Now()
+		kvs, done, err := c.fetchOnce(ctx)
 		if err != nil {
 			c.err = err
 			return false
 		}
-		c.started = true
-		if c.remaining > 0 {
-			if len(kvs) > c.remaining {
-				kvs = kvs[:c.remaining]
-			}
-			c.remaining -= len(kvs)
+		if done {
+			return false
+		}
+		if c.ctrs != nil {
+			c.ctrs.ObserveWait(time.Since(start), false)
 		}
 		c.buf, c.pos = kvs, 0
-		c.next, c.more = next, more
-		if c.pageSize > 0 && c.pageSize < c.pageCap {
-			c.pageSize *= 4
-			if c.pageSize > c.pageCap {
-				c.pageSize = c.pageCap
-			}
-		}
 	}
 	return true
 }
@@ -184,8 +330,20 @@ func (c *ScanCursor) KV() mvcc.KV { return c.cur }
 // Err implements KVCursor and BatchCursor.
 func (c *ScanCursor) Err() error { return c.err }
 
-// Close implements KVCursor and BatchCursor.
-func (c *ScanCursor) Close() { c.closed = true }
+// Close implements KVCursor and BatchCursor. In prefetch mode it cancels
+// the outstanding page RPC (the netsim transport aborts canceled calls)
+// and waits for the prefetch goroutine to exit, so a closed cursor never
+// leaks a goroutine or lets a stale fetch land later.
+func (c *ScanCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.cancel != nil {
+		c.cancel()
+		<-c.done
+	}
+}
 
 // ScanSpec describes one shard's paged scan: the key range, row budgets,
 // an optional encoded execution fragment the data node evaluates locally
@@ -198,11 +356,29 @@ type ScanSpec struct {
 	Limit int
 	// PageSize is the first page's row budget; <= 0 uses the node default.
 	PageSize int
+	// Prefetch is the pages-ahead window: 0 uses DefaultPrefetchWindow,
+	// negative disables prefetching (fully synchronous on-demand fetches),
+	// and a positive value keeps that many unconsumed pages fetched or in
+	// flight.
+	Prefetch int
 	// Frag is the encoded execution fragment shipped with every page
 	// request; nil scans raw pairs.
 	Frag []byte
-	// Counters, when non-nil, accumulates per-fetch examined/shipped rows.
+	// Counters, when non-nil, accumulates per-fetch examined/shipped rows
+	// plus page, prefetch-hit and WAN-wait observability.
 	Counters *stats.ScanCounters
+}
+
+// window resolves the spec's prefetch setting to a concrete page window.
+func (s ScanSpec) window() int {
+	switch {
+	case s.Prefetch < 0:
+		return 0
+	case s.Prefetch == 0:
+		return DefaultPrefetchWindow
+	default:
+		return s.Prefetch
+	}
 }
 
 // observePage feeds one fetched page into the spec's counters.
@@ -212,54 +388,101 @@ func (s ScanSpec) observePage(resp datanode.ScanPageResp) {
 	}
 }
 
-// ScanCursor returns a lazy paged cursor over the spec's range on one
-// shard's primary at the transaction's snapshot, observing the
-// transaction's own writes. Any attached fragment runs on the data node
-// before rows are shipped.
-func (t *Txn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
-	return newScanCursor(spec.Start, spec.Limit, spec.PageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
-		if t.done {
-			return nil, nil, false, ErrTxnDone
-		}
-		t.cn.primaryReads.Add(1)
-		if tr := t.cn.placement; tr != nil {
-			tr.RecordRead(shard, t.cn.region)
-		}
-		resp, err := t.cn.client.ScanPageFrag(ctx, t.cn.routing.Primary(shard), from, spec.End, t.ts.Snap, remaining, page, spec.Frag, t.id)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		spec.observePage(resp)
-		return resp.KVs, resp.Next, resp.More, nil
-	})
+// ScanCursor returns a paged cursor over the spec's range on one shard's
+// primary at the transaction's snapshot, observing the transaction's own
+// writes. Any attached fragment runs on the data node before rows are
+// shipped. ctx bounds the cursor's background prefetching; Close (or
+// draining the cursor) releases it.
+func (t *Txn) ScanCursor(ctx context.Context, shard int, spec ScanSpec) *ScanCursor {
+	return newScanCursor(ctx, spec.Start, spec.Limit, spec.PageSize, spec.window(), spec.Counters,
+		func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+			if t.done.Load() {
+				return nil, nil, false, ErrTxnDone
+			}
+			t.cn.primaryReads.Add(1)
+			if tr := t.cn.placement; tr != nil {
+				tr.RecordRead(shard, t.cn.region)
+			}
+			resp, err := t.cn.client.ScanPageFrag(ctx, t.cn.routing.Primary(shard), from, spec.End, t.ts.Snap, remaining, page, spec.Frag, t.id)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			// Re-check after the RPC: a prefetched page racing Commit must
+			// not be delivered. Commit flips done before it resolves any
+			// intent, so a page evaluated after resolution — at a snapshot
+			// where the transaction's own writes are no longer visible —
+			// always observes done here and errors instead of shipping a
+			// silently inconsistent page; a page that raced the flip but
+			// was evaluated before resolution still saw the intents.
+			if t.done.Load() {
+				return nil, nil, false, ErrTxnDone
+			}
+			spec.observePage(resp)
+			return resp.KVs, resp.Next, resp.More, nil
+		})
 }
 
-// ScanCursor returns a lazy paged cursor over the spec's range on one
-// shard at the query's snapshot, served by the skyline-selected node with
-// a per-page fallback to the primary when a replica fails mid-scan. Any
+// ScanCursors opens one cursor per shard in [0, shards) with the same
+// spec. Opening a cursor never blocks — the routing lookup and first-page
+// RPC run on the cursor's prefetch goroutine, which starts at creation —
+// so by the time this returns, all K shards' first pages are in flight
+// concurrently and the merge's first refill costs one (maximum) round
+// trip instead of K serial ones. With prefetching disabled the cursors
+// stay fully lazy by design: nothing is fetched until demanded.
+func (t *Txn) ScanCursors(ctx context.Context, shards int, spec ScanSpec) []BatchCursor {
+	out := make([]BatchCursor, shards)
+	for shard := range out {
+		out[shard] = t.ScanCursor(ctx, shard, spec)
+	}
+	return out
+}
+
+// ScanCursor returns a paged cursor over the spec's range on one shard at
+// the query's snapshot, served by the skyline-selected node with a
+// per-page fallback to the primary when a replica fails mid-scan. Any
 // attached fragment runs on whichever node serves the page — the fragment
 // carries the snapshot-independent plan and the request carries the
 // snapshot, so replica execution at the RCP is identical to primary
-// execution.
-func (r *ROTxn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
-	return newScanCursor(spec.Start, spec.Limit, spec.PageSize, func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
-		node, replica, err := r.pick(shard)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		t0 := time.Now()
-		resp, err := r.cn.client.ScanPageFrag(ctx, node, from, spec.End, r.snap, remaining, page, spec.Frag, 0)
-		r.observe(node, replica, t0, err)
-		if err != nil && replica {
-			r.cn.primaryReads.Add(1)
-			resp, err = r.cn.client.ScanPageFrag(ctx, r.cn.routing.Primary(shard), from, spec.End, r.snap, remaining, page, spec.Frag, 0)
-		}
-		if err != nil {
-			return nil, nil, false, err
-		}
-		spec.observePage(resp)
-		return resp.KVs, resp.Next, resp.More, nil
-	})
+// execution. ctx bounds the cursor's background prefetching.
+func (r *ROTxn) ScanCursor(ctx context.Context, shard int, spec ScanSpec) *ScanCursor {
+	return newScanCursor(ctx, spec.Start, spec.Limit, spec.PageSize, spec.window(), spec.Counters,
+		func(ctx context.Context, from []byte, remaining, page int) ([]mvcc.KV, []byte, bool, error) {
+			node, replica, err := r.pick(shard)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			t0 := time.Now()
+			resp, err := r.cn.client.ScanPageFrag(ctx, node, from, spec.End, r.snap, remaining, page, spec.Frag, 0)
+			if err != nil && ctx.Err() != nil {
+				// The cursor canceled this RPC (Close, or the consumer's
+				// context) — the normal end of an early-terminated prefetch,
+				// not a node failure. Don't poison the skyline tracker by
+				// marking the replica failed, and don't retry the primary on
+				// a context that is already dead.
+				return nil, nil, false, err
+			}
+			r.observe(node, replica, t0, err)
+			if err != nil && replica {
+				r.cn.primaryReads.Add(1)
+				resp, err = r.cn.client.ScanPageFrag(ctx, r.cn.routing.Primary(shard), from, spec.End, r.snap, remaining, page, spec.Frag, 0)
+			}
+			if err != nil {
+				return nil, nil, false, err
+			}
+			spec.observePage(resp)
+			return resp.KVs, resp.Next, resp.More, nil
+		})
+}
+
+// ScanCursors opens one cursor per shard in [0, shards); the per-shard
+// replica selection (RCP-governed skyline pick) and first-page RPCs run
+// concurrently on the cursors' prefetch goroutines — see Txn.ScanCursors.
+func (r *ROTxn) ScanCursors(ctx context.Context, shards int, spec ScanSpec) []BatchCursor {
+	out := make([]BatchCursor, shards)
+	for shard := range out {
+		out[shard] = r.ScanCursor(ctx, shard, spec)
+	}
+	return out
 }
 
 // MergedCursor merges several batch streams into one in ascending key
@@ -268,7 +491,9 @@ func (r *ROTxn) ScanCursor(shard int, spec ScanSpec) *ScanCursor {
 // each NextBatch emits the longest prefix of the leading shard's current
 // batch whose keys precede every other shard's head, splitting a page only
 // at a genuine shard-interleave boundary rather than re-copying rows one
-// by one.
+// by one. With prefetching children the first refill round resolves in one
+// (maximum) round trip: every child's first page is already in flight when
+// the merge first asks.
 type MergedCursor struct {
 	children []BatchCursor
 	heads    [][]mvcc.KV // unconsumed remainder of each child's batch
@@ -374,6 +599,8 @@ func (m *MergedCursor) Close() {
 
 // ChainedCursor concatenates batch streams, draining each in turn — the
 // legacy shard-order traversal (shard 0's keys, then shard 1's, ...).
+// Prefetching children overlap across the chain too: while shard i drains,
+// shard i+1's first pages are already traveling.
 type ChainedCursor struct {
 	children []BatchCursor
 	i        int

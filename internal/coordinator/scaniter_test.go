@@ -13,7 +13,7 @@ import (
 // data node.
 func pagesCursor(pages [][]mvcc.KV) *ScanCursor {
 	i := 0
-	return newScanCursor(nil, 0, 0, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+	return newScanCursor(context.Background(), nil, 0, 0, 0, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
 		p := pages[i]
 		i++
 		return p, nil, i < len(pages), nil
@@ -76,7 +76,7 @@ func TestAggMergeAcrossBatches(t *testing.T) {
 	buf := make([]mvcc.KV, 2)
 	batches := [][2]string{{"g1", "g2"}, {"g2", "g3"}}
 	i := 0
-	child := newScanCursor(nil, 0, 0, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
+	child := newScanCursor(context.Background(), nil, 0, 0, 0, nil, func(context.Context, []byte, int, int) ([]mvcc.KV, []byte, bool, error) {
 		b := batches[i]
 		i++
 		buf[0] = mvcc.KV{Key: []byte(b[0]), Value: []byte{1}}

@@ -83,6 +83,17 @@ type (
 	// the node evaluates locally: rows are filtered, projected, or folded
 	// into partial aggregates before anything is shipped back, and Limit /
 	// MaxPage then budget the *qualifying* rows.
+	//
+	// The coordinator's prefetching cursors issue page requests ahead of
+	// consumption, so a node may be serving page N+1 while the CN is still
+	// decoding page N. That stays correct for free on this side: each
+	// request is self-contained (resume key plus budgets — the node keeps
+	// no cursor state), adaptive page sizing lives in the coordinator's
+	// serial fetch loop (MaxPage simply arrives already grown, and Limit
+	// reflects the rows still wanted after every earlier page, which the
+	// cursor decrements before issuing the next request), and a response
+	// never aliases memory the node will reuse for a later request (see
+	// the fragment executor's page-buffer notes).
 	ScanPageReq struct {
 		Start, End []byte
 		SnapTS     ts.Timestamp

@@ -45,6 +45,15 @@ const (
 // arenaPool recycles batch arenas across scan RPCs; an arena's slabs reach
 // steady-state capacity after the first page and are then reused for every
 // subsequent page and request.
+//
+// Recycling is safe even though the coordinator pipelines page requests
+// (page N may still be consumed at the CN while page N+1 executes here and
+// takes an arena from the pool — possibly the same one): a response never
+// aliases arena memory. Shipped keys slice the immutable MVCC store, raw
+// and filtered values slice the store too, and projected values are
+// sliced out of a per-request encode buffer allocated in this call (see
+// finishFragPage). The arena only backs the decoded column batch used
+// transiently for filter/projection/aggregate evaluation.
 var arenaPool = sync.Pool{New: func() any { return fragment.NewArena() }}
 
 // execFragScanPage serves one paged scan request that carries a fragment.

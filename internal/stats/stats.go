@@ -17,12 +17,19 @@ import (
 // cursor it opens: rows the data nodes read from storage, rows those nodes
 // dropped locally (filtered out or folded into partial aggregates), and
 // rows that actually crossed the WAN to the computing node. The gap
-// between StorageRows and WANRows is the pushdown win. Safe for concurrent
-// use; cursors for different shards may fetch from different goroutines.
+// between StorageRows and WANRows is the pushdown win. Alongside the row
+// counters it tracks WAN latency observability: pages fetched, pages that
+// were already prefetched when the consumer asked for them, and the
+// cumulative time the consumer actually spent blocked on the WAN. Safe for
+// concurrent use; cursors for different shards fetch from concurrent
+// prefetch goroutines.
 type ScanCounters struct {
 	storage  atomic.Int64
 	filtered atomic.Int64
 	wan      atomic.Int64
+	pages    atomic.Int64
+	hits     atomic.Int64
+	waitNano atomic.Int64
 }
 
 // Observe records one scan RPC's outcome: examined rows read at storage,
@@ -31,6 +38,19 @@ func (c *ScanCounters) Observe(examined, shipped int) {
 	c.storage.Add(int64(examined))
 	c.filtered.Add(int64(examined - shipped))
 	c.wan.Add(int64(shipped))
+	c.pages.Add(1)
+}
+
+// ObserveWait records one page handoff to the consumer: how long the
+// consumer blocked waiting for the page, and whether it was already
+// prefetched (ready with no wait beyond channel handoff) when asked for.
+func (c *ScanCounters) ObserveWait(d time.Duration, hit bool) {
+	if hit {
+		c.hits.Add(1)
+	}
+	if d > 0 {
+		c.waitNano.Add(int64(d))
+	}
 }
 
 // Snapshot returns the current totals.
@@ -39,6 +59,9 @@ func (c *ScanCounters) Snapshot() ScanSnapshot {
 		StorageRows:    c.storage.Load(),
 		DNFilteredRows: c.filtered.Load(),
 		WANRows:        c.wan.Load(),
+		PagesFetched:   c.pages.Load(),
+		PrefetchHits:   c.hits.Load(),
+		WANWait:        time.Duration(c.waitNano.Load()),
 	}
 }
 
@@ -51,6 +74,15 @@ type ScanSnapshot struct {
 	DNFilteredRows int64
 	// WANRows is how many rows were shipped over the (simulated) WAN.
 	WANRows int64
+	// PagesFetched is how many scan-page RPCs the query issued.
+	PagesFetched int64
+	// PrefetchHits is how many of those pages were already fetched when the
+	// consumer asked — WAN round trips fully hidden behind consumption.
+	PrefetchHits int64
+	// WANWait is the cumulative time the consumer spent blocked waiting for
+	// a page; with an effective prefetcher it approaches the latency of the
+	// first page instead of pages x RTT.
+	WANWait time.Duration
 }
 
 // Add returns the element-wise sum of two snapshots.
@@ -59,6 +91,9 @@ func (s ScanSnapshot) Add(o ScanSnapshot) ScanSnapshot {
 		StorageRows:    s.StorageRows + o.StorageRows,
 		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
 		WANRows:        s.WANRows + o.WANRows,
+		PagesFetched:   s.PagesFetched + o.PagesFetched,
+		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
+		WANWait:        s.WANWait + o.WANWait,
 	}
 }
 

@@ -1,0 +1,202 @@
+package globaldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrefetchChaosNoLeaksNoCorruption hammers the scan prefetcher with
+// the three ways a scan can end before its pages do — early Rows.Close
+// mid-prefetch, context cancellation during an in-flight page, and LIMIT
+// early termination — from concurrent goroutines, then asserts two things:
+//
+//  1. No goroutine leaks: every per-shard prefetch goroutine must be
+//     joined by Close (or by drain), so the process goroutine count
+//     returns to its pre-chaos baseline.
+//  2. No recycled-memory corruption: rows retained from early batches must
+//     keep their decoded values after later pages were prefetched and
+//     after the Rows is closed — a prefetched page landing mid-consumption
+//     must never touch memory an earlier batch still references.
+//
+// Run under -race (the CI race job does) this also exercises the
+// prefetcher's channel handoffs, the Txn.done flag racing Commit/Abort,
+// and concurrent skyline picks from sibling shard prefetchers.
+func TestPrefetchChaosNoLeaksNoCorruption(t *testing.T) {
+	db := openDB(t)
+	if err := db.CreateTable(bg, accountsSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.Connect("xian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 96
+	for i := 0; i < rows; i += 16 {
+		tx, err := sess.Begin(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < i+16; j++ {
+			if err := tx.Insert(bg, "accounts", Row{int64(j), fmt.Sprintf("acct-%d", j), float64(j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	verify := func(r Row) error {
+		if len(r) != 3 {
+			return fmt.Errorf("row width %d", len(r))
+		}
+		id, ok := r[0].(int64)
+		if !ok || id < 0 || id >= rows {
+			return fmt.Errorf("bad id %v", r[0])
+		}
+		if r[1] != fmt.Sprintf("acct-%d", id) || r[2] != float64(id) {
+			return fmt.Errorf("row %d corrupted: %v", id, r)
+		}
+		return nil
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	const workers = 6
+	const itersPerWorker = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Small pages + a deep window keep several prefetches in
+			// flight at every termination point.
+			opts := ScanOpts{PageSize: 8, Prefetch: 3}
+			for it := 0; it < itersPerWorker; it++ {
+				q, err := sess.ReadOnly(bg, AnyStaleness, "accounts")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				switch it % 4 {
+				case 0: // early Close mid-prefetch, retaining decoded rows
+					r, err := q.ScanTableRows(bg, "accounts", opts)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					var kept []Row
+					for i := 0; i < 3 && r.Next(); i++ {
+						kept = append(kept, r.Row())
+					}
+					r.Close()
+					for _, row := range kept {
+						if err := verify(row); err != nil {
+							errCh <- fmt.Errorf("retained row after Close: %w", err)
+							return
+						}
+					}
+				case 1: // context canceled during an in-flight page
+					ctx, cancel := context.WithCancel(bg)
+					r, err := q.ScanTableRows(ctx, "accounts", opts)
+					if err != nil {
+						cancel()
+						errCh <- err
+						return
+					}
+					if r.Next() {
+						if err := verify(r.Row()); err != nil {
+							cancel()
+							errCh <- err
+							return
+						}
+					}
+					cancel()
+					for r.Next() { // must terminate, not hang
+					}
+					if err := r.Err(); err != nil && !errors.Is(err, context.Canceled) {
+						// A page fetched before the cancel may drain
+						// cleanly; anything else must be the cancellation.
+						errCh <- fmt.Errorf("post-cancel err: %w", err)
+						r.Close()
+						return
+					}
+					r.Close()
+				case 2: // LIMIT early termination stops the prefetchers
+					lo := opts
+					lo.Limit = 5
+					r, err := q.ScanTableRows(bg, "accounts", lo)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					n := 0
+					for r.Next() {
+						if err := verify(r.Row()); err != nil {
+							errCh <- err
+							return
+						}
+						n++
+					}
+					r.Close()
+					if r.Err() != nil || n != 5 {
+						errCh <- fmt.Errorf("limit drain: n=%d err=%v", n, r.Err())
+						return
+					}
+				case 3: // full drain inside a read-write txn, then abort
+					tx, err := sess.Begin(bg)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					r, err := tx.ScanTableRows(bg, "accounts", opts)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					n := 0
+					for r.Next() {
+						if err := verify(r.Row()); err != nil {
+							errCh <- err
+							return
+						}
+						n++
+					}
+					r.Close()
+					if r.Err() != nil || n != rows {
+						errCh <- fmt.Errorf("full drain: n=%d err=%v", n, r.Err())
+						return
+					}
+					_ = tx.Abort(bg)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Goroutine-count guard: every prefetcher must have been joined. The
+	// cluster's own background goroutines (shippers, collector) are in the
+	// baseline; allow a little slack for unrelated runtime churn.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

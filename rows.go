@@ -3,6 +3,7 @@ package globaldb
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"globaldb/gsql/fragment"
 	"globaldb/internal/coordinator"
@@ -45,6 +46,18 @@ type ScanOpts struct {
 	// grow adaptively toward DefaultScanPageSize to amortize WAN round
 	// trips on deep scans.
 	PageSize int
+	// Prefetch is the pages-ahead window of the background prefetcher each
+	// shard cursor runs: 0 uses the default (double buffering — the next
+	// page's WAN round trip overlaps consumption of the current one, and a
+	// multi-shard scan fetches all first pages in parallel), a positive
+	// value keeps that many unconsumed pages fetched or in flight, and a
+	// negative value disables prefetching entirely (pages are fetched
+	// synchronously on demand — no RPC is ever issued for rows the
+	// consumer did not ask for, at the price of one idle WAN round trip
+	// between pages). The window bounds early-termination waste: a
+	// consumer that stops mid-scan has paid for at most Prefetch extra
+	// pages per shard.
+	Prefetch int
 	// Range optionally bounds the first key column after the equality
 	// prefix, narrowing the scanned key range inside storage.
 	Range *ScanRange
@@ -67,6 +80,15 @@ type ScanStats struct {
 	StorageRows    int64
 	DNFilteredRows int64
 	WANRows        int64
+	// PagesFetched counts scan-page RPCs; PrefetchHits counts the pages
+	// that were already fetched (or in flight and complete) when the
+	// consumer asked for them — WAN round trips fully hidden behind
+	// consumption. WANWait is the cumulative wall time the consumer spent
+	// blocked waiting on the network; with an effective prefetch window it
+	// approaches one round trip per shard instead of one per page.
+	PagesFetched int64
+	PrefetchHits int64
+	WANWait      time.Duration
 }
 
 // Add returns the element-wise sum of two stats.
@@ -75,11 +97,15 @@ func (s ScanStats) Add(o ScanStats) ScanStats {
 		StorageRows:    s.StorageRows + o.StorageRows,
 		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
 		WANRows:        s.WANRows + o.WANRows,
+		PagesFetched:   s.PagesFetched + o.PagesFetched,
+		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
+		WANWait:        s.WANWait + o.WANWait,
 	}
 }
 
 func toScanStats(s stats.ScanSnapshot) ScanStats {
-	return ScanStats{StorageRows: s.StorageRows, DNFilteredRows: s.DNFilteredRows, WANRows: s.WANRows}
+	return ScanStats{StorageRows: s.StorageRows, DNFilteredRows: s.DNFilteredRows, WANRows: s.WANRows,
+		PagesFetched: s.PagesFetched, PrefetchHits: s.PrefetchHits, WANWait: s.WANWait}
 }
 
 // Rows is a streaming scan result. It is batch-native inside: the cursor
@@ -89,6 +115,17 @@ func toScanStats(s stats.ScanSnapshot) ScanStats {
 // consumers like the SQL operator pipeline; Next/Row remain the
 // row-at-a-time edge for everything else. A Rows must be closed (Close is
 // idempotent, and draining to exhaustion also suffices).
+//
+// Scans prefetch: while one batch is being decoded or consumed, the next
+// page's RPC is already in flight on a per-shard prefetch goroutine (see
+// ScanOpts.Prefetch). That concurrency is safe by construction of the
+// batch lifetime rules: a page shipped by a data node never aliases a
+// buffer the node reuses for later requests (responses slice immutable
+// MVCC store memory or a per-request encode buffer), and this layer
+// decodes every page into a fresh slab, so a prefetched page landing
+// mid-decode cannot touch memory any earlier batch — or any retained Row —
+// still references. Close cancels in-flight page RPCs and joins the
+// prefetch goroutines before returning.
 type Rows struct {
 	ctx       context.Context
 	sch       *table.Schema
@@ -362,7 +399,7 @@ func setupScan(sch *table.Schema, o ScanOpts) (*scanSetup, error) {
 func (st *scanSetup) spec(start, end []byte, o ScanOpts) coordinator.ScanSpec {
 	return coordinator.ScanSpec{
 		Start: start, End: end,
-		Limit: o.Limit, PageSize: o.PageSize,
+		Limit: o.Limit, PageSize: o.PageSize, Prefetch: o.Prefetch,
 		Frag: st.frag, Counters: st.ctrs,
 	}
 }
@@ -437,7 +474,7 @@ func (tx *Tx) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any, 
 	if err != nil {
 		return nil, err
 	}
-	cur := st.combine([]coordinator.BatchCursor{tx.txn.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	cur := st.combine([]coordinator.BatchCursor{tx.txn.ScanCursor(ctx, shard, st.spec(start, end, o))}, true, o)
 	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
@@ -455,7 +492,7 @@ func (tx *Tx) ScanIndexRows(ctx context.Context, tableName, indexName string, pr
 	if err != nil {
 		return nil, err
 	}
-	cur := tx.txn.ScanCursor(shard, st.spec(start, end, o))
+	cur := tx.txn.ScanCursor(ctx, shard, st.spec(start, end, o))
 	st.resolve = func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := tx.txn.Get(ctx, shard, kv.Value) // index value = pk
 		if err != nil || !found {
@@ -487,10 +524,11 @@ func (tx *Tx) tableRows(ctx context.Context, tableName string, o ScanOpts, keyOr
 	if err != nil {
 		return nil, err
 	}
-	curs := make([]coordinator.BatchCursor, 0, tx.sess.db.c.Shards())
-	for shard := 0; shard < tx.sess.db.c.Shards(); shard++ {
-		curs = append(curs, tx.txn.ScanCursor(shard, st.spec(start, end, o)))
-	}
+	// Every shard cursor starts its prefetcher at creation, so all
+	// shards' routing lookups and first pages are issued concurrently and
+	// the cross-shard scan's setup costs one round trip, not one per
+	// shard.
+	curs := tx.txn.ScanCursors(ctx, tx.sess.db.c.Shards(), st.spec(start, end, o))
 	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st), nil
 }
 
@@ -508,7 +546,7 @@ func (q *Query) ScanPKRows(ctx context.Context, tableName string, pkPrefix []any
 	if err != nil {
 		return nil, err
 	}
-	cur := st.combine([]coordinator.BatchCursor{q.ro.ScanCursor(shard, st.spec(start, end, o))}, true, o)
+	cur := st.combine([]coordinator.BatchCursor{q.ro.ScanCursor(ctx, shard, st.spec(start, end, o))}, true, o)
 	return newRows(ctx, sch, cur, o.Limit, st), nil
 }
 
@@ -525,7 +563,7 @@ func (q *Query) ScanIndexRows(ctx context.Context, tableName, indexName string, 
 	if err != nil {
 		return nil, err
 	}
-	cur := q.ro.ScanCursor(shard, st.spec(start, end, o))
+	cur := q.ro.ScanCursor(ctx, shard, st.spec(start, end, o))
 	st.resolve = func(ctx context.Context, kv mvcc.KV) (Row, bool, error) {
 		v, found, err := q.ro.Get(ctx, shard, kv.Value)
 		if err != nil || !found {
@@ -556,10 +594,9 @@ func (q *Query) tableRows(ctx context.Context, tableName string, o ScanOpts, key
 	if err != nil {
 		return nil, err
 	}
-	curs := make([]coordinator.BatchCursor, 0, q.sess.db.c.Shards())
-	for shard := 0; shard < q.sess.db.c.Shards(); shard++ {
-		curs = append(curs, q.ro.ScanCursor(shard, st.spec(start, end, o)))
-	}
+	// As on the read-write path: the per-shard prefetchers issue replica
+	// selection and first pages concurrently instead of serially.
+	curs := q.ro.ScanCursors(ctx, q.sess.db.c.Shards(), st.spec(start, end, o))
 	return newRows(ctx, sch, st.combine(curs, keyOrder, o), o.Limit, st), nil
 }
 
