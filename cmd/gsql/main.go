@@ -51,8 +51,46 @@ import (
 	"time"
 
 	"globaldb"
+	"globaldb/driver"
 	"globaldb/gsql"
 )
+
+// shellStmt is a prepared statement as the REPL needs it. *gsql.Stmt
+// (in-process) and *driver.ClientStmt (network) both satisfy it.
+type shellStmt interface {
+	NumParams() int
+	Exec(ctx context.Context, args ...any) (*gsql.Result, error)
+	Close() error
+}
+
+// shellBackend is the session surface the REPL runs against: script
+// execution and prepared statements, both answering gsql.Result so the
+// result tables and scan-counter lines print identically whether the
+// cluster is in this process or across a socket.
+type shellBackend interface {
+	ExecScript(ctx context.Context, sql string) (*gsql.Result, error)
+	Prepare(ctx context.Context, sql string) (shellStmt, error)
+}
+
+// localBackend adapts an in-process gsql session.
+type localBackend struct{ sess *gsql.Session }
+
+func (b localBackend) ExecScript(ctx context.Context, sql string) (*gsql.Result, error) {
+	return b.sess.ExecScript(ctx, sql)
+}
+func (b localBackend) Prepare(ctx context.Context, sql string) (shellStmt, error) {
+	return b.sess.Prepare(ctx, sql)
+}
+
+// netBackend adapts a wire-protocol client session.
+type netBackend struct{ sess *driver.ClientSession }
+
+func (b netBackend) ExecScript(ctx context.Context, sql string) (*gsql.Result, error) {
+	return b.sess.ExecScript(ctx, sql)
+}
+func (b netBackend) Prepare(ctx context.Context, sql string) (shellStmt, error) {
+	return b.sess.Prepare(ctx, sql)
+}
 
 func main() {
 	topology := flag.String("topology", "three-city", "cluster topology: three-city or one-region")
@@ -60,53 +98,71 @@ func main() {
 	timescale := flag.Float64("timescale", 0.05, "network time scale (1.0 = real WAN latencies)")
 	rtt := flag.Duration("rtt", 10*time.Millisecond, "injected RTT for the one-region topology")
 	staleness := flag.String("staleness", "", "session staleness: none (primary reads), any, or a duration like 50ms")
+	connect := flag.String("connect", "", "connect to a globaldb-server at host:port instead of an in-process cluster")
 	flag.Parse()
 
-	var cfg globaldb.Config
-	switch *topology {
-	case "three-city":
-		cfg = globaldb.ThreeCity()
-	case "one-region":
-		cfg = globaldb.OneRegion(*rtt)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
-		os.Exit(2)
-	}
-	cfg.TimeScale = *timescale
-
-	db, err := globaldb.Open(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "open:", err)
-		os.Exit(1)
-	}
-	defer db.Close()
-
-	home := *region
-	if home == "" {
-		home = db.Regions()[0]
-	}
-	sess, err := gsql.Connect(db, home)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "connect:", err)
-		os.Exit(1)
-	}
 	ctx := context.Background()
+	var backend shellBackend
+	var home string
+
+	if *connect != "" {
+		cs, err := driver.Dial(ctx, *connect, driver.Config{Region: *region})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer cs.Close()
+		backend, home = netBackend{cs}, cs.Region()
+		fmt.Printf("GlobalDB SQL shell — connected to %s, session homed in %s (mode %s)\n",
+			*connect, home, cs.Mode())
+	} else {
+		var cfg globaldb.Config
+		switch *topology {
+		case "three-city":
+			cfg = globaldb.ThreeCity()
+		case "one-region":
+			cfg = globaldb.OneRegion(*rtt)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+			os.Exit(2)
+		}
+		cfg.TimeScale = *timescale
+
+		db, err := globaldb.Open(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+
+		home = *region
+		if home == "" {
+			home = db.Regions()[0]
+		}
+		sess, err := gsql.Connect(db, home)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		backend = localBackend{sess}
+		fmt.Printf("GlobalDB SQL shell — %s topology, session homed in %s (mode %v)\n",
+			*topology, home, db.Mode())
+	}
+
 	if *staleness != "" && *staleness != "none" {
-		if _, err := sess.Exec(ctx, fmt.Sprintf("SET STALENESS = '%s'", *staleness)); err != nil {
+		if _, err := backend.ExecScript(ctx, fmt.Sprintf("SET STALENESS = '%s';", *staleness)); err != nil {
 			// ANY is a keyword value, not a duration string.
-			if _, err2 := sess.Exec(ctx, "SET STALENESS = "+*staleness); err2 != nil {
+			if _, err2 := backend.ExecScript(ctx, "SET STALENESS = "+*staleness+";"); err2 != nil {
 				fmt.Fprintln(os.Stderr, "staleness:", err)
 				os.Exit(2)
 			}
 		}
 	}
 
-	fmt.Printf("GlobalDB SQL shell — %s topology, session homed in %s (mode %v)\n",
-		*topology, home, db.Mode())
 	fmt.Println(`Statements end with ';'. Type \q to quit, \explain <select> to show the DN/CN plan split,` + "\n" +
 		`\prepare <name> <stmt with ? placeholders> then \exec <name> <args...> for prepared statements.`)
 
-	runREPL(ctx, sess, home, os.Stdin, os.Stdout)
+	runREPL(ctx, backend, home, os.Stdin, os.Stdout)
 	fmt.Println()
 }
 
@@ -205,12 +261,12 @@ func parseExecArgs(args []string) []any {
 
 // runREPL drives the shell loop over the given streams — extracted from
 // main so tests can script a session and assert on its output.
-func runREPL(ctx context.Context, sess *gsql.Session, home string, in io.Reader, out io.Writer) {
-	prepared := map[string]*gsql.Stmt{}
+func runREPL(ctx context.Context, backend shellBackend, home string, in io.Reader, out io.Writer) {
+	prepared := map[string]shellStmt{}
 
 	runScript := func(script string) {
 		start := time.Now()
-		res, err := sess.ExecScript(ctx, script)
+		res, err := backend.ExecScript(ctx, script)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
@@ -252,7 +308,7 @@ func runREPL(ctx context.Context, sess *gsql.Session, home string, in io.Reader,
 			name, sql, ok := strings.Cut(rest, " ")
 			if !ok || name == "" || strings.TrimSpace(sql) == "" {
 				fmt.Fprintln(out, `usage: \prepare <name> <statement with ? or $n placeholders>`)
-			} else if st, err := sess.Prepare(ctx, strings.TrimSuffix(strings.TrimSpace(sql), ";")); err != nil {
+			} else if st, err := backend.Prepare(ctx, strings.TrimSuffix(strings.TrimSpace(sql), ";")); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
 				prepared[name] = st

@@ -4,14 +4,16 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"globaldb"
+	"globaldb/driver"
 	"globaldb/gsql"
+	"globaldb/server"
 )
 
-// runShell scripts one REPL session against a fast one-region cluster and
-// returns everything the shell printed.
-func runShell(t *testing.T, script string) string {
+// openShellCluster builds the fast one-region cluster the shell tests use.
+func openShellCluster(t *testing.T) *globaldb.DB {
 	t.Helper()
 	cfg := globaldb.OneRegion(0)
 	cfg.TimeScale = 0.02
@@ -21,12 +23,20 @@ func runShell(t *testing.T, script string) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(db.Close)
+	return db
+}
+
+// runShell scripts one REPL session against an in-process cluster and
+// returns everything the shell printed.
+func runShell(t *testing.T, script string) string {
+	t.Helper()
+	db := openShellCluster(t)
 	sess, err := gsql.Connect(db, db.Regions()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	runREPL(context.Background(), sess, "test", strings.NewReader(script), &out)
+	runREPL(context.Background(), localBackend{sess}, "test", strings.NewReader(script), &out)
 	return out.String()
 }
 
@@ -83,6 +93,57 @@ SELECT * FROM kv WHERE v >= 30;
 	}
 	if !strings.Contains(out, "scan: storage=5 rows, filtered at DN=4, shipped over WAN=1") {
 		t.Fatalf("missing counters for \\exec getbig 50:\n%s", out)
+	}
+}
+
+// TestShellOverNetwork runs the REPL against a wire server on a real
+// socket — the `gsql -connect host:port` path — and requires ad-hoc
+// statements, prepared statements, and the scan-counter reporting to
+// round-trip exactly as they do in process.
+func TestShellOverNetwork(t *testing.T) {
+	db := openShellCluster(t)
+	srv := server.New(db, server.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	ctx := context.Background()
+	cs, err := driver.Dial(ctx, srv.Addr().String(), driver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if cs.Region() != db.Regions()[0] {
+		t.Fatalf("session homed in %q, want %q", cs.Region(), db.Regions()[0])
+	}
+
+	// Range predicates, not point gets: scans run the paged pipeline and
+	// so carry the per-layer counters the shell reports.
+	script := `CREATE TABLE kv (k BIGINT, v TEXT, PRIMARY KEY (k)) SHARD BY k;
+INSERT INTO kv VALUES (1, 'hello'), (2, 'world');
+SELECT v FROM kv WHERE k >= 2;
+\prepare get SELECT v FROM kv WHERE k < ?
+\exec get 2
+\q
+`
+	var out strings.Builder
+	runREPL(ctx, netBackend{cs}, cs.Region(), strings.NewReader(script), &out)
+	got := out.String()
+
+	for _, want := range []string{
+		"world", // ad-hoc SELECT round-tripped the socket
+		"prepared get (1 parameters)",
+		"hello",          // prepared execution bound its arg remotely
+		"scan: storage=", // Done-frame counters feed the report line
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("network shell output missing %q:\n%s", want, got)
+		}
 	}
 }
 

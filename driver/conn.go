@@ -106,7 +106,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	if err != nil {
 		return nil, err
 	}
-	return &streamRows{r: r}, nil
+	return &streamRows{r: r, ctx: ctx}, nil
 }
 
 // Ping verifies the session's computing node is still reachable with a
@@ -199,7 +199,7 @@ func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (s
 	if err != nil {
 		return nil, err
 	}
-	return &streamRows{r: r}, nil
+	return &streamRows{r: r, ctx: ctx}, nil
 }
 
 // plainValues adapts the legacy driver.Value argument form.
@@ -242,7 +242,8 @@ func (r result) RowsAffected() (int64, error) { return r.affected, nil }
 // volcano pipeline, which pulls storage pages across the simulated WAN on
 // demand — closing early stops the scans mid-table.
 type streamRows struct {
-	r *gsql.Rows
+	r   *gsql.Rows
+	ctx context.Context
 }
 
 func (r *streamRows) Columns() []string { return r.r.Columns() }
@@ -250,6 +251,12 @@ func (r *streamRows) Columns() []string { return r.r.Columns() }
 func (r *streamRows) Close() error { return r.r.Close() }
 
 func (r *streamRows) Next(dest []sqldriver.Value) error {
+	// Abort mid-scan when the query's context is canceled: close the
+	// cursor (stopping the scans mid-table) instead of draining the rest.
+	if err := r.ctx.Err(); err != nil {
+		r.r.Close()
+		return err
+	}
 	if !r.r.Next() {
 		if err := r.r.Err(); err != nil {
 			return err

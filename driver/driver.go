@@ -4,22 +4,28 @@
 // the SQL layer, context-aware queries, transactions, and result rows that
 // stream off the paged scan pipeline instead of materializing.
 //
-// A GlobalDB cluster is an in-process object, so the driver connects in one
-// of two ways. With a *globaldb.DB in hand, build a connector directly:
+// The driver speaks two transports. In process, with a *globaldb.DB in
+// hand, build a connector directly or register the cluster under a name:
 //
 //	db, _ := globaldb.Open(globaldb.ThreeCity())
 //	sqldb := sql.OpenDB(driver.NewConnector(db, driver.Config{Region: "xian"}))
 //
-// Or register the cluster under a name and use a DSN with sql.Open:
-//
 //	driver.Register("prod", db)
 //	sqldb, _ := sql.Open("globaldb", "prod?region=dongguan&staleness=50ms")
 //
-// The DSN (and Config) carry the connection's home region and its replica
-// staleness bound. `staleness=any` routes out-of-transaction SELECTs to
-// asynchronous replicas at the RCP with no freshness bound; a duration like
-// `staleness=50ms` bounds how stale those reads may be; omitting it reads
-// shard primaries. `SET STALENESS` works per connection at runtime too.
+// Over the network, a tcp:// DSN dials a server (package server) through a
+// bounded connection pool — idle connections are reused warmest-first,
+// every checkout health-checks the socket, and dials beyond maxconns block
+// until a connection frees:
+//
+//	sqldb, _ := sql.Open("globaldb", "tcp://127.0.0.1:7687?region=xian&maxconns=128")
+//
+// Both DSN forms (and Config) carry the connection's home region and its
+// replica staleness bound. `staleness=any` routes out-of-transaction
+// SELECTs to asynchronous replicas at the RCP with no freshness bound; a
+// duration like `staleness=50ms` bounds how stale those reads may be;
+// omitting it reads shard primaries. `SET STALENESS` works per connection
+// at runtime too.
 //
 // Every connection owns one gsql session, so prepared statements get the
 // session's DDL-aware plan cache: executing a prepared statement re-parses
@@ -32,6 +38,7 @@ import (
 	sqldriver "database/sql/driver"
 	"fmt"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -53,6 +60,14 @@ type Config struct {
 	// Staleness bounds replica reads: at most this far behind the
 	// primaries. A positive value implies ReplicaReads.
 	Staleness time.Duration
+	// MaxConns bounds the TCP transport's connection pool; checkouts
+	// beyond it block until a connection frees. Zero means
+	// DefaultMaxConns. Ignored in process.
+	MaxConns int
+	// MaxIdle caps how many idle TCP connections the pool keeps for
+	// reuse. Zero (or a value above MaxConns) keeps up to MaxConns.
+	// Ignored in process.
+	MaxIdle int
 }
 
 // registry maps DSN cluster names to open DBs.
@@ -79,8 +94,18 @@ func (d Driver) Open(dsn string) (sqldriver.Conn, error) {
 	return c.Connect(context.Background())
 }
 
-// OpenConnector parses the DSN once and returns a reusable connector.
+// OpenConnector parses the DSN once and returns a reusable connector. A
+// "tcp://host:port?opts" DSN dials a network server through the driver's
+// bounded connection pool; anything else names a Registered in-process
+// cluster.
 func (d Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	if addr, ok := strings.CutPrefix(dsn, "tcp://"); ok {
+		addr, cfg, err := parseDSN(addr)
+		if err != nil {
+			return nil, err
+		}
+		return NewNetConnector(addr, cfg), nil
+	}
 	name, cfg, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
@@ -121,6 +146,18 @@ func parseDSN(dsn string) (name string, cfg Config, err error) {
 				cfg.ReplicaReads = true
 				cfg.Staleness = d
 			}
+		case "maxconns":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return "", cfg, fmt.Errorf("globaldb driver: bad maxconns %q", v)
+			}
+			cfg.MaxConns = n
+		case "maxidle":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return "", cfg, fmt.Errorf("globaldb driver: bad maxidle %q", v)
+			}
+			cfg.MaxIdle = n
 		default:
 			return "", cfg, fmt.Errorf("globaldb driver: unknown DSN option %q", key)
 		}
@@ -172,3 +209,33 @@ func (c *Connector) Driver() sqldriver.Driver { return Driver{} }
 func Open(db *globaldb.DB, cfg Config) *sql.DB {
 	return sql.OpenDB(NewConnector(db, cfg))
 }
+
+// NetConnector produces TCP connections to a network server through the
+// driver's bounded connection pool. Use with sql.OpenDB; sql.DB.Close
+// closes the pool.
+type NetConnector struct {
+	pool *connPool
+}
+
+// NewNetConnector wires a server address ("host:port") to database/sql
+// with the given session options and pool bounds.
+func NewNetConnector(addr string, cfg Config) *NetConnector {
+	return &NetConnector{pool: newConnPool(addr, cfg)}
+}
+
+// Connect checks a wire connection out of the pool — reusing an idle one
+// that passes the health check, dialing under the maxconns bound, or
+// blocking until a connection frees.
+func (c *NetConnector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	wc, err := c.pool.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &netConn{pool: c.pool, wc: wc}, nil
+}
+
+// Driver returns the underlying Driver.
+func (c *NetConnector) Driver() sqldriver.Driver { return Driver{} }
+
+// Close shuts the connection pool down; sql.DB.Close calls it.
+func (c *NetConnector) Close() error { return c.pool.Close() }

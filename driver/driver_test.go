@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	"database/sql"
+	sqldriver "database/sql/driver"
 	"testing"
 
 	"globaldb"
@@ -27,11 +28,15 @@ func openCluster(t *testing.T) *globaldb.DB {
 // TestSQLConformance drives the full database/sql round trip the driver
 // exists for: OpenDB, Ping, DDL, a prepared INSERT executed repeatedly
 // with bound parameters, a prepared SELECT with IN-list and LIMIT
-// placeholders, row streaming, and transaction commit/rollback.
+// placeholders, row streaming, and transaction commit/rollback. It runs
+// unchanged against both transports: in process and over TCP through the
+// wire server and the driver's connection pool.
 func TestSQLConformance(t *testing.T) {
-	db := openCluster(t)
-	sqldb := Open(db, Config{Region: "xian"})
-	defer sqldb.Close()
+	forEachTransport(t, testSQLConformance)
+}
+
+func testSQLConformance(t *testing.T, db *globaldb.DB, mk func(Config) sqldriver.Connector) {
+	sqldb := openDB(t, mk(Config{Region: "xian"}))
 	if err := sqldb.PingContext(bg); err != nil {
 		t.Fatal(err)
 	}

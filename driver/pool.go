@@ -1,0 +1,208 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// DefaultMaxConns bounds a TCP connector's pool when the DSN names no
+// maxconns.
+const DefaultMaxConns = 64
+
+// connPool is the driver's bounded TCP connection pool. database/sql pools
+// its own driver.Conns, but its limits are per *sql.DB and its pool knows
+// nothing about transport health; this pool is the transport-level cache
+// under it — idle wire connections are reused LIFO (warmest first), every
+// checkout health-checks the socket, checkouts beyond maxOpen block until
+// a connection frees, and checkins reset server-side session state left by
+// the previous user.
+type connPool struct {
+	addr    string
+	cfg     Config
+	maxOpen int
+	maxIdle int
+
+	mu      sync.Mutex
+	idle    []*wireClient // LIFO: last returned, first reused
+	numOpen int           // dialed and not yet closed (checked out + idle)
+	waiters []chan *wireClient
+	closed  bool
+}
+
+var errPoolClosed = errors.New("globaldb driver: connection pool is closed")
+
+func newConnPool(addr string, cfg Config) *connPool {
+	maxOpen := cfg.MaxConns
+	if maxOpen <= 0 {
+		maxOpen = DefaultMaxConns
+	}
+	maxIdle := cfg.MaxIdle
+	if maxIdle <= 0 || maxIdle > maxOpen {
+		maxIdle = maxOpen
+	}
+	return &connPool{addr: addr, cfg: cfg, maxOpen: maxOpen, maxIdle: maxIdle}
+}
+
+// get checks a connection out: an idle one that passes the health check,
+// a fresh dial while under maxOpen, or a blocking wait for a checkin.
+func (p *connPool) get(ctx context.Context) (*wireClient, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errPoolClosed
+		}
+		if n := len(p.idle); n > 0 {
+			wc := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			if wc.healthy() {
+				return wc, nil
+			}
+			wc.close()
+			p.release()
+			continue
+		}
+		if p.numOpen < p.maxOpen {
+			p.numOpen++
+			p.mu.Unlock()
+			wc, err := dialWire(ctx, p.addr, p.cfg)
+			if err != nil {
+				p.release()
+				return nil, err
+			}
+			return wc, nil
+		}
+		ch := make(chan *wireClient, 1)
+		p.waiters = append(p.waiters, ch)
+		p.mu.Unlock()
+		select {
+		case wc := <-ch:
+			if wc == nil {
+				continue // a slot freed (or the pool closed); retry
+			}
+			if wc.healthy() {
+				return wc, nil
+			}
+			wc.close()
+			p.release()
+			continue
+		case <-ctx.Done():
+			p.mu.Lock()
+			removed := false
+			for i, w := range p.waiters {
+				if w == ch {
+					p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+					removed = true
+					break
+				}
+			}
+			p.mu.Unlock()
+			if !removed {
+				// A handoff raced the cancellation; pass it on.
+				if wc := <-ch; wc != nil {
+					p.put(wc)
+				} else {
+					p.wakeOne()
+				}
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// put checks a connection back in: hand it to a waiter, park it idle, or —
+// when broken, dirty beyond repair, or surplus — close it and free the
+// slot.
+func (p *connPool) put(wc *wireClient) {
+	if wc.broken {
+		wc.close()
+		p.release()
+		return
+	}
+	if wc.inTxn {
+		// The previous user abandoned a transaction; roll it back
+		// server-side before anyone reuses the session.
+		if err := wc.reset(); err != nil {
+			wc.close()
+			p.release()
+			return
+		}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.numOpen--
+		p.mu.Unlock()
+		wc.close()
+		return
+	}
+	if len(p.waiters) > 0 {
+		ch := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		ch <- wc
+		return
+	}
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, wc)
+		p.mu.Unlock()
+		return
+	}
+	p.numOpen--
+	p.mu.Unlock()
+	wc.close()
+}
+
+// release frees one open slot and wakes a waiter to retry (dial or grab
+// idle).
+func (p *connPool) release() {
+	p.mu.Lock()
+	p.numOpen--
+	p.mu.Unlock()
+	p.wakeOne()
+}
+
+func (p *connPool) wakeOne() {
+	p.mu.Lock()
+	var ch chan *wireClient
+	if len(p.waiters) > 0 {
+		ch = p.waiters[0]
+		p.waiters = p.waiters[1:]
+	}
+	p.mu.Unlock()
+	if ch != nil {
+		ch <- nil
+	}
+}
+
+// Close closes the idle connections and fails waiters; checked-out
+// connections close as they come back.
+func (p *connPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	waiters := p.waiters
+	p.waiters = nil
+	p.numOpen -= len(idle)
+	p.mu.Unlock()
+	for _, wc := range idle {
+		wc.close()
+	}
+	for _, ch := range waiters {
+		close(ch)
+	}
+	return nil
+}
+
+// stats reports the pool's current occupancy (tests and debugging).
+func (p *connPool) stats() (open, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numOpen, len(p.idle)
+}

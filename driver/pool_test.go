@@ -1,0 +1,171 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"testing"
+	"time"
+
+	"globaldb"
+	"globaldb/server"
+)
+
+// startServer runs a wire server over a fast one-region cluster and
+// returns its address.
+func startServer(t *testing.T) (*globaldb.DB, *server.Server, string) {
+	t.Helper()
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 2
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	srv := server.New(db, server.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return db, srv, srv.Addr().String()
+}
+
+// TestPoolBoundsAndReuse pins the pool's contract: checkouts beyond
+// maxconns block until a checkin, idle connections are reused rather than
+// redialed, and a waiter's context cancellation unblocks it.
+func TestPoolBoundsAndReuse(t *testing.T) {
+	_, _, addr := startServer(t)
+	nc := NewNetConnector(addr, Config{MaxConns: 2})
+	defer nc.Close()
+
+	c1, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open, idle := nc.pool.stats(); open != 2 || idle != 0 {
+		t.Fatalf("pool after 2 checkouts: open=%d idle=%d", open, idle)
+	}
+
+	// A third checkout must block on the maxconns bound...
+	got := make(chan error, 1)
+	go func() {
+		c3, err := nc.Connect(bg)
+		if err == nil {
+			c3.Close()
+		}
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("third checkout did not block on maxconns=2 (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// ...until a connection checks back in.
+	wc1 := c1.(*netConn).wc
+	c1.Close()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked checkout failed after checkin: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkout still blocked after a checkin")
+	}
+
+	// Idle reuse: the wire connection handed back is the one reused, no
+	// fresh dial.
+	c4, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.(*netConn).wc != wc1 {
+		t.Fatal("idle connection was not reused")
+	}
+	c4.Close()
+	c2.Close()
+	if open, idle := nc.pool.stats(); open != 2 || idle != 2 {
+		t.Fatalf("pool after checkins: open=%d idle=%d", open, idle)
+	}
+
+	// A waiter bails out when its context is canceled.
+	c5, _ := nc.Connect(bg)
+	c6, _ := nc.Connect(bg)
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	if _, err := nc.Connect(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("canceled waiter got %v, want context.DeadlineExceeded", err)
+	}
+	c5.Close()
+	c6.Close()
+}
+
+// TestPoolHealthCheck pins the checkout health check: idle connections
+// whose server died are detected and discarded, not handed to the caller.
+func TestPoolHealthCheck(t *testing.T) {
+	_, srv, addr := startServer(t)
+	nc := NewNetConnector(addr, Config{MaxConns: 2})
+	defer nc.Close()
+
+	c, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // park it idle
+	if _, idle := nc.pool.stats(); idle != 1 {
+		t.Fatalf("idle=%d, want 1", idle)
+	}
+
+	// Kill the server. The parked connection is now a dead socket.
+	ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkout must notice (peek sees EOF), discard, and fail the redial
+	// against the closed listener rather than hand out a dead connection.
+	if _, err := nc.Connect(bg); err == nil {
+		t.Fatal("checkout against a dead server must fail")
+	}
+	if open, idle := nc.pool.stats(); open != 0 || idle != 0 {
+		t.Fatalf("dead connection not discarded: open=%d idle=%d", open, idle)
+	}
+}
+
+// TestTCPDSN drives the tcp:// DSN end to end: sql.Open dials the server,
+// the handshake applies region and staleness, and pool options parse.
+func TestTCPDSN(t *testing.T) {
+	_, _, addr := startServer(t)
+	sqldb, err := sql.Open("globaldb", "tcp://"+addr+"?staleness=any&maxconns=3&maxidle=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sqldb.Close()
+	var mode string
+	if err := sqldb.QueryRowContext(bg, "SHOW STALENESS").Scan(&mode); err != nil {
+		t.Fatal(err)
+	}
+	if mode != "ANY" {
+		t.Fatalf("DSN staleness not applied over TCP: %q", mode)
+	}
+	if _, err := sql.Open("globaldb", "tcp://"+addr+"?maxconns=zero"); err == nil {
+		t.Fatal("bad maxconns must fail at Open")
+	}
+	// An unreachable server fails at first use, not at Open.
+	bad, err := sql.Open("globaldb", "tcp://127.0.0.1:1?region=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if err := bad.PingContext(bg); err == nil {
+		t.Fatal("ping against nothing must fail")
+	}
+}

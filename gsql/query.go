@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"globaldb"
 	"globaldb/internal/table"
 )
 
@@ -45,6 +46,12 @@ type Rows struct {
 	mat [][]any
 	mi  int
 
+	// Scan counters: totals accumulates as the pipeline's scans close
+	// (streaming path); matScan carries the already-final counters of a
+	// materialized result.
+	totals  *scanTotals
+	matScan globaldb.ScanStats
+
 	row    []any
 	err    error
 	closed bool
@@ -57,6 +64,18 @@ func (r *Rows) Columns() []string { return r.cols }
 // OnReplicas reports whether the query was served from asynchronous
 // replicas at the RCP rather than shard primaries.
 func (r *Rows) OnReplicas() bool { return r.onReplicas }
+
+// ScanStats reports the query's per-layer scan row counts — the same
+// counters Result.Scan carries on the materializing path. On a streaming
+// query the counters settle as the pipeline's scans close, so they are
+// final only after the Rows is drained or Closed; before that they report
+// the scans that have already finished.
+func (r *Rows) ScanStats() globaldb.ScanStats {
+	if r.totals != nil {
+		return r.totals.s
+	}
+	return r.matScan
+}
 
 // Next advances to the following output row, returning false at the end of
 // the result or on error (check Err afterwards).
@@ -185,16 +204,16 @@ func (s *Session) queryRows(ctx context.Context, sel *Select, plan *selectPlan, 
 		if ferr != nil {
 			return nil, ferr
 		}
-		return &Rows{cols: res.Columns, onReplicas: onReplicas, mat: res.Rows}, nil
+		return &Rows{cols: res.Columns, onReplicas: onReplicas, mat: res.Rows, matScan: res.Scan}, nil
 	}
-	it, _, _, err := buildPipeline(ctx, r, bp)
+	it, _, totals, err := buildPipeline(ctx, r, bp)
 	if err != nil {
 		_ = finish(false)
 		return nil, err
 	}
 	rows := &Rows{
 		ctx: ctx, cols: bp.outCols, onReplicas: onReplicas,
-		bp: bp, it: it, finish: finish,
+		bp: bp, it: it, totals: totals, finish: finish,
 		env: rowEnv{tables: bp.tables, params: bp.params},
 	}
 	if bp.distinct {

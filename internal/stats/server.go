@@ -1,0 +1,65 @@
+package stats
+
+import "sync/atomic"
+
+// ServerCounters aggregates the network server's connection and statement
+// activity. One instance lives per server; connection goroutines update it
+// concurrently.
+type ServerCounters struct {
+	accepted   atomic.Int64
+	active     atomic.Int64
+	statements atomic.Int64
+	rowsOut    atomic.Int64
+	canceled   atomic.Int64
+	panics     atomic.Int64
+}
+
+// ConnOpened records an accepted connection.
+func (c *ServerCounters) ConnOpened() {
+	c.accepted.Add(1)
+	c.active.Add(1)
+}
+
+// ConnClosed records a connection teardown.
+func (c *ServerCounters) ConnClosed() { c.active.Add(-1) }
+
+// ObserveStatement records one completed statement and how many result rows
+// it streamed to the client.
+func (c *ServerCounters) ObserveStatement(rows int64) {
+	c.statements.Add(1)
+	c.rowsOut.Add(rows)
+}
+
+// ObserveCancel records a stream stopped by a client cancel.
+func (c *ServerCounters) ObserveCancel() { c.canceled.Add(1) }
+
+// ObservePanic records a statement panic contained to its connection.
+func (c *ServerCounters) ObservePanic() { c.panics.Add(1) }
+
+// Snapshot returns the current totals.
+func (c *ServerCounters) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		Accepted:     c.accepted.Load(),
+		Active:       c.active.Load(),
+		Statements:   c.statements.Load(),
+		RowsStreamed: c.rowsOut.Load(),
+		Canceled:     c.canceled.Load(),
+		Panics:       c.panics.Load(),
+	}
+}
+
+// ServerSnapshot is a point-in-time read of ServerCounters.
+type ServerSnapshot struct {
+	// Accepted counts connections the server ever accepted.
+	Accepted int64
+	// Active counts connections currently open.
+	Active int64
+	// Statements counts statements run to completion (including failures).
+	Statements int64
+	// RowsStreamed counts result rows shipped to clients.
+	RowsStreamed int64
+	// Canceled counts streams stopped early by a client Cancel.
+	Canceled int64
+	// Panics counts statement panics contained to their connection.
+	Panics int64
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"globaldb/server/wire"
+)
+
+// TestServerDrain pins graceful shutdown: with several streaming scans in
+// flight, Shutdown must refuse new dials immediately, let every in-flight
+// stream run to completion, close the drained connections, and leave no
+// goroutines behind. CI runs this test repeatedly as a soak.
+func TestServerDrain(t *testing.T) {
+	db := newTestCluster(t)
+	// Outsize the kernel's socket buffering (as in the cancel test) so a
+	// paused client provably leaves its statement mid-stream server-side.
+	const total = 2000
+	seedBigTable(t, db, total, 8192)
+
+	// Goroutine baseline after the cluster is up but before the server
+	// starts: everything the server adds must be gone after Shutdown.
+	baseline := runtime.NumGoroutine()
+
+	srv := New(db, Options{BatchRows: 32})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	// Each client starts a streaming scan, reports in once the stream's
+	// header arrives (the statement is now in flight server-side), then
+	// pauses until released — so Shutdown begins with all N scans active.
+	const clients = 6
+	type result struct {
+		rows int
+		err  error
+	}
+	results := make(chan result, clients)
+	ready := make(chan struct{}, clients)
+	release := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		go func() { results <- drainClient(addr, total, ready, release) }()
+	}
+	for i := 0; i < clients; i++ {
+		select {
+		case <-ready:
+		case <-time.After(30 * time.Second):
+			t.Fatal("clients did not reach in-flight state")
+		}
+	}
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(bg, 60*time.Second)
+		defer cancel()
+		shutErr <- srv.Shutdown(ctx)
+	}()
+
+	// The listener closes as drain begins: new dials must stop being
+	// served. (A dial may land in the accept backlog for an instant, so
+	// poll.)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			break
+		}
+		nc.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting dials during drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Release the paused clients; every in-flight stream must complete
+	// with its full row count and then see its connection closed.
+	close(release)
+	for i := 0; i < clients; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("drained client: %v", r.err)
+			}
+			if r.rows != total {
+				t.Fatalf("drained client got %d rows, want %d", r.rows, total)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("client did not finish during drain")
+		}
+	}
+	select {
+	case err := <-shutErr:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+
+	// Leak guard: all connection handlers, read loops and the accept loop
+	// must have unwound.
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after drain: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	st := srv.Stats()
+	if st.Active != 0 || st.Accepted < clients {
+		t.Fatalf("post-drain counters: %+v", st)
+	}
+}
+
+// drainClient runs one paused-then-released streaming scan. It avoids the
+// testClient helper because it runs off the test goroutine.
+func drainClient(addr string, total int, ready chan<- struct{}, release <-chan struct{}) (res struct {
+	rows int
+	err  error
+}) {
+	fail := func(err error) struct {
+		rows int
+		err  error
+	} {
+		res.err = err
+		return res
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fail(err)
+	}
+	defer nc.Close()
+	w := bufio.NewWriter(nc)
+	rd := wire.NewReader(nc)
+	send := func(m wire.Message) error {
+		if err := wire.WriteMessage(w, m); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := send(&wire.Hello{Version: wire.ProtocolVersion}); err != nil {
+		return fail(err)
+	}
+	if m, err := rd.ReadMessage(); err != nil {
+		return fail(err)
+	} else if _, ok := m.(*wire.HelloOK); !ok {
+		return fail(fmt.Errorf("handshake answered %#v", m))
+	}
+	if err := send(&wire.Query{SQL: "SELECT k, pad FROM big"}); err != nil {
+		return fail(err)
+	}
+	if m, err := rd.ReadMessage(); err != nil {
+		return fail(err)
+	} else if _, ok := m.(*wire.RowHeader); !ok {
+		return fail(fmt.Errorf("expected RowHeader, got %#v", m))
+	}
+	ready <- struct{}{}
+	<-release
+	for {
+		m, err := rd.ReadMessage()
+		if err != nil {
+			return fail(fmt.Errorf("after %d rows: %w", res.rows, err))
+		}
+		switch m := m.(type) {
+		case *wire.RowBatch:
+			res.rows += len(m.Rows)
+		case *wire.Done:
+			if m.Canceled {
+				return fail(errors.New("drain canceled an in-flight stream"))
+			}
+			// The statement finished during drain; the server now closes
+			// the idle connection.
+			nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+			if extra, err := rd.ReadMessage(); err == nil {
+				return fail(fmt.Errorf("connection not closed after drain, read %#v", extra))
+			}
+			return res
+		default:
+			return fail(fmt.Errorf("unexpected %T mid-stream", m))
+		}
+	}
+}

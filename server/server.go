@@ -1,0 +1,183 @@
+// Package server is GlobalDB's network edge: a TCP server that speaks the
+// length-prefixed binary protocol in server/wire and maps every accepted
+// connection onto one gsql session. The session owns the connection's
+// transaction state and its DDL-aware plan cache, so prepared statements
+// over the wire get exactly the replanning behavior in-process callers get.
+//
+// Results stream: a SELECT's response is a RowHeader frame, then row
+// batches flushed as the prefetching batch cursor pipeline produces them
+// (per batch, not per row), then a Done frame carrying the statement's
+// per-layer scan counters. A client can send Cancel mid-stream; the server
+// notices between batches, closes the cursor (stopping the scans
+// mid-table), and answers with a Done marked Canceled.
+//
+// Shutdown drains gracefully: the listener closes first so new dials are
+// refused, in-flight statements run to completion, idle connections close
+// immediately, and only after the deadline passes are the stragglers'
+// sockets force-closed. A panic inside one connection's statement is
+// contained to that connection — it answers with an Error frame, closes,
+// and the rest of the server keeps serving.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"globaldb"
+	"globaldb/internal/stats"
+)
+
+// DefaultBatchRows is how many rows the server packs into one RowBatch
+// frame before flushing, absent an Options override.
+const DefaultBatchRows = 128
+
+// Options tunes a Server.
+type Options struct {
+	// Region is the home region for sessions whose handshake names none.
+	// Empty falls back to the cluster's first region.
+	Region string
+	// BatchRows is the row-batch flush size; 0 means DefaultBatchRows.
+	BatchRows int
+}
+
+// Server serves the wire protocol over TCP for one cluster.
+type Server struct {
+	db       *globaldb.DB
+	opts     Options
+	counters stats.ServerCounters
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	drainCh  chan struct{} // closed once Shutdown begins
+
+	wg sync.WaitGroup // accept loop + connection goroutines
+}
+
+// New wires a server to an open cluster. Call Start or Serve to listen.
+func New(db *globaldb.DB, opts Options) *Server {
+	if opts.BatchRows <= 0 {
+		opts.BatchRows = DefaultBatchRows
+	}
+	return &Server{
+		db:      db,
+		opts:    opts,
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+	}
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// in the background. The listen address is available through Addr.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lis = lis // visible to Addr before the accept loop spins up
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.Serve(lis)
+	}()
+	return nil
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It returns
+// nil on a drain-initiated stop and the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: already shut down")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.drainCh:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.counters.ConnOpened()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(nc)
+			s.mu.Lock()
+			delete(s.conns, nc)
+			s.mu.Unlock()
+			s.counters.ConnClosed()
+		}()
+	}
+}
+
+// Addr returns the listen address, or nil before Start/Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Stats snapshots the server's connection and statement counters.
+func (s *Server) Stats() stats.ServerSnapshot { return s.counters.Snapshot() }
+
+// Shutdown drains the server: the listener closes (new dials are refused),
+// idle connections close, in-flight statements finish and then their
+// connections close. If ctx expires first, the remaining connections'
+// sockets are force-closed; Shutdown still waits for their goroutines to
+// unwind before returning ctx's error. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+		if s.lis != nil {
+			s.lis.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
