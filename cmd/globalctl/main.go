@@ -12,6 +12,7 @@
 //	togclock | togtm               live transition
 //	rcp                            show the replica consistency point
 //	stats                          per-CN counters
+//	stats <host:port>              live snapshot from a globaldb-server
 //	quit
 package main
 
@@ -22,8 +23,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"globaldb"
+	"globaldb/driver"
 )
 
 const tableName = "kv"
@@ -78,7 +81,7 @@ func execute(ctx context.Context, db *globaldb.DB, fields []string) error {
 	switch fields[0] {
 	case "help":
 		fmt.Println("put <region> <id> <value> | get <region> <id> | rget <region> <id> |",
-			"scan <region> <id> | mode | togclock | togtm | rcp | stats |",
+			"scan <region> <id> | mode | togclock | togtm | rcp | stats [host:port] |",
 			"placement | advise | move <shard> <region> | quit")
 	case "quit", "exit":
 		return errQuit
@@ -121,6 +124,12 @@ func execute(ctx context.Context, db *globaldb.DB, fields []string) error {
 		}
 		fmt.Printf("shard %d primary now in %s\n", shard, fields[2])
 	case "stats":
+		// With an address, ask a running globaldb-server for its live
+		// counters and statement latency quantiles over the wire; bare
+		// `stats` prints this process's per-CN counters.
+		if len(fields) >= 2 {
+			return remoteStats(ctx, fields[1])
+		}
 		for _, cn := range db.Cluster().CNs() {
 			fmt.Printf("%-16s %+v\n", cn.Name(), cn.Stats())
 		}
@@ -197,6 +206,38 @@ func execute(ctx context.Context, db *globaldb.DB, fields []string) error {
 		fmt.Printf("%d row(s)\n", len(rows))
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+	return nil
+}
+
+// remoteStats dials a globaldb-server and prints the Stats admin frame:
+// lifetime counters, the in-flight gauge, and per-statement-type latency
+// quantiles from the server's histograms.
+func remoteStats(ctx context.Context, addr string) error {
+	cs, err := driver.Dial(ctx, addr, driver.Config{})
+	if err != nil {
+		return err
+	}
+	defer cs.Close()
+	st, err := cs.ServerStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s\n", addr)
+	fmt.Printf("  connections: accepted=%d active=%d\n", st.Accepted, st.Active)
+	fmt.Printf("  statements:  total=%d in-flight=%d canceled=%d panics=%d rows-streamed=%d\n",
+		st.Statements, st.InFlight, st.Canceled, st.Panics, st.RowsStreamed)
+	if len(st.Latencies) > 0 {
+		fmt.Println("  latency by statement type:")
+		for _, l := range st.Latencies {
+			mean := time.Duration(0)
+			if l.Count > 0 {
+				mean = time.Duration(l.SumNanos / l.Count)
+			}
+			fmt.Printf("    %-8s n=%-7d mean=%-10v p50=%-10v p95=%-10v p99=%v\n",
+				l.Type, l.Count, mean.Round(time.Microsecond),
+				time.Duration(l.P50Nanos), time.Duration(l.P95Nanos), time.Duration(l.P99Nanos))
+		}
 	}
 	return nil
 }

@@ -70,6 +70,9 @@ type shellStmt interface {
 type shellBackend interface {
 	ExecScript(ctx context.Context, sql string) (*gsql.Result, error)
 	Prepare(ctx context.Context, sql string) (shellStmt, error)
+	// SetTrace toggles per-statement span tracing; it reports false when
+	// the backend cannot trace (traces do not cross the wire protocol).
+	SetTrace(on bool) bool
 }
 
 // localBackend adapts an in-process gsql session.
@@ -81,6 +84,10 @@ func (b localBackend) ExecScript(ctx context.Context, sql string) (*gsql.Result,
 func (b localBackend) Prepare(ctx context.Context, sql string) (shellStmt, error) {
 	return b.sess.Prepare(ctx, sql)
 }
+func (b localBackend) SetTrace(on bool) bool {
+	b.sess.SetTrace(on)
+	return true
+}
 
 // netBackend adapts a wire-protocol client session.
 type netBackend struct{ sess *driver.ClientSession }
@@ -91,6 +98,7 @@ func (b netBackend) ExecScript(ctx context.Context, sql string) (*gsql.Result, e
 func (b netBackend) Prepare(ctx context.Context, sql string) (shellStmt, error) {
 	return b.sess.Prepare(ctx, sql)
 }
+func (b netBackend) SetTrace(bool) bool { return false }
 
 func main() {
 	topology := flag.String("topology", "three-city", "cluster topology: three-city or one-region")
@@ -160,7 +168,8 @@ func main() {
 	}
 
 	fmt.Println(`Statements end with ';'. Type \q to quit, \explain <select> to show the DN/CN plan split,` + "\n" +
-		`\prepare <name> <stmt with ? placeholders> then \exec <name> <args...> for prepared statements.`)
+		`\prepare <name> <stmt with ? placeholders> then \exec <name> <args...> for prepared statements,` + "\n" +
+		`\trace to toggle per-statement span tracing, EXPLAIN ANALYZE <select> for a one-shot trace.`)
 
 	runREPL(ctx, backend, home, os.Stdin, os.Stdout)
 	fmt.Println()
@@ -183,14 +192,32 @@ func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration) {
 	// The two counter lines share one gate so they always appear as a
 	// pair: the per-layer row counters, then WAN latency observability —
 	// page RPCs issued, pages already prefetched when the executor asked
-	// for them (round trips hidden behind consumption), and the total time
-	// actually spent blocked on the network. An empty scan (zero storage
-	// rows) still pays at least one page RPC and reports it.
+	// for them (round trips hidden behind consumption) with the hit rate,
+	// and the total time actually spent blocked on the network as a share
+	// of the statement's wall time. An empty scan (zero storage rows)
+	// still pays at least one page RPC and reports it.
 	if sc := res.Scan; sc.StorageRows > 0 || sc.PagesFetched > 0 {
 		fmt.Fprintf(w, "scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d\n",
 			sc.StorageRows, sc.DNFilteredRows, sc.WANRows)
-		fmt.Fprintf(w, "wan: pages=%d, prefetch-hits=%d, wait=%v\n",
-			sc.PagesFetched, sc.PrefetchHits, sc.WANWait.Round(time.Microsecond))
+		hitRate := 0.0
+		if sc.PagesFetched > 0 {
+			hitRate = 100 * float64(sc.PrefetchHits) / float64(sc.PagesFetched)
+		}
+		waitPct := 0.0
+		if elapsed > 0 {
+			waitPct = 100 * float64(sc.WANWait) / float64(elapsed)
+			if waitPct > 100 {
+				waitPct = 100
+			}
+		}
+		fmt.Fprintf(w, "wan: pages=%d, prefetch-hits=%d (%.0f%% hit rate), wait=%v (%.0f%% of wall)\n",
+			sc.PagesFetched, sc.PrefetchHits, hitRate, sc.WANWait.Round(time.Microsecond), waitPct)
+	}
+	if len(res.Trace) > 0 {
+		fmt.Fprintln(w, "trace:")
+		for _, line := range res.Trace {
+			fmt.Fprintln(w, "  "+line)
+		}
 	}
 }
 
@@ -263,6 +290,7 @@ func parseExecArgs(args []string) []any {
 // main so tests can script a session and assert on its output.
 func runREPL(ctx context.Context, backend shellBackend, home string, in io.Reader, out io.Writer) {
 	prepared := map[string]shellStmt{}
+	tracing := false
 
 	runScript := func(script string) {
 		start := time.Now()
@@ -290,6 +318,22 @@ func runREPL(ctx context.Context, backend shellBackend, home string, in io.Reade
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
 			break
+		}
+		// \trace toggles per-statement span tracing (local sessions only —
+		// traces do not cross the wire protocol).
+		if buf.Len() == 0 && trimmed == `\trace` {
+			if !backend.SetTrace(!tracing) {
+				fmt.Fprintln(out, "trace: not supported over a network connection")
+			} else {
+				tracing = !tracing
+				if tracing {
+					fmt.Fprintln(out, "trace: on")
+				} else {
+					fmt.Fprintln(out, "trace: off")
+				}
+			}
+			prompt()
+			continue
 		}
 		// \explain <stmt> runs immediately as EXPLAIN, no terminator needed.
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\explain`) {

@@ -68,6 +68,11 @@ SELECT * FROM kv WHERE v >= 30;
 			if !strings.Contains(line, "prefetch-hits=") || !strings.Contains(line, "wait=") {
 				t.Fatalf("malformed wan observability line: %q", line)
 			}
+			// The line also attributes the WAN cost: prefetch hit rate and
+			// blocked-on-network time as a share of statement wall time.
+			if !strings.Contains(line, "% hit rate)") || !strings.Contains(line, "% of wall)") {
+				t.Fatalf("wan line missing hit-rate / wall-share attribution: %q", line)
+			}
 		}
 	}
 	// One ad-hoc SELECT plus two successful \exec runs (each reads 5
@@ -144,6 +149,58 @@ SELECT v FROM kv WHERE k >= 2;
 		if !strings.Contains(got, want) {
 			t.Fatalf("network shell output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestShellTrace toggles \trace on a local session and requires the next
+// statement to print a span tree, then verifies toggling off stops it.
+func TestShellTrace(t *testing.T) {
+	script := `CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY (k)) SHARD BY k;
+INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30);
+\trace
+SELECT * FROM kv WHERE v >= 20;
+\trace
+SELECT * FROM kv WHERE v >= 20;
+\q
+`
+	out := runShell(t, script)
+	if !strings.Contains(out, "trace: on") || !strings.Contains(out, "trace: off") {
+		t.Fatalf("missing \\trace toggle confirmations:\n%s", out)
+	}
+	traced := strings.Count(out, "trace:\n")
+	if traced != 1 {
+		t.Fatalf("span trees printed = %d, want exactly 1 (second SELECT ran untraced)\noutput:\n%s", traced, out)
+	}
+	for _, span := range []string{"select", "plan", "execute", "scan-page"} {
+		if !strings.Contains(out, span) {
+			t.Fatalf("trace output missing span %q:\n%s", span, out)
+		}
+	}
+}
+
+// TestShellTraceOverNetwork pins that \trace against a wire-protocol
+// backend reports itself unsupported instead of silently doing nothing.
+func TestShellTraceOverNetwork(t *testing.T) {
+	db := openShellCluster(t)
+	srv := server.New(db, server.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	ctx := context.Background()
+	cs, err := driver.Dial(ctx, srv.Addr().String(), driver.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	var out strings.Builder
+	runREPL(ctx, netBackend{cs}, cs.Region(), strings.NewReader("\\trace\n\\q\n"), &out)
+	if !strings.Contains(out.String(), "not supported over a network connection") {
+		t.Fatalf("expected unsupported notice for \\trace over the wire:\n%s", out.String())
 	}
 }
 

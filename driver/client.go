@@ -62,6 +62,12 @@ func (s *ClientSession) Prepare(ctx context.Context, sql string) (*ClientStmt, e
 	return &ClientStmt{sess: s, name: name, numParams: n}, nil
 }
 
+// ServerStats fetches the server's live counters and per-statement-type
+// latency summaries over the admin Stats frame.
+func (s *ClientSession) ServerStats() (*wire.StatsResult, error) {
+	return roundTrip[*wire.StatsResult](s.wc, &wire.Stats{})
+}
+
 // Region reports where the server homed the session (from the handshake).
 func (s *ClientSession) Region() string { return s.wc.region }
 

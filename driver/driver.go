@@ -239,3 +239,8 @@ func (c *NetConnector) Driver() sqldriver.Driver { return Driver{} }
 
 // Close shuts the connection pool down; sql.DB.Close calls it.
 func (c *NetConnector) Close() error { return c.pool.Close() }
+
+// PoolStats snapshots the connector's pool: in-use/idle occupancy plus
+// lifetime wait and health-check-failure counts. The same figures feed
+// the driver_pool_* gauges on the process-wide metrics registry.
+func (c *NetConnector) PoolStats() PoolStats { return c.pool.Stats() }

@@ -4,11 +4,24 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"globaldb/internal/obs"
 )
 
 // DefaultMaxConns bounds a TCP connector's pool when the DSN names no
 // maxconns.
 const DefaultMaxConns = 64
+
+// Pool occupancy exported on obs.Default. Multiple pools in one process
+// fold into the same gauges; each pool publishes deltas under its own
+// lock so the totals stay exact.
+var (
+	poolInUse       = obs.Default.Gauge("driver_pool_in_use")
+	poolIdle        = obs.Default.Gauge("driver_pool_idle")
+	poolWaits       = obs.Default.Counter("driver_pool_wait_total")
+	poolHealthFails = obs.Default.Counter("driver_pool_health_check_failures_total")
+)
 
 // connPool is the driver's bounded TCP connection pool. database/sql pools
 // its own driver.Conns, but its limits are per *sql.DB and its pool knows
@@ -28,6 +41,57 @@ type connPool struct {
 	numOpen int           // dialed and not yet closed (checked out + idle)
 	waiters []chan *wireClient
 	closed  bool
+
+	// pubInUse/pubIdle are the occupancy figures last published to the
+	// shared obs gauges; publishLocked Adds the delta so several pools
+	// aggregate correctly.
+	pubInUse, pubIdle int64
+
+	waits       atomic.Int64 // checkouts that had to queue for a slot
+	healthFails atomic.Int64 // checkouts that discarded an unhealthy conn
+}
+
+// publishLocked pushes the pool's current occupancy to the shared obs
+// gauges as a delta against what it last published. Callers hold p.mu.
+func (p *connPool) publishLocked() {
+	inUse := int64(p.numOpen - len(p.idle))
+	idle := int64(len(p.idle))
+	poolInUse.Add(inUse - p.pubInUse)
+	poolIdle.Add(idle - p.pubIdle)
+	p.pubInUse, p.pubIdle = inUse, idle
+}
+
+// observeHealthFail counts one discarded-unhealthy-connection event.
+func (p *connPool) observeHealthFail() {
+	p.healthFails.Add(1)
+	poolHealthFails.Inc()
+}
+
+// PoolStats is a point-in-time read of a pool's occupancy and lifetime
+// contention counters.
+type PoolStats struct {
+	// InUse counts connections currently checked out; Idle counts parked
+	// connections ready for reuse.
+	InUse, Idle int
+	// WaitCount is how many checkouts found the pool at maxOpen and had
+	// to queue for a free slot.
+	WaitCount int64
+	// HealthCheckFailures is how many checkouts discarded a connection
+	// whose socket failed the health probe.
+	HealthCheckFailures int64
+}
+
+// Stats snapshots the pool.
+func (p *connPool) Stats() PoolStats {
+	p.mu.Lock()
+	open, idle := p.numOpen, len(p.idle)
+	p.mu.Unlock()
+	return PoolStats{
+		InUse:               open - idle,
+		Idle:                idle,
+		WaitCount:           p.waits.Load(),
+		HealthCheckFailures: p.healthFails.Load(),
+	}
 }
 
 var errPoolClosed = errors.New("globaldb driver: connection pool is closed")
@@ -56,16 +120,19 @@ func (p *connPool) get(ctx context.Context) (*wireClient, error) {
 		if n := len(p.idle); n > 0 {
 			wc := p.idle[n-1]
 			p.idle = p.idle[:n-1]
+			p.publishLocked()
 			p.mu.Unlock()
 			if wc.healthy() {
 				return wc, nil
 			}
+			p.observeHealthFail()
 			wc.close()
 			p.release()
 			continue
 		}
 		if p.numOpen < p.maxOpen {
 			p.numOpen++
+			p.publishLocked()
 			p.mu.Unlock()
 			wc, err := dialWire(ctx, p.addr, p.cfg)
 			if err != nil {
@@ -76,6 +143,8 @@ func (p *connPool) get(ctx context.Context) (*wireClient, error) {
 		}
 		ch := make(chan *wireClient, 1)
 		p.waiters = append(p.waiters, ch)
+		p.waits.Add(1)
+		poolWaits.Inc()
 		p.mu.Unlock()
 		select {
 		case wc := <-ch:
@@ -85,6 +154,7 @@ func (p *connPool) get(ctx context.Context) (*wireClient, error) {
 			if wc.healthy() {
 				return wc, nil
 			}
+			p.observeHealthFail()
 			wc.close()
 			p.release()
 			continue
@@ -133,6 +203,7 @@ func (p *connPool) put(wc *wireClient) {
 	p.mu.Lock()
 	if p.closed {
 		p.numOpen--
+		p.publishLocked()
 		p.mu.Unlock()
 		wc.close()
 		return
@@ -146,10 +217,12 @@ func (p *connPool) put(wc *wireClient) {
 	}
 	if len(p.idle) < p.maxIdle {
 		p.idle = append(p.idle, wc)
+		p.publishLocked()
 		p.mu.Unlock()
 		return
 	}
 	p.numOpen--
+	p.publishLocked()
 	p.mu.Unlock()
 	wc.close()
 }
@@ -159,6 +232,7 @@ func (p *connPool) put(wc *wireClient) {
 func (p *connPool) release() {
 	p.mu.Lock()
 	p.numOpen--
+	p.publishLocked()
 	p.mu.Unlock()
 	p.wakeOne()
 }
@@ -190,6 +264,7 @@ func (p *connPool) Close() error {
 	waiters := p.waiters
 	p.waiters = nil
 	p.numOpen -= len(idle)
+	p.publishLocked()
 	p.mu.Unlock()
 	for _, wc := range idle {
 		wc.close()

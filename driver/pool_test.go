@@ -140,6 +140,89 @@ func TestPoolHealthCheck(t *testing.T) {
 	}
 }
 
+// TestPoolStatsGauges pins the pool's exported observability: PoolStats
+// tracks in-use/idle occupancy and lifetime wait and health-check-failure
+// counts, and the same movements reach the process-wide driver_pool_*
+// gauges as deltas (so several pools aggregate exactly).
+func TestPoolStatsGauges(t *testing.T) {
+	_, srv, addr := startServer(t)
+	nc := NewNetConnector(addr, Config{MaxConns: 2})
+	defer nc.Close()
+
+	baseInUse := poolInUse.Value()
+	baseIdle := poolIdle.Value()
+	baseWaits := poolWaits.Value()
+	baseHealth := poolHealthFails.Value()
+
+	c1, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := nc.Connect(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := nc.PoolStats(); st.InUse != 2 || st.Idle != 0 {
+		t.Fatalf("PoolStats after 2 checkouts: %+v", st)
+	}
+	if got := poolInUse.Value() - baseInUse; got != 2 {
+		t.Fatalf("driver_pool_in_use delta = %d, want 2", got)
+	}
+
+	// A blocked checkout ticks the wait counter once it is enqueued.
+	got := make(chan error, 1)
+	go func() {
+		c3, err := nc.Connect(bg)
+		if err == nil {
+			c3.Close()
+		}
+		got <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for nc.PoolStats().WaitCount == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocked checkout never counted as a wait")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c1.Close()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if w := poolWaits.Value() - baseWaits; w != 1 {
+		t.Fatalf("driver_pool_wait_total delta = %d, want 1", w)
+	}
+
+	c2.Close()
+	if st := nc.PoolStats(); st.InUse != 0 || st.Idle != 2 {
+		t.Fatalf("PoolStats after checkins: %+v", st)
+	}
+	if got := poolIdle.Value() - baseIdle; got != 2 {
+		t.Fatalf("driver_pool_idle delta = %d, want 2", got)
+	}
+
+	// Kill the server: the next checkout health-checks the parked
+	// connections, finds them dead, and counts the failures.
+	ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Connect(bg); err == nil {
+		t.Fatal("checkout against a dead server must fail")
+	}
+	if st := nc.PoolStats(); st.HealthCheckFailures == 0 {
+		t.Fatalf("health-check failures not counted: %+v", st)
+	}
+	if h := poolHealthFails.Value() - baseHealth; h == 0 {
+		t.Fatal("driver_pool_health_check_failures_total did not move")
+	}
+	// The discarded connections left the gauges balanced.
+	if st := nc.PoolStats(); st.InUse != 0 || st.Idle != 0 {
+		t.Fatalf("gauges unbalanced after discard: %+v", st)
+	}
+}
+
 // TestTCPDSN drives the tcp:// DSN end to end: sql.Open dials the server,
 // the handshake applies region and staleness, and pool options parse.
 func TestTCPDSN(t *testing.T) {

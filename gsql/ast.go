@@ -516,10 +516,18 @@ type Show struct {
 func (*Show) stmt()             {}
 func (sh *Show) String() string { return "SHOW " + sh.What }
 
-// Explain wraps a SELECT and returns its plan instead of running it.
+// Explain wraps a SELECT and returns its plan instead of running it. With
+// Analyze set (EXPLAIN ANALYZE) the query also executes, and the output
+// appends the measured span tree and scan counters below the plan.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
-func (*Explain) stmt()            {}
-func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (*Explain) stmt() {}
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"globaldb"
+	"globaldb/internal/obs"
 	"globaldb/internal/table"
 )
 
@@ -28,6 +29,10 @@ type Result struct {
 	// partial aggregation), and rows shipped over the WAN — the pushdown
 	// win, observable per query.
 	Scan globaldb.ScanStats
+	// Trace is the rendered span tree of this statement's execution, set
+	// when session tracing is on (SetTrace / the shell's \trace toggle).
+	// Local to the session: it does not cross the wire protocol.
+	Trace []string
 }
 
 // stalenessMode selects where out-of-transaction SELECTs read.
@@ -57,8 +62,23 @@ type Session struct {
 	// on by default.
 	pushdownOff bool
 
+	// trace, when set, traces every statement and attaches the rendered
+	// span tree to its Result. curTrace is the statement currently being
+	// traced (also set by EXPLAIN ANALYZE independently of trace).
+	trace    bool
+	curTrace *obs.Trace
+
 	plans *planCache // statement text -> parsed statement + SELECT plan
 }
+
+// SetTrace toggles per-statement span tracing for the session. While on,
+// every statement's Result carries the rendered span tree in Trace —
+// parse-free (statements arrive parsed), but covering plan, bind, execute,
+// the per-shard scan-page RPCs with DN execute time, and commit fan-out.
+func (s *Session) SetTrace(on bool) { s.trace = on }
+
+// TraceEnabled reports whether SetTrace tracing is on.
+func (s *Session) TraceEnabled() bool { return s.trace }
 
 // Connect opens a SQL session homed at the named region's computing node.
 // Out-of-transaction SELECTs read shard primaries until SET STALENESS (or a
@@ -145,8 +165,36 @@ func (s *Session) ExecStmt(ctx context.Context, stmt Statement, args ...any) (*R
 }
 
 // dispatch runs one statement. plan, when non-nil, is the cached plan of a
-// SELECT statement; a nil plan makes SELECT plan on the spot.
+// SELECT statement; a nil plan makes SELECT plan on the spot. With session
+// tracing on it brackets the statement in a fresh trace and attaches the
+// rendered span tree to the result.
 func (s *Session) dispatch(ctx context.Context, stmt Statement, plan *selectPlan, params []any) (*Result, error) {
+	if !s.trace || s.curTrace != nil {
+		return s.dispatchStmt(ctx, stmt, plan, params)
+	}
+	tr := obs.NewTrace(traceName(stmt))
+	s.curTrace = tr
+	// The root span rides the context so statements without their own span
+	// plumbing (writes, DDL) still attach commit/2PC fan-out spans.
+	res, err := s.dispatchStmt(obs.WithSpan(ctx, tr.Root()), stmt, plan, params)
+	s.curTrace = nil
+	tr.Root().End()
+	if err == nil && res != nil {
+		res.Trace = tr.Render()
+	}
+	return res, err
+}
+
+// traceName labels a trace root by its statement kind.
+func traceName(stmt Statement) string {
+	text := stmt.String()
+	if i := strings.IndexByte(text, ' '); i > 0 {
+		text = text[:i]
+	}
+	return strings.ToLower(text)
+}
+
+func (s *Session) dispatchStmt(ctx context.Context, stmt Statement, plan *selectPlan, params []any) (*Result, error) {
 	switch st := stmt.(type) {
 	case *Select:
 		return s.execSelect(ctx, st, plan, params)
@@ -206,13 +254,13 @@ func (s *Session) dispatch(ctx context.Context, stmt Statement, plan *selectPlan
 	case *Show:
 		return s.execShow(st)
 	case *Explain:
-		return s.execExplain(st)
+		return s.execExplain(ctx, st, params)
 	default:
 		return nil, fmt.Errorf("gsql: unhandled statement %T", stmt)
 	}
 }
 
-func (s *Session) execExplain(e *Explain) (*Result, error) {
+func (s *Session) execExplain(ctx context.Context, e *Explain, params []any) (*Result, error) {
 	sel := e.Stmt.(*Select)
 	p, err := planSelect(s, sel)
 	if err != nil {
@@ -222,7 +270,52 @@ func (s *Session) execExplain(e *Explain) (*Result, error) {
 	for _, line := range p.describe() {
 		res.Rows = append(res.Rows, []any{line})
 	}
+	if !e.Analyze {
+		return res, nil
+	}
+	// ANALYZE: actually execute the query under a trace, then append the
+	// span tree and the per-layer counters below the plan. The rows the
+	// query produced are discarded — the plan column is the output.
+	tr := obs.NewTrace("execute")
+	prev := s.curTrace
+	s.curTrace = tr
+	run, err := s.execSelect(ctx, sel, p, params)
+	s.curTrace = prev
+	if err != nil {
+		return nil, err
+	}
+	tr.Root().End()
+	res.Rows = append(res.Rows, []any{""})
+	for _, line := range tr.Render() {
+		res.Rows = append(res.Rows, []any{line})
+	}
+	for _, line := range scanSummary(run.Scan, tr.Root().Duration()) {
+		res.Rows = append(res.Rows, []any{line})
+	}
+	res.OnReplicas = run.OnReplicas
+	res.Scan = run.Scan
 	return res, nil
+}
+
+// scanSummary renders a query's scan counters plus the prefetch-wait vs
+// consume-time attribution against the measured wall time.
+func scanSummary(sc globaldb.ScanStats, wall time.Duration) []string {
+	if sc.StorageRows == 0 && sc.PagesFetched == 0 {
+		return nil
+	}
+	lines := []string{fmt.Sprintf("scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d",
+		sc.StorageRows, sc.DNFilteredRows, sc.WANRows)}
+	waitPct := 0.0
+	if wall > 0 {
+		waitPct = 100 * float64(sc.WANWait) / float64(wall)
+		if waitPct > 100 {
+			waitPct = 100
+		}
+	}
+	lines = append(lines, fmt.Sprintf(
+		"wan: pages=%d, prefetch-hits=%d, wait=%v (%.0f%% of wall; rest overlapped with consumption)",
+		sc.PagesFetched, sc.PrefetchHits, sc.WANWait.Round(time.Microsecond), waitPct))
+	return lines
 }
 
 func (s *Session) execShow(st *Show) (*Result, error) {
@@ -255,25 +348,41 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 // STALENESS or a per-statement AS OF STALENESS routes it to asynchronous
 // replicas at the RCP (read-on-replica).
 func (s *Session) execSelect(ctx context.Context, sel *Select, plan *selectPlan, params []any) (*Result, error) {
+	// root is nil when tracing is off; every span call below is then a
+	// no-op pointer compare, keeping the hot path allocation-free.
+	root := s.curTrace.Root()
+	planSp := root.Child("plan")
 	if plan == nil {
 		var err error
 		if plan, err = planSelect(s, sel); err != nil {
 			return nil, err
 		}
+	} else {
+		planSp.Tag("cached")
 	}
+	planSp.End()
+	bindSp := root.Child("bind")
 	bp, err := plan.bind(params)
+	bindSp.End()
 	if err != nil {
 		return nil, err
 	}
 	bp.noPushdown = s.pushdownOff
+	execSp := root.Child("execute")
+	// The span rides the context into the scan cursors' prefetch
+	// goroutines (per-shard scan-page spans) and the autocommit
+	// transaction's commit fan-out.
+	ctx = obs.WithSpan(ctx, execSp)
 	r, onReplicas, finish, err := s.openReadContext(ctx, sel)
 	if err != nil {
+		execSp.End()
 		return nil, err
 	}
 	res, err := execSelect(ctx, r, bp)
 	if ferr := finish(err == nil); err == nil {
 		err = ferr
 	}
+	execSp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -187,6 +187,7 @@ func (p *parser) parseStatement() (Statement, error) {
 			return p.parseShow()
 		case "EXPLAIN":
 			p.next()
+			analyze := p.acceptKw("ANALYZE")
 			inner, err := p.parseStatement()
 			if err != nil {
 				return nil, err
@@ -194,7 +195,7 @@ func (p *parser) parseStatement() (Statement, error) {
 			if _, ok := inner.(*Select); !ok {
 				return nil, fmt.Errorf("gsql: EXPLAIN supports SELECT only")
 			}
-			return &Explain{Stmt: inner}, nil
+			return &Explain{Stmt: inner, Analyze: analyze}, nil
 		}
 	}
 	return nil, p.errHere("expected a statement")

@@ -107,7 +107,7 @@ var keywords = map[string]bool{
 	"BYTES": true, "BLOB": true, "BOOL": true, "BOOLEAN": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"DISTINCT": true, "OF": true, "OFFSET": true, "REGIONS": true, "EXPLAIN": true,
-	"DECIMAL": true, "NUMERIC": true, "TIMESTAMP": true,
+	"DECIMAL": true, "NUMERIC": true, "TIMESTAMP": true, "ANALYZE": true,
 }
 
 // lexer splits a SQL string into tokens.

@@ -1,0 +1,131 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// analyzeText flattens an EXPLAIN ANALYZE result's plan column.
+func analyzeText(t *testing.T, res *Result) string {
+	t.Helper()
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("columns = %v, want [plan]", res.Columns)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].(string))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestExplainAnalyzeSpanTree is the acceptance check for query tracing: on
+// a cross-region filtered scan, EXPLAIN ANALYZE must print the plan, then
+// a span tree with per-shard scan-RPC spans (tagged shard and node,
+// carrying DN-side execute time), then the counter summary attributing
+// WAN wait against wall time.
+func TestExplainAnalyzeSpanTree(t *testing.T) {
+	s := openSQL(t)
+	loadOrders(t, s)
+
+	// No shard-key predicate: the scan fans out to every shard, whose
+	// primaries are spread across the three regions.
+	res := exec(t, s, "EXPLAIN ANALYZE SELECT * FROM orders WHERE amount >= 10")
+	out := analyzeText(t, res)
+
+	for _, want := range []string{
+		"plan [cached]", // execExplain hands its plan to the traced run
+		"bind",
+		"execute",
+		"scan-page",
+		"node=",
+		"(dn-exec ", // DN-side execute time carried back in the page RPC
+		"scan: storage=6 rows",
+		"wan: pages=",
+		"% of wall; rest overlapped with consumption)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+	// Every shard's page RPC shows up as its own tagged span.
+	for shard := 0; shard < 4; shard++ {
+		if !strings.Contains(out, fmt.Sprintf("shard=%d ", shard)) {
+			t.Fatalf("no scan-page span for shard %d:\n%s", shard, out)
+		}
+	}
+	// The analyzed run's counters also flow into the Result like a normal
+	// SELECT's would.
+	if res.Scan.StorageRows != 6 || res.Scan.WANRows != 5 {
+		t.Fatalf("scan counters = %+v, want storage=6 wan=5", res.Scan)
+	}
+}
+
+// TestExplainWithoutAnalyzeDoesNotExecute pins that plain EXPLAIN still
+// only plans: no span tree, no counters.
+func TestExplainWithoutAnalyzeDoesNotExecute(t *testing.T) {
+	s := openSQL(t)
+	loadOrders(t, s)
+	res := exec(t, s, "EXPLAIN SELECT * FROM orders WHERE amount >= 10")
+	out := analyzeText(t, res)
+	if strings.Contains(out, "scan-page") || strings.Contains(out, "scan: storage=") {
+		t.Fatalf("EXPLAIN without ANALYZE executed the query:\n%s", out)
+	}
+	if res.Scan.StorageRows != 0 {
+		t.Fatalf("EXPLAIN populated scan counters: %+v", res.Scan)
+	}
+}
+
+// TestSessionTraceAttachesToResults covers SetTrace: while on, every
+// statement's Result carries a rendered span tree — including commit
+// spans on autocommit writes — and turning it off stops the attachment.
+func TestSessionTraceAttachesToResults(t *testing.T) {
+	s := openSQL(t)
+	loadOrders(t, s)
+
+	s.SetTrace(true)
+	if !s.TraceEnabled() {
+		t.Fatal("TraceEnabled() = false after SetTrace(true)")
+	}
+	ins := exec(t, s, "INSERT INTO orders VALUES (4, 1, 14, 1.0, 'open')")
+	insTrace := strings.Join(ins.Trace, "\n")
+	if !strings.Contains(insTrace, "insert") || !strings.Contains(insTrace, "commit") {
+		t.Fatalf("traced INSERT missing root or commit span:\n%s", insTrace)
+	}
+	// A read-only autocommit transaction touches no shards, so no commit
+	// span is expected on the SELECT.
+	sel := exec(t, s, "SELECT * FROM orders WHERE amount >= 10")
+	selTrace := strings.Join(sel.Trace, "\n")
+	for _, want := range []string{"select", "plan", "bind", "execute", "scan-page"} {
+		if !strings.Contains(selTrace, want) {
+			t.Fatalf("traced SELECT missing span %q:\n%s", want, selTrace)
+		}
+	}
+
+	s.SetTrace(false)
+	if res := exec(t, s, "SELECT * FROM orders WHERE amount >= 10"); len(res.Trace) != 0 {
+		t.Fatalf("trace attached while disabled:\n%v", res.Trace)
+	}
+}
+
+// TestTraceMultiShardCommit pins the 2PC fan-out spans: a traced explicit
+// transaction writing two shards renders prepare and commit child spans.
+func TestTraceMultiShardCommit(t *testing.T) {
+	s := openSQL(t)
+	loadOrders(t, s)
+	s.SetTrace(true)
+	exec(t, s, "BEGIN")
+	exec(t, s, "INSERT INTO orders VALUES (5, 1, 15, 2.0, 'open')")
+	exec(t, s, "INSERT INTO orders VALUES (6, 1, 16, 3.0, 'open')")
+	res := exec(t, s, "COMMIT")
+	trace := strings.Join(res.Trace, "\n")
+	if !strings.Contains(trace, "2pc") {
+		t.Skipf("writes landed on one shard; no 2PC fan-out to trace:\n%s", trace)
+	}
+	for _, want := range []string{"commit [2pc shards=", "2pc-prepare", "2pc-commit"} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("2PC trace missing %q:\n%s", want, trace)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"globaldb/internal/datanode"
+	"globaldb/internal/obs"
 	"globaldb/internal/placement"
 	"globaldb/internal/rcp"
 	"globaldb/internal/ror"
@@ -329,9 +330,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return nil // read-only: nothing to resolve
 	}
 
+	sp := obs.SpanFrom(ctx).Child("commit")
+	defer sp.End()
+
 	if len(shards) == 1 {
 		shard := shards[0]
 		node := t.cn.routing.Primary(shard)
+		sp.Tag("shard=%d node=%s", shard, node)
 		// PENDING COMMIT precedes the commit-timestamp fetch (Sec. IV-A).
 		if err := t.cn.client.Pending(ctx, node, t.id); err != nil {
 			t.abortShards(shards)
@@ -357,9 +362,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 
 	// Two-phase commit. Phase 1: prepare everywhere in parallel.
-	if err := t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
+	sp.Tag("2pc shards=%d", len(shards))
+	prep := sp.Child("2pc-prepare")
+	err := t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
 		return t.cn.client.Prepare(ctx, node, t.id)
-	}); err != nil {
+	})
+	prep.End()
+	if err != nil {
 		t.abortPrepared(shards)
 		return fmt.Errorf("coordinator: prepare: %w", err)
 	}
@@ -372,7 +381,10 @@ func (t *Txn) Commit(ctx context.Context) error {
 	// outcome is decided: the resolution runs on a cleanup context immune
 	// to caller cancellation and retries until participants acknowledge —
 	// prepared tuples block readers until this completes (Sec. IV-A).
-	if err := t.resolvePrepared(shards, commitTS); err != nil {
+	res := sp.Child("2pc-commit")
+	err = t.resolvePrepared(shards, commitTS)
+	res.End()
+	if err != nil {
 		return fmt.Errorf("coordinator: commit prepared: %w", err)
 	}
 	if err := finish(ctx); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"globaldb/internal/datanode"
+	"globaldb/internal/obs"
 	"globaldb/internal/stats"
 	"globaldb/internal/storage/mvcc"
 )
@@ -403,7 +404,12 @@ func (t *Txn) ScanCursor(ctx context.Context, shard int, spec ScanSpec) *ScanCur
 			if tr := t.cn.placement; tr != nil {
 				tr.RecordRead(shard, t.cn.region)
 			}
-			resp, err := t.cn.client.ScanPageFrag(ctx, t.cn.routing.Primary(shard), from, spec.End, t.ts.Snap, remaining, page, spec.Frag, t.id)
+			node := t.cn.routing.Primary(shard)
+			rpc := obs.SpanFrom(ctx).Child("scan-page")
+			rpc.Tag("shard=%d node=%s", shard, node)
+			resp, err := t.cn.client.ScanPageFrag(ctx, node, from, spec.End, t.ts.Snap, remaining, page, spec.Frag, t.id)
+			rpc.AddDNExec(time.Duration(resp.ExecNanos))
+			rpc.End()
 			if err != nil {
 				return nil, nil, false, err
 			}
@@ -452,8 +458,11 @@ func (r *ROTxn) ScanCursor(ctx context.Context, shard int, spec ScanSpec) *ScanC
 				return nil, nil, false, err
 			}
 			t0 := time.Now()
+			rpc := obs.SpanFrom(ctx).Child("scan-page")
+			rpc.Tag("shard=%d node=%s", shard, node)
 			resp, err := r.cn.client.ScanPageFrag(ctx, node, from, spec.End, r.snap, remaining, page, spec.Frag, 0)
 			if err != nil && ctx.Err() != nil {
+				rpc.End()
 				// The cursor canceled this RPC (Close, or the consumer's
 				// context) — the normal end of an early-terminated prefetch,
 				// not a node failure. Don't poison the skyline tracker by
@@ -464,8 +473,12 @@ func (r *ROTxn) ScanCursor(ctx context.Context, shard int, spec ScanSpec) *ScanC
 			r.observe(node, replica, t0, err)
 			if err != nil && replica {
 				r.cn.primaryReads.Add(1)
-				resp, err = r.cn.client.ScanPageFrag(ctx, r.cn.routing.Primary(shard), from, spec.End, r.snap, remaining, page, spec.Frag, 0)
+				primary := r.cn.routing.Primary(shard)
+				rpc.Tag("shard=%d node=%s (replica %s failed)", shard, primary, node)
+				resp, err = r.cn.client.ScanPageFrag(ctx, primary, from, spec.End, r.snap, remaining, page, spec.Frag, 0)
 			}
+			rpc.AddDNExec(time.Duration(resp.ExecNanos))
+			rpc.End()
 			if err != nil {
 				return nil, nil, false, err
 			}

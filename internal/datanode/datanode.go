@@ -19,6 +19,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"globaldb/internal/netsim"
 	"globaldb/internal/redo"
@@ -111,6 +112,10 @@ type (
 		// coordinator can account rows filtered out at the data node
 		// (Examined - len(KVs)) without a second RPC.
 		Examined int
+		// ExecNanos is the node-side execution time for this page (MVCC
+		// scan plus fragment evaluation), carried back so the coordinator's
+		// tracer can split an RPC span into network vs remote-execute time.
+		ExecNanos int64
 	}
 
 	// PendingReq writes the PENDING COMMIT record before the commit
@@ -443,15 +448,19 @@ func (p *Primary) commit(ctx context.Context, txn uint64, commitTS ts.Timestamp,
 // fragment is attached, or DN-side fragment execution otherwise. Raw scans
 // report Examined = rows shipped (nothing is dropped node-side).
 func servePage(ctx context.Context, store *mvcc.Store, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+	t0 := time.Now()
 	if req.Frag != nil {
-		return execFragScanPage(ctx, store, req, reader)
+		resp, err := execFragScanPage(ctx, store, req, reader)
+		resp.ExecNanos = int64(time.Since(t0))
+		return resp, err
 	}
 	kvs, next, more, err := store.ScanPage(ctx, req.Start, req.End, req.SnapTS,
 		pageLimit(req.Limit, req.MaxPage), reader)
 	if err != nil {
 		return ScanPageResp{}, err
 	}
-	return ScanPageResp{KVs: kvs, Next: next, More: more, Examined: len(kvs)}, nil
+	return ScanPageResp{KVs: kvs, Next: next, More: more, Examined: len(kvs),
+		ExecNanos: int64(time.Since(t0))}, nil
 }
 
 func scanSize(kvs []mvcc.KV) int {

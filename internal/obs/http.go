@@ -1,0 +1,20 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the given registries, in order, as one
+// Prometheus text exposition document. cmd/globaldb-server mounts it on
+// the -metrics listener next to net/http/pprof.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if err := r.WriteProm(w); err != nil {
+				return
+			}
+		}
+	})
+}

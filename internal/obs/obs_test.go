@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket mapping: each observation lands in
+// the bucket whose range [2^(i-1), 2^i) ns contains it.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{time.Microsecond, 9},        // 1000ns, bits.Len64=10
+		{time.Millisecond, 19},       // 1e6 ns
+		{time.Second, 29},            // 1e9 ns
+		{512 * time.Millisecond, 28}, // exactly 2^29 ns? 512e6 < 2^29=536870912 → len=29 → 28
+		{time.Hour, 41},              // 3.6e12 ns
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantiles checks nearest-rank quantiles resolve to the
+// upper bound of the correct bucket.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast samples (~1µs), 9 medium (~1ms), 1 slow (~1s).
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	// p50 falls in the 1µs bucket (index 9, upper bound 2^10 ns).
+	if got, want := s.P50(), time.Duration(1<<10); got != want {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p95 lands among the 1ms samples (bucket 19, upper bound 2^20 ns).
+	if got, want := s.P95(), time.Duration(1<<20); got != want {
+		t.Errorf("p95 = %v, want %v", got, want)
+	}
+	// p99 is rank 99 — still the last 1ms sample.
+	if got, want := s.P99(), time.Duration(1<<20); got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	// The max sample pushes quantile 1.0 into the 1s bucket.
+	if got, want := s.Quantile(1.0), time.Duration(1<<30); got != want {
+		t.Errorf("q100 = %v, want %v", got, want)
+	}
+	if s.Mean() <= 0 {
+		t.Errorf("mean = %v, want > 0", s.Mean())
+	}
+}
+
+// TestHistSnapshotAddAssociative mirrors the ScanSnapshot.Add contract:
+// merging per-source snapshots must be associative and commutative, so
+// per-shard or per-server histograms can be folded in any grouping.
+func TestHistSnapshotAddAssociative(t *testing.T) {
+	mk := func(ds ...time.Duration) HistSnapshot {
+		var h Histogram
+		for _, d := range ds {
+			h.Observe(d)
+		}
+		return h.Snapshot()
+	}
+	a := mk(time.Microsecond, 3*time.Microsecond)
+	b := mk(time.Millisecond)
+	c := mk(50*time.Millisecond, 2*time.Second, 7)
+
+	left := a.Add(b).Add(c)
+	right := a.Add(b.Add(c))
+	if left != right {
+		t.Fatalf("Add not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+	if ab, ba := a.Add(b), b.Add(a); ab != ba {
+		t.Fatalf("Add not commutative: %+v vs %+v", ab, ba)
+	}
+	if left.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", left.Count)
+	}
+	var zero HistSnapshot
+	if a.Add(zero) != a {
+		t.Fatalf("zero snapshot is not the identity")
+	}
+}
+
+// TestHistogramConcurrent hammers Observe against Snapshot from many
+// goroutines; run under -race this proves the histogram needs no lock.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Concurrent snapshot readers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var inBuckets int64
+				for _, n := range s.Buckets {
+					inBuckets += n
+				}
+				// Bucket totals may run ahead of or behind the count
+				// field mid-update, but never go negative.
+				if inBuckets < 0 || s.Count < 0 {
+					t.Error("negative snapshot")
+					return
+				}
+				_ = s.P99()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(time.Duration((seed+1)*(j+1)) * time.Nanosecond)
+			}
+		}(i)
+	}
+	// Wait for writers (the first writers goroutines started after the
+	// readers); then stop readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Poll until all writes are visible, then stop the readers.
+		deadline := time.Now().Add(10 * time.Second)
+		for h.count.Load() < writers*perWriter && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var inBuckets int64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total = %d, count = %d", inBuckets, s.Count)
+	}
+}
+
+// TestRegistryGetOrCreate checks instruments are shared by name and
+// registry access is safe under concurrency.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same-name counters not shared")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same-name gauges not shared")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same-name histograms not shared")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d, want 0", got)
+	}
+	snaps := r.Histograms()
+	if snaps["lat"].Count != 1600 {
+		t.Fatalf("lat histogram count = %d, want 1600", snaps["lat"].Count)
+	}
+}
+
+// TestWriteProm pins the exposition format: TYPE headers, quantile
+// labels (merged into existing label sets), _count/_sum, sorted output.
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows_total").Add(42)
+	r.Gauge("inflight").Set(3)
+	r.Histogram(LabeledName("stmt_latency_seconds", "type", "select")).Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE inflight gauge\n",
+		"inflight 3\n",
+		"# TYPE rows_total counter\n",
+		"rows_total 42\n",
+		"# TYPE stmt_latency_seconds summary\n",
+		`stmt_latency_seconds{type="select",quantile="0.5"}`,
+		`stmt_latency_seconds{type="select",quantile="0.99"}`,
+		`stmt_latency_seconds_count{type="select"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanNilSafety proves every Span/Trace method is a no-op on nil —
+// the property that makes tracing free when disabled.
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	if tr.Root() != nil {
+		t.Fatal("nil trace root")
+	}
+	if tr.Render() != nil {
+		t.Fatal("nil trace render")
+	}
+	if sp.Child("x") != nil {
+		t.Fatal("nil span child")
+	}
+	sp.Tag("shard=%d", 1)
+	sp.AddDNExec(time.Second)
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span duration")
+	}
+	ctx := WithSpan(context.Background(), nil)
+	if SpanFrom(ctx) != nil {
+		t.Fatal("nil span round-tripped through context")
+	}
+}
+
+// TestTraceTree builds a small span tree (with concurrent children, as
+// the shard fan-out does) and checks the rendered shape.
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("execute")
+	root := tr.Root()
+	ctx := WithSpan(context.Background(), root)
+	if SpanFrom(ctx) != root {
+		t.Fatal("span did not round-trip through context")
+	}
+
+	plan := root.Child("plan")
+	plan.End()
+	var wg sync.WaitGroup
+	for shard := 0; shard < 3; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			rpc := SpanFrom(ctx).Child("scan-page")
+			rpc.Tag("shard=%d node=dn%d@region-a", shard, shard)
+			rpc.AddDNExec(time.Millisecond)
+			rpc.End()
+		}(shard)
+	}
+	wg.Wait()
+	root.End()
+
+	lines := tr.Render()
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.HasPrefix(lines[0], "execute") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"  plan", "scan-page [shard=1 node=dn1@region-a]", "dn-exec"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("render missing %q:\n%s", want, joined)
+		}
+	}
+	// Ended spans freeze their duration.
+	d := root.Duration()
+	time.Sleep(2 * time.Millisecond)
+	if root.Duration() != d {
+		t.Fatal("ended span duration drifted")
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a per-query span tree. A Trace is created by the session layer
+// when tracing is enabled (EXPLAIN ANALYZE or the shell's \trace toggle)
+// and threaded through the executor via context, so lower tiers — the
+// coordinator's per-shard scan loops, the 2PC commit path — attach child
+// spans without any signature changes. Every method on Trace and Span is
+// nil-receiver-safe: when tracing is off the context carries no span,
+// SpanFrom returns nil, and instrumented code pays one pointer compare.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace with a root span of the given name.
+func NewTrace(name string) *Trace {
+	return &Trace{root: newSpan(name)}
+}
+
+// Root returns the trace's root span, or nil for a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Span is one timed region of a query. Spans form a tree under the
+// trace root; children may be added concurrently (per-shard scan loops
+// run in parallel), so the child list is mutex-guarded.
+type Span struct {
+	name  string
+	tag   string // shard/node/region annotation, e.g. "shard=1 node=dn1@us-east"
+	start time.Time
+	dur   time.Duration // set by End; 0 while open
+
+	// dnExec accumulates DN-side execute time reported back in
+	// ScanPage responses, so the render can split an RPC span into
+	// network vs remote-execute time.
+	dnExec time.Duration
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a new child span under s. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Tag annotates the span (shard, node, region). No-op on nil.
+func (s *Span) Tag(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.tag = fmt.Sprintf(format, args...)
+}
+
+// AddDNExec accumulates DN-reported execute time onto the span.
+func (s *Span) AddDNExec(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dnExec += d
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. No-op on nil; idempotent.
+func (s *Span) End() {
+	if s == nil || s.dur != 0 {
+		return
+	}
+	s.dur = time.Since(s.start)
+}
+
+// Duration returns the span's duration — its final duration once ended,
+// or the running elapsed time while still open. Zero on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.dur != 0 {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+type spanKey struct{}
+
+// WithSpan returns a context carrying sp as the current span. Child
+// goroutines (the scan prefetchers inherit their creation context) see
+// the same span and attach their RPC child spans to it.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the current span carried by ctx, or nil when tracing
+// is off. The nil result is safe to call every Span method on.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Render returns the trace as an indented tree, one line per span, with
+// durations, tags, and DN execute attribution. Sibling spans render in
+// start order so parallel per-shard spans line up deterministically
+// enough to read; durations overlap by design (the shard fan-out is
+// concurrent), so children can sum past their parent's wall time.
+func (t *Trace) Render() []string {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	var lines []string
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.name)
+		if s.tag != "" {
+			b.WriteString(" [")
+			b.WriteString(s.tag)
+			b.WriteString("]")
+		}
+		fmt.Fprintf(&b, "  %s", fmtDur(s.Duration()))
+		if s.dnExec > 0 {
+			fmt.Fprintf(&b, " (dn-exec %s)", fmtDur(s.dnExec))
+		}
+		lines = append(lines, b.String())
+		s.mu.Lock()
+		kids := make([]*Span, len(s.children))
+		copy(kids, s.children)
+		s.mu.Unlock()
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].start.Before(kids[j].start) })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return lines
+}
+
+// fmtDur rounds a duration for display so trace trees stay readable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,50 +1,76 @@
 package stats
 
-import "sync/atomic"
+import "globaldb/internal/obs"
+
+// Server metric names on the obs registry. ServerCounters is a typed
+// facade over these instruments — the registry is the single source of
+// truth, so the same numbers answer Snapshot(), the wire Stats frame,
+// and the Prometheus exposition without double bookkeeping.
+const (
+	MetricConnsAccepted = "server_connections_accepted_total"
+	MetricConnsActive   = "server_connections_active"
+	MetricStatements    = "server_statements_total"
+	MetricRowsStreamed  = "server_rows_streamed_total"
+	MetricCanceled      = "server_statements_canceled_total"
+	MetricPanics        = "server_panics_total"
+)
 
 // ServerCounters aggregates the network server's connection and statement
 // activity. One instance lives per server; connection goroutines update it
-// concurrently.
+// concurrently. The counters are homed on an obs.Registry (one per server,
+// so parallel test servers don't share state) and updated lock-free.
 type ServerCounters struct {
-	accepted   atomic.Int64
-	active     atomic.Int64
-	statements atomic.Int64
-	rowsOut    atomic.Int64
-	canceled   atomic.Int64
-	panics     atomic.Int64
+	accepted   *obs.Counter
+	active     *obs.Gauge
+	statements *obs.Counter
+	rowsOut    *obs.Counter
+	canceled   *obs.Counter
+	panics     *obs.Counter
+}
+
+// NewServerCounters homes a ServerCounters set on reg.
+func NewServerCounters(reg *obs.Registry) *ServerCounters {
+	return &ServerCounters{
+		accepted:   reg.Counter(MetricConnsAccepted),
+		active:     reg.Gauge(MetricConnsActive),
+		statements: reg.Counter(MetricStatements),
+		rowsOut:    reg.Counter(MetricRowsStreamed),
+		canceled:   reg.Counter(MetricCanceled),
+		panics:     reg.Counter(MetricPanics),
+	}
 }
 
 // ConnOpened records an accepted connection.
 func (c *ServerCounters) ConnOpened() {
-	c.accepted.Add(1)
-	c.active.Add(1)
+	c.accepted.Inc()
+	c.active.Inc()
 }
 
 // ConnClosed records a connection teardown.
-func (c *ServerCounters) ConnClosed() { c.active.Add(-1) }
+func (c *ServerCounters) ConnClosed() { c.active.Dec() }
 
 // ObserveStatement records one completed statement and how many result rows
 // it streamed to the client.
 func (c *ServerCounters) ObserveStatement(rows int64) {
-	c.statements.Add(1)
+	c.statements.Inc()
 	c.rowsOut.Add(rows)
 }
 
 // ObserveCancel records a stream stopped by a client cancel.
-func (c *ServerCounters) ObserveCancel() { c.canceled.Add(1) }
+func (c *ServerCounters) ObserveCancel() { c.canceled.Inc() }
 
 // ObservePanic records a statement panic contained to its connection.
-func (c *ServerCounters) ObservePanic() { c.panics.Add(1) }
+func (c *ServerCounters) ObservePanic() { c.panics.Inc() }
 
 // Snapshot returns the current totals.
 func (c *ServerCounters) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
-		Accepted:     c.accepted.Load(),
-		Active:       c.active.Load(),
-		Statements:   c.statements.Load(),
-		RowsStreamed: c.rowsOut.Load(),
-		Canceled:     c.canceled.Load(),
-		Panics:       c.panics.Load(),
+		Accepted:     c.accepted.Value(),
+		Active:       c.active.Value(),
+		Statements:   c.statements.Value(),
+		RowsStreamed: c.rowsOut.Value(),
+		Canceled:     c.canceled.Value(),
+		Panics:       c.panics.Value(),
 	}
 }
 

@@ -11,6 +11,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"globaldb/internal/obs"
+)
+
+// Process-wide scan totals on obs.Default: every per-query ScanCounters
+// mirrors its page-level observations here, so the metrics endpoint can
+// report cluster-lifetime pushdown and prefetch effectiveness without a
+// second accounting path. Updates are page-granular (a handful of atomic
+// adds per scan RPC), never per-row.
+var (
+	scanPagesTotal    = obs.Default.Counter("globaldb_scan_pages_total")
+	scanStorageTotal  = obs.Default.Counter("globaldb_scan_storage_rows_total")
+	scanFilteredTotal = obs.Default.Counter("globaldb_scan_dn_filtered_rows_total")
+	scanWANTotal      = obs.Default.Counter("globaldb_scan_wan_rows_total")
+	scanHitsTotal     = obs.Default.Counter("globaldb_scan_prefetch_hits_total")
+	scanWaitTotal     = obs.Default.Counter("globaldb_scan_wan_wait_nanos_total")
 )
 
 // ScanCounters accumulates one query's scan activity across every shard
@@ -39,6 +55,10 @@ func (c *ScanCounters) Observe(examined, shipped int) {
 	c.filtered.Add(int64(examined - shipped))
 	c.wan.Add(int64(shipped))
 	c.pages.Add(1)
+	scanStorageTotal.Add(int64(examined))
+	scanFilteredTotal.Add(int64(examined - shipped))
+	scanWANTotal.Add(int64(shipped))
+	scanPagesTotal.Inc()
 }
 
 // ObserveWait records one page handoff to the consumer: how long the
@@ -47,9 +67,11 @@ func (c *ScanCounters) Observe(examined, shipped int) {
 func (c *ScanCounters) ObserveWait(d time.Duration, hit bool) {
 	if hit {
 		c.hits.Add(1)
+		scanHitsTotal.Inc()
 	}
 	if d > 0 {
 		c.waitNano.Add(int64(d))
+		scanWaitTotal.Add(int64(d))
 	}
 }
 

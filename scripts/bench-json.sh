@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench-json.sh — distill `go test -bench -benchmem` output into a small
+# JSON document for the CI artifact: every Scan benchmark's wall time,
+# allocation count, and per-layer row metrics.
+#
+#   usage: bench-json.sh <bench-output.txt> [out.json]
+#
+# Input lines look like:
+#   BenchmarkScanPushdownLimit-8  1  204958 ns/op  51234 B/op  412 allocs/op  64 storage-rows/op  10 wan-rows/op
+# Output maps benchmark name -> {"ns/op": ..., "allocs/op": ..., "storage-rows/op": ..., ...}.
+set -eu
+
+in=${1:?usage: bench-json.sh <bench-output.txt> [out.json]}
+out=${2:-BENCH_scan.json}
+
+awk '
+$1 ~ /^Benchmark/ && $1 ~ /Scan/ && $2 ~ /^[0-9]+$/ {
+    line = ""
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op" || unit == "allocs/op" || unit ~ /rows\/op$/) {
+            if (line != "") line = line ", "
+            line = line "\"" unit "\": " $i
+        }
+    }
+    if (line == "") next
+    if (count++) printf ",\n"
+    printf "  \"%s\": {%s}", $1, line
+}
+END { if (count) printf "\n" }
+' "$in" > "$out.body"
+
+{
+    printf "{\n"
+    cat "$out.body"
+    printf "}\n"
+} > "$out"
+rm -f "$out.body"

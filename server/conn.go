@@ -118,11 +118,17 @@ func (c *serverConn) serve() {
 		var err error
 		switch m := m.(type) {
 		case *wire.Query:
-			err = c.runQuery(ctx, m)
+			err = c.observeStatement(m.SQL, func() error { return c.runQuery(ctx, m) })
 		case *wire.Parse:
-			err = c.runParse(ctx, m)
+			err = c.observeStatement(m.SQL, func() error { return c.runParse(ctx, m) })
 		case *wire.Execute:
-			err = c.runExecute(ctx, m)
+			sql := ""
+			if st, ok := c.stmts[m.Name]; ok {
+				sql = st.Text()
+			}
+			err = c.observeStatement(sql, func() error { return c.runExecute(ctx, m) })
+		case *wire.Stats:
+			err = c.runStats()
 		case *wire.CloseStmt:
 			if st, ok := c.stmts[m.Name]; ok {
 				st.Close()
@@ -214,6 +220,60 @@ func stalenessStmt(v string) (*gsql.SetStaleness, error) {
 		}
 		return &gsql.SetStaleness{Bound: d}, nil
 	}
+}
+
+// observeStatement brackets one statement's execution with the server's
+// latency and in-flight instrumentation. The bookkeeping runs from a
+// defer — without recovering — so a statement that panics mid-execution
+// still observes its latency, decrements the in-flight gauge, and counts
+// toward the statement total (the handlers' own ObserveStatement call
+// never ran) before handle()'s recover answers the client; the server's
+// counters stay balanced across contained panics.
+func (c *serverConn) observeStatement(sql string, fn func() error) error {
+	class := classifySQL(sql)
+	c.srv.inFlight.Inc()
+	start := time.Now()
+	completed := false
+	defer func() {
+		c.srv.inFlight.Dec()
+		c.srv.observeStatement(class, sql, time.Since(start))
+		if !completed {
+			c.srv.counters.ObserveStatement(0)
+		}
+	}()
+	err := fn()
+	completed = true
+	return err
+}
+
+// runStats answers the admin Stats frame with a snapshot of the server's
+// counters and per-statement-type latency histograms.
+func (c *serverConn) runStats() error {
+	snap := c.srv.counters.Snapshot()
+	res := &wire.StatsResult{
+		Accepted:     snap.Accepted,
+		Active:       snap.Active,
+		Statements:   snap.Statements,
+		RowsStreamed: snap.RowsStreamed,
+		Canceled:     snap.Canceled,
+		Panics:       snap.Panics,
+		InFlight:     c.srv.inFlight.Value(),
+	}
+	for _, class := range stmtClasses {
+		h := c.srv.stmtHist[class].Snapshot()
+		if h.Count == 0 {
+			continue
+		}
+		res.Latencies = append(res.Latencies, wire.StmtLatency{
+			Type:     class,
+			Count:    h.Count,
+			SumNanos: h.SumNanos,
+			P50Nanos: int64(h.P50()),
+			P95Nanos: int64(h.P95()),
+			P99Nanos: int64(h.P99()),
+		})
+	}
+	return c.finish(res)
 }
 
 // testHookQuery, when non-nil, observes every Query statement before it

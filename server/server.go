@@ -22,10 +22,14 @@ package server
 import (
 	"context"
 	"errors"
+	"log"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"globaldb"
+	"globaldb/internal/obs"
 	"globaldb/internal/stats"
 )
 
@@ -40,13 +44,52 @@ type Options struct {
 	Region string
 	// BatchRows is the row-batch flush size; 0 means DefaultBatchRows.
 	BatchRows int
+	// SlowQueryThreshold enables the slow-query log: statements whose
+	// server-side latency exceeds it are logged. Zero disables.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one formatted line per slow statement. Nil
+	// falls back to the standard logger.
+	SlowQueryLog func(line string)
+}
+
+// stmtClasses are the statement-type labels the server's per-type latency
+// histograms use. Statements whose leading keyword matches none map to
+// "other"; wire-level operations (prepared execution resolves to its SQL's
+// class) never add labels at runtime, so the histogram set is fixed.
+var stmtClasses = []string{
+	"select", "insert", "update", "delete",
+	"create", "drop", "begin", "commit", "rollback", "explain", "other",
+}
+
+// classifySQL maps a statement to its histogram label by leading keyword.
+func classifySQL(sql string) string {
+	rest := strings.TrimSpace(sql)
+	end := 0
+	for end < len(rest) {
+		c := rest[end]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			break
+		}
+		end++
+	}
+	kw := strings.ToLower(rest[:end])
+	for _, class := range stmtClasses {
+		if kw == class {
+			return class
+		}
+	}
+	return "other"
 }
 
 // Server serves the wire protocol over TCP for one cluster.
 type Server struct {
 	db       *globaldb.DB
 	opts     Options
-	counters stats.ServerCounters
+	reg      *obs.Registry
+	counters *stats.ServerCounters
+	stmtHist map[string]*obs.Histogram // per-statement-type latency, fixed key set
+	inFlight *obs.Gauge                // statements currently executing
+	slowLog  func(line string)
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -62,12 +105,57 @@ func New(db *globaldb.DB, opts Options) *Server {
 	if opts.BatchRows <= 0 {
 		opts.BatchRows = DefaultBatchRows
 	}
-	return &Server{
-		db:      db,
-		opts:    opts,
-		conns:   make(map[net.Conn]struct{}),
-		drainCh: make(chan struct{}),
+	// Each server homes its metrics on its own registry so concurrent
+	// servers (parallel tests, future multi-listener processes) never
+	// share counts; cmd/globaldb-server exposes it via Metrics().
+	reg := obs.NewRegistry()
+	hists := make(map[string]*obs.Histogram, len(stmtClasses))
+	for _, class := range stmtClasses {
+		hists[class] = reg.Histogram(obs.LabeledName("server_statement_latency_seconds", "type", class))
 	}
+	slowLog := opts.SlowQueryLog
+	if slowLog == nil {
+		slowLog = func(line string) { log.Print(line) }
+	}
+	return &Server{
+		db:       db,
+		opts:     opts,
+		reg:      reg,
+		counters: stats.NewServerCounters(reg),
+		stmtHist: hists,
+		inFlight: reg.Gauge("server_statements_in_flight"),
+		slowLog:  slowLog,
+		conns:    make(map[net.Conn]struct{}),
+		drainCh:  make(chan struct{}),
+	}
+}
+
+// Metrics returns the server's metrics registry for exposition.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// observeStatement records one statement's server-side latency into the
+// per-type histogram and fires the slow-query log when over threshold.
+// It is called from a defer so panicking statements are observed too.
+func (s *Server) observeStatement(class, sql string, d time.Duration) {
+	h := s.stmtHist[class]
+	if h == nil {
+		h = s.stmtHist["other"]
+	}
+	h.Observe(d)
+	if t := s.opts.SlowQueryThreshold; t > 0 && d > t {
+		s.slowLog("slow query (" + d.Round(10*time.Microsecond).String() + " > " +
+			t.String() + "): " + truncateSQL(sql))
+	}
+}
+
+// truncateSQL bounds a logged statement to keep slow-query lines readable.
+func truncateSQL(sql string) string {
+	const max = 200
+	sql = strings.TrimSpace(sql)
+	if len(sql) > max {
+		return sql[:max] + "…"
+	}
+	return sql
 }
 
 // Start listens on addr ("host:port"; ":0" picks a free port) and serves

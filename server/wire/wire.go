@@ -97,6 +97,11 @@ const (
 	MsgParseOK
 	// MsgPong answers a Ping.
 	MsgPong
+	// MsgStats is the admin request for the server's live counters and
+	// latency histograms. Answered with StatsResult.
+	MsgStats
+	// MsgStatsResult answers a Stats request.
+	MsgStatsResult
 )
 
 var msgNames = map[MsgType]string{
@@ -104,6 +109,7 @@ var msgNames = map[MsgType]string{
 	MsgCloseStmt: "CloseStmt", MsgReset: "Reset", MsgPing: "Ping", MsgCancel: "Cancel",
 	MsgHelloOK: "HelloOK", MsgRowHeader: "RowHeader", MsgRowBatch: "RowBatch",
 	MsgDone: "Done", MsgError: "Error", MsgParseOK: "ParseOK", MsgPong: "Pong",
+	MsgStats: "Stats", MsgStatsResult: "StatsResult",
 }
 
 func (t MsgType) String() string {
@@ -223,6 +229,39 @@ type Error struct {
 	Msg  string
 }
 
+// Stats asks for the server's live counters and per-statement-type
+// latency histograms. An admin/ops frame: globalctl and monitoring
+// clients send it on an ordinary connection between statements.
+type Stats struct{}
+
+// StmtLatency is one statement class's latency summary in a StatsResult.
+type StmtLatency struct {
+	// Type is the statement class ("select", "insert", ...).
+	Type string
+	// Count and SumNanos aggregate every observation of the class.
+	Count    int64
+	SumNanos int64
+	// P50Nanos/P95Nanos/P99Nanos are quantiles of the class's histogram.
+	P50Nanos int64
+	P95Nanos int64
+	P99Nanos int64
+}
+
+// StatsResult answers Stats with a snapshot of the server's counters.
+type StatsResult struct {
+	// Accepted..Panics mirror stats.ServerSnapshot.
+	Accepted     int64
+	Active       int64
+	Statements   int64
+	RowsStreamed int64
+	Canceled     int64
+	Panics       int64
+	// InFlight is the number of statements executing right now.
+	InFlight int64
+	// Latencies summarizes each statement class with observations.
+	Latencies []StmtLatency
+}
+
 // Type implementations.
 func (*Hello) Type() MsgType     { return MsgHello }
 func (*HelloOK) Type() MsgType   { return MsgHelloOK }
@@ -239,6 +278,10 @@ func (*RowHeader) Type() MsgType { return MsgRowHeader }
 func (*RowBatch) Type() MsgType  { return MsgRowBatch }
 func (*Done) Type() MsgType      { return MsgDone }
 func (*Error) Type() MsgType     { return MsgError }
+func (*Stats) Type() MsgType     { return MsgStats }
+
+// Type returns MsgStatsResult.
+func (*StatsResult) Type() MsgType { return MsgStatsResult }
 
 // ---- Payload primitives ----
 //
@@ -641,6 +684,58 @@ func decodeError(b []byte) (*Error, []byte, error) {
 	return m, b, nil
 }
 
+func (*Stats) append(b []byte) ([]byte, error) { return b, nil }
+
+func (m *StatsResult) append(b []byte) ([]byte, error) {
+	b = binary.AppendVarint(b, m.Accepted)
+	b = binary.AppendVarint(b, m.Active)
+	b = binary.AppendVarint(b, m.Statements)
+	b = binary.AppendVarint(b, m.RowsStreamed)
+	b = binary.AppendVarint(b, m.Canceled)
+	b = binary.AppendVarint(b, m.Panics)
+	b = binary.AppendVarint(b, m.InFlight)
+	b = binary.AppendUvarint(b, uint64(len(m.Latencies)))
+	for _, l := range m.Latencies {
+		b = appendString(b, l.Type)
+		b = binary.AppendVarint(b, l.Count)
+		b = binary.AppendVarint(b, l.SumNanos)
+		b = binary.AppendVarint(b, l.P50Nanos)
+		b = binary.AppendVarint(b, l.P95Nanos)
+		b = binary.AppendVarint(b, l.P99Nanos)
+	}
+	return b, nil
+}
+
+func decodeStatsResult(b []byte) (*StatsResult, []byte, error) {
+	m := &StatsResult{}
+	var err error
+	for _, dst := range []*int64{
+		&m.Accepted, &m.Active, &m.Statements, &m.RowsStreamed,
+		&m.Canceled, &m.Panics, &m.InFlight,
+	} {
+		if *dst, b, err = decodeVarint(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	n, b, err := decodeLen(b)
+	if err != nil || n > len(b) { // each entry takes >= 6 bytes
+		return nil, nil, ErrProtocol
+	}
+	for i := 0; i < n; i++ {
+		var l StmtLatency
+		if l.Type, b, err = decodeString(b); err != nil {
+			return nil, nil, err
+		}
+		for _, dst := range []*int64{&l.Count, &l.SumNanos, &l.P50Nanos, &l.P95Nanos, &l.P99Nanos} {
+			if *dst, b, err = decodeVarint(b); err != nil {
+				return nil, nil, err
+			}
+		}
+		m.Latencies = append(m.Latencies, l)
+	}
+	return m, b, nil
+}
+
 // ---- Framing ----
 
 // AppendFrame serializes one message as a frame, appending to b.
@@ -711,6 +806,10 @@ func DecodePayload(t MsgType, b []byte) (Message, error) {
 		m, rest, err = decodeDone(b)
 	case MsgError:
 		m, rest, err = decodeError(b)
+	case MsgStats:
+		m, rest = &Stats{}, b
+	case MsgStatsResult:
+		m, rest, err = decodeStatsResult(b)
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrProtocol, t)
 	}

@@ -38,6 +38,14 @@ func testMessages() []Message {
 				PagesFetched: 8, PrefetchHits: 7, WANWait: 1500 * time.Microsecond}},
 		&Done{},
 		&Error{Code: "statement", Msg: "gsql: no such table"},
+		&Stats{},
+		&StatsResult{Accepted: 12, Active: 3, Statements: 400, RowsStreamed: 90000,
+			Canceled: 2, Panics: 1, InFlight: 5,
+			Latencies: []StmtLatency{
+				{Type: "select", Count: 350, SumNanos: 7e9, P50Nanos: 1 << 20, P95Nanos: 1 << 24, P99Nanos: 1 << 26},
+				{Type: "insert", Count: 50, SumNanos: 5e8, P50Nanos: 1 << 19, P95Nanos: 1 << 22, P99Nanos: 1 << 23},
+			}},
+		&StatsResult{},
 	}
 }
 
