@@ -11,7 +11,7 @@
 //	mode                           show the transaction management mode
 //	togclock | togtm               live transition
 //	rcp                            show the replica consistency point
-//	stats                          per-CN counters
+//	stats                          per-CN counters + commit-path (WAL/2PC/repl)
 //	stats <host:port>              live snapshot from a globaldb-server
 //	quit
 package main
@@ -27,6 +27,8 @@ import (
 
 	"globaldb"
 	"globaldb/driver"
+	"globaldb/internal/obs"
+	"globaldb/internal/stats"
 )
 
 const tableName = "kv"
@@ -132,6 +134,10 @@ func execute(ctx context.Context, db *globaldb.DB, fields []string) error {
 		}
 		for _, cn := range db.Cluster().CNs() {
 			fmt.Printf("%-16s %+v\n", cn.Name(), cn.Stats())
+		}
+		fmt.Println("commit path:")
+		for _, line := range stats.ReadCommitPath(obs.Default).Format() {
+			fmt.Println(" ", line)
 		}
 	case "put":
 		if len(fields) < 4 {

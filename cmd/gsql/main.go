@@ -53,6 +53,8 @@ import (
 	"globaldb"
 	"globaldb/driver"
 	"globaldb/gsql"
+	"globaldb/internal/obs"
+	"globaldb/internal/stats"
 )
 
 // shellStmt is a prepared statement as the REPL needs it. *gsql.Stmt
@@ -179,8 +181,18 @@ func main() {
 // was served and the per-layer scan counters. It is shared by the ad-hoc
 // and prepared execution paths, so `\exec` reports the same
 // storage/DN-filtered/WAN numbers an ad-hoc SELECT does.
-func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration) {
+func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration, commits stats.CommitPathSnapshot) {
 	fmt.Fprint(w, gsql.FormatTable(res))
+	// Write statements report their slice of the commit path: how many
+	// transactions the statement committed and what they cost at the WAL
+	// (fsyncs after group coalescing) and in 2PC (background resolutions).
+	// The numbers are an interval delta on the process-wide registry, so a
+	// statement that committed nothing prints nothing.
+	if commits.Commits > 0 {
+		fmt.Fprintf(w, "commit: n=%d, wal fsyncs=%d (%.2f/commit, %d saved), async-2pc=%d\n",
+			commits.Commits, commits.Fsyncs, commits.FsyncsPerCommit(),
+			commits.FsyncsSaved, commits.AsyncResolves)
+	}
 	if len(res.Columns) == 0 {
 		return
 	}
@@ -293,13 +305,14 @@ func runREPL(ctx context.Context, backend shellBackend, home string, in io.Reade
 	tracing := false
 
 	runScript := func(script string) {
+		before := stats.ReadCommitPath(obs.Default)
 		start := time.Now()
 		res, err := backend.ExecScript(ctx, script)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
 		}
-		reportResult(out, res, time.Since(start))
+		reportResult(out, res, time.Since(start), stats.ReadCommitPath(obs.Default).Sub(before))
 	}
 
 	scanner := bufio.NewScanner(in)
@@ -377,12 +390,13 @@ func runREPL(ctx context.Context, backend shellBackend, home string, in io.Reade
 				prompt()
 				continue
 			}
+			before := stats.ReadCommitPath(obs.Default)
 			start := time.Now()
 			res, err := st.Exec(ctx, parseExecArgs(fields[1:])...)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
-				reportResult(out, res, time.Since(start))
+				reportResult(out, res, time.Since(start), stats.ReadCommitPath(obs.Default).Sub(before))
 			}
 			prompt()
 			continue

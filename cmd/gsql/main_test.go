@@ -101,6 +101,40 @@ SELECT * FROM kv WHERE v >= 30;
 	}
 }
 
+// TestShellCommitPathLine pins the write-path reporting: a committing
+// statement prints a commit: line with the interval's WAL fsync cost, and a
+// pure read does not.
+func TestShellCommitPathLine(t *testing.T) {
+	script := `CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY (k)) SHARD BY k;
+INSERT INTO kv VALUES (1, 10), (2, 20);
+SELECT * FROM kv WHERE v >= 10;
+\q
+`
+	out := runShell(t, script)
+	var commitLines, afterSelect int
+	sawSelect := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "scan: storage=") {
+			sawSelect = true
+		}
+		if strings.HasPrefix(line, "commit: n=") {
+			commitLines++
+			if sawSelect {
+				afterSelect++
+			}
+			if !strings.Contains(line, "wal fsyncs=") || !strings.Contains(line, "/commit") {
+				t.Fatalf("malformed commit line: %q", line)
+			}
+		}
+	}
+	if commitLines == 0 {
+		t.Fatalf("no commit: line after the INSERT:\n%s", out)
+	}
+	if afterSelect != 0 {
+		t.Fatalf("read-only SELECT printed a commit line:\n%s", out)
+	}
+}
+
 // TestShellOverNetwork runs the REPL against a wire server on a real
 // socket — the `gsql -connect host:port` path — and requires ad-hoc
 // statements, prepared statements, and the scan-counter reporting to

@@ -110,7 +110,10 @@ func TestSessionTraceAttachesToResults(t *testing.T) {
 }
 
 // TestTraceMultiShardCommit pins the 2PC fan-out spans: a traced explicit
-// transaction writing two shards renders prepare and commit child spans.
+// transaction writing two shards renders the prepare fan-out and the
+// decision-durability (anchor commit) child spans. The non-anchor commit
+// fan-out happens in the background after the ack, so it never appears in
+// the client-visible trace.
 func TestTraceMultiShardCommit(t *testing.T) {
 	s := openSQL(t)
 	loadOrders(t, s)
@@ -123,7 +126,7 @@ func TestTraceMultiShardCommit(t *testing.T) {
 	if !strings.Contains(trace, "2pc") {
 		t.Skipf("writes landed on one shard; no 2PC fan-out to trace:\n%s", trace)
 	}
-	for _, want := range []string{"commit [2pc shards=", "2pc-prepare", "2pc-commit"} {
+	for _, want := range []string{"commit [2pc shards=", "2pc-prepare", "2pc-decide"} {
 		if !strings.Contains(trace, want) {
 			t.Fatalf("2PC trace missing %q:\n%s", want, trace)
 		}

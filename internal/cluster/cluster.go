@@ -29,6 +29,7 @@ import (
 	"globaldb/internal/transition"
 	"globaldb/internal/ts"
 	"globaldb/internal/tso"
+	"globaldb/internal/wal"
 )
 
 // LinkSpec declares a WAN link between two regions.
@@ -76,8 +77,19 @@ type Config struct {
 
 	// WALDir, when non-empty, makes every shard primary archive its redo
 	// stream to an on-disk WAL under <WALDir>/shard-<n> (GaussDB's XLOG
-	// durability). Recovery tooling replays it with datanode.RecoverPrimary.
+	// durability), and commit acks then wait for WAL durability. Recovery
+	// tooling replays it with datanode.RecoverPrimary.
 	WALDir string
+	// WALSync selects the WAL fsync policy (default wal.SyncGroup via
+	// baseConfig: concurrent commits coalesce into one fsync).
+	WALSync wal.SyncPolicy
+	// WALLinger / WALFsyncDelay / WALArchiveBatch tune group commit: the
+	// coalescing window, a simulated device-sync latency (tmpfs hides the
+	// real cost), and the archiver's records-per-append cap (1 = the
+	// fsync-per-commit baseline). Zero values use the wal defaults.
+	WALLinger       time.Duration
+	WALFsyncDelay   time.Duration
+	WALArchiveBatch int
 }
 
 // ThreeCity returns the paper's geo-distributed topology: Xi'an, Langzhong
@@ -120,6 +132,7 @@ func baseConfig() Config {
 		Clock:            clock.DefaultNodeConfig(),
 		RCP:              rcp.DefaultConfig(),
 		CN:               coordinator.DefaultConfig(),
+		WALSync:          wal.SyncGroup,
 	}
 }
 
@@ -196,7 +209,12 @@ func Open(cfg Config) (*Cluster, error) {
 		pRegion := cfg.Regions[shard%len(cfg.Regions)]
 		p := datanode.NewPrimary(c.Net, fmt.Sprintf("dn%d", shard), pRegion, shard, cfg.ReplMode, cfg.Quorum)
 		if cfg.WALDir != "" {
-			closer, err := p.AttachWAL(filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", shard)))
+			closer, err := p.AttachWALOptions(wal.Options{
+				Dir:        filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", shard)),
+				Sync:       cfg.WALSync,
+				Linger:     cfg.WALLinger,
+				FsyncDelay: cfg.WALFsyncDelay,
+			}, cfg.WALArchiveBatch)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d WAL: %w", shard, err)
 			}
@@ -596,6 +614,11 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	// Drain background 2PC resolutions before tearing down the transport:
+	// an in-flight phase two must land, not race the shutdown.
+	for _, cn := range c.cns {
+		cn.Quiesce()
+	}
 	c.Collector.Stop()
 	for _, p := range c.primaries {
 		p.Repl().StopAll()

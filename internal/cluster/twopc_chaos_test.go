@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"globaldb/internal/coordinator"
+	"globaldb/internal/datanode"
+	"globaldb/internal/ts"
+)
+
+func primaryIDs(c *Cluster) []string {
+	ids := make([]string, 0, len(c.Primaries()))
+	for _, p := range c.Primaries() {
+		ids = append(ids, p.ID())
+	}
+	return ids
+}
+
+// TestChaosCoordinatorDiesBeforeResolution simulates the coordinator dying
+// between decision durability and phase-two fan-out: the drop hook abandons
+// background resolution, leaving non-anchor shards prepared. The client ack
+// already happened (decision is durable at the anchor), so recovery via
+// ResolveInDoubt must commit the stragglers — no lost writes.
+func TestChaosCoordinatorDiesBeforeResolution(t *testing.T) {
+	c := open(t, smallCfg())
+	cn := c.CN("xian")
+	cn.SetResolveDropHook(func(uint64) bool { return true })
+
+	tx, _ := cn.Begin(bg)
+	shards := []int{0, 1, 2}
+	for _, s := range shards {
+		if err := tx.Put(bg, s, key(s, 42), []byte("chaos")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err) // ack must arrive: decision durability doesn't need phase two
+	}
+	cn.Quiesce()
+	want := tx.CommitTS()
+
+	// Anchor (lowest shard's primary) is committed; the rest are still
+	// prepared — their intents are not yet versions.
+	if v := c.Primaries()[0].Store().Versions(key(0, 42)); len(v) != 1 || v[0].CommitTS != want {
+		t.Fatalf("anchor shard versions %v, want single at %v", v, want)
+	}
+	for _, s := range shards[1:] {
+		if v := c.Primaries()[s].Store().Versions(key(s, 42)); len(v) != 0 {
+			t.Fatalf("shard %d resolved despite dropped phase two: %v", s, v)
+		}
+	}
+
+	// Recovery: a fresh coordinator sweeps the in-doubt sets and consults
+	// each transaction's anchor for the outcome.
+	client := datanode.NewClient(c.Net, "xian")
+	committed, aborted, err := coordinator.ResolveInDoubt(bg, client, primaryIDs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 2 || aborted != 0 {
+		t.Fatalf("resolved committed=%d aborted=%d, want 2/0", committed, aborted)
+	}
+	for _, s := range shards {
+		if v := c.Primaries()[s].Store().Versions(key(s, 42)); len(v) != 1 || v[0].CommitTS != want {
+			t.Fatalf("shard %d after recovery: %v, want single at %v", s, v, want)
+		}
+	}
+	// A second sweep finds nothing in doubt.
+	if committed, aborted, _ := coordinator.ResolveInDoubt(bg, client, primaryIDs(c)); committed+aborted != 0 {
+		t.Fatalf("second sweep resolved %d/%d, want idle", committed, aborted)
+	}
+}
+
+// TestResolveInDoubtPresumedAbort: a participant prepared for a transaction
+// whose anchor never saw a decision is aborted on recovery. The anchor not
+// knowing the transaction proves no client was acked, so abort is safe.
+func TestResolveInDoubtPresumedAbort(t *testing.T) {
+	c := open(t, smallCfg())
+	client := datanode.NewClient(c.Net, "xian")
+	anchor := c.Primaries()[0].ID()
+	part := c.Primaries()[1].ID()
+
+	const orphan = 987654
+	k := key(1, 314)
+	if err := client.Write(bg, part, orphan, ts.Max, []datanode.WriteOp{{Key: k, Value: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Prepare(bg, part, orphan, anchor); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, aborted, err := coordinator.ResolveInDoubt(bg, client, primaryIDs(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 0 || aborted != 1 {
+		t.Fatalf("resolved committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+	if v := c.Primaries()[1].Store().Versions(k); len(v) != 0 {
+		t.Fatalf("aborted prepare left versions: %v", v)
+	}
+	// The key is writable again: the intent is gone, not just invisible.
+	cn := c.CN("xian")
+	tx, _ := cn.Begin(bg)
+	if err := tx.Put(bg, 1, k, []byte("after")); err != nil {
+		t.Fatalf("write after presumed abort: %v", err)
+	}
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+}

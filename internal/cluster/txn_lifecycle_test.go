@@ -125,6 +125,9 @@ func TestMultiShardCommitTimestampUniform(t *testing.T) {
 	if err := tx.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
+	// Phase two resolves non-anchor shards in the background after the
+	// client ack; drain it before inspecting shard state directly.
+	cn.Quiesce()
 	want := tx.CommitTS()
 	if want == 0 {
 		t.Fatal("no commit timestamp")

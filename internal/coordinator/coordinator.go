@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,10 +19,20 @@ import (
 	"globaldb/internal/placement"
 	"globaldb/internal/rcp"
 	"globaldb/internal/ror"
+	"globaldb/internal/stats"
 	"globaldb/internal/storage/mvcc"
 	"globaldb/internal/table"
 	"globaldb/internal/ts"
 	"globaldb/internal/tso"
+)
+
+// Commit-path instruments (names in internal/stats).
+var (
+	metricCommitLatency  = obs.Default.Histogram(stats.MetricCommitLatency)
+	metricPrepareLatency = obs.Default.Histogram(stats.MetricPrepareLatency)
+	metricDecideLatency  = obs.Default.Histogram(stats.MetricDecideLatency)
+	metricAsyncResolves  = obs.Default.Counter(stats.MetricAsyncResolves)
+	metricResolveFails   = obs.Default.Counter(stats.MetricResolveFailures)
 )
 
 // Errors.
@@ -144,6 +155,15 @@ type CN struct {
 	primaryReads atomic.Int64
 	rorFallbacks atomic.Int64
 
+	// Background 2PC resolution (pipelined phase two). resolveWG tracks
+	// in-flight resolutions so Quiesce can drain them; resolveDrop is a
+	// test hook simulating coordinator death between decision and
+	// resolution.
+	resolveWG    sync.WaitGroup
+	dropMu       sync.Mutex
+	resolveDrop  func(txn uint64) bool
+	resolveFails atomic.Int64
+
 	// placement, when set, accumulates per-shard geographic access counts
 	// for the load-balancing advisor (the paper's future-work feature).
 	placement *placement.Tracker
@@ -225,6 +245,30 @@ func (c *CN) Stats() Stats {
 		PrimaryReads: c.primaryReads.Load(),
 		RORFallbacks: c.rorFallbacks.Load(),
 	}
+}
+
+// Quiesce waits for every background 2PC resolution this CN started to
+// finish. Call before tearing the cluster down.
+func (c *CN) Quiesce() { c.resolveWG.Wait() }
+
+// ResolveFailures reports background resolutions that exhausted retries.
+func (c *CN) ResolveFailures() int64 { return c.resolveFails.Load() }
+
+// SetResolveDropHook installs a test hook: when it returns true for a
+// transaction, the background phase-two resolution is abandoned,
+// simulating the coordinator dying between decision durability and
+// resolution. Participants stay prepared until ResolveInDoubt runs.
+func (c *CN) SetResolveDropHook(fn func(txn uint64) bool) {
+	c.dropMu.Lock()
+	c.resolveDrop = fn
+	c.dropMu.Unlock()
+}
+
+func (c *CN) dropResolve(txn uint64) bool {
+	c.dropMu.Lock()
+	fn := c.resolveDrop
+	c.dropMu.Unlock()
+	return fn != nil && fn(txn)
 }
 
 // Begin starts a read-write transaction.
@@ -332,6 +376,8 @@ func (t *Txn) Commit(ctx context.Context) error {
 
 	sp := obs.SpanFrom(ctx).Child("commit")
 	defer sp.End()
+	tCommit := time.Now()
+	defer func() { metricCommitLatency.Observe(time.Since(tCommit)) }()
 
 	if len(shards) == 1 {
 		shard := shards[0]
@@ -361,31 +407,68 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return nil
 	}
 
-	// Two-phase commit. Phase 1: prepare everywhere in parallel.
-	sp.Tag("2pc shards=%d", len(shards))
+	// Two-phase commit, pipelined. The lowest-numbered shard's primary is
+	// the transaction's anchor: every prepare record names it, and the
+	// client ack gates only on the anchor's commit being durable (decision
+	// durability). The remaining participants resolve in the background —
+	// safe because prepared tuples block readers until resolution arrives,
+	// and a crashed resolver is replaced by ResolveInDoubt asking the
+	// anchor for the durable outcome.
+	sort.Ints(shards)
+	anchor := t.cn.routing.Primary(shards[0])
+	sp.Tag("2pc shards=%d anchor=%s", len(shards), anchor)
 	prep := sp.Child("2pc-prepare")
+	tPrep := time.Now()
 	err := t.forEachShard(ctx, shards, func(ctx context.Context, node string) error {
-		return t.cn.client.Prepare(ctx, node, t.id)
+		return t.cn.client.Prepare(ctx, node, t.id, anchor)
 	})
+	metricPrepareLatency.Observe(time.Since(tPrep))
 	prep.End()
 	if err != nil {
 		t.abortPrepared(shards)
 		return fmt.Errorf("coordinator: prepare: %w", err)
 	}
+	// The commit-timestamp fetch must follow every PENDING/prepare record
+	// (Sec. IV-A), so it cannot overlap phase one.
 	commitTS, finish, err := t.cn.oracle.Commit(ctx, t.ts.Mode)
 	if err != nil {
 		t.abortPrepared(shards)
 		return err
 	}
-	// Phase 2: commit everywhere. Once every participant prepared, the
-	// outcome is decided: the resolution runs on a cleanup context immune
-	// to caller cancellation and retries until participants acknowledge —
-	// prepared tuples block readers until this completes (Sec. IV-A).
-	res := sp.Child("2pc-commit")
-	err = t.resolvePrepared(shards, commitTS)
-	res.End()
+	// Decision durability: commit the anchor synchronously. Its ack means
+	// the decision survives any crash — recovery finds it in the anchor's
+	// WAL, and presumed abort covers every txn without one.
+	dec := sp.Child("2pc-decide")
+	tDec := time.Now()
+	err = t.resolvePrepared(shards[:1], commitTS)
+	metricDecideLatency.Observe(time.Since(tDec))
+	dec.End()
 	if err != nil {
-		return fmt.Errorf("coordinator: commit prepared: %w", err)
+		return fmt.Errorf("coordinator: commit decision: %w", err)
+	}
+	rest := shards[1:]
+	if t.sync {
+		// Per-table synchronous replication keeps phase two synchronous:
+		// the caller asked for replica acknowledgement before the ack.
+		res := sp.Child("2pc-commit")
+		err = t.resolvePrepared(rest, commitTS)
+		res.End()
+		if err != nil {
+			return fmt.Errorf("coordinator: commit prepared: %w", err)
+		}
+	} else if len(rest) > 0 {
+		metricAsyncResolves.Inc()
+		t.cn.resolveWG.Add(1)
+		go func() {
+			defer t.cn.resolveWG.Done()
+			if t.cn.dropResolve(t.id) {
+				return // chaos hook: simulate coordinator death here
+			}
+			if err := t.resolvePrepared(rest, commitTS); err != nil {
+				t.cn.resolveFails.Add(1)
+				metricResolveFails.Inc()
+			}
+		}()
 	}
 	if err := finish(ctx); err != nil {
 		return err
@@ -471,6 +554,43 @@ func (t *Txn) abortShards(shards []int) {
 		return t.cn.client.Abort(ctx, node, t.id)
 	})
 	t.cn.aborts.Add(1)
+}
+
+// ResolveInDoubt drives every in-doubt (prepared-but-unresolved) 2PC
+// transaction on the given primaries to an outcome — the recovery path
+// after a coordinator died between decision durability and background
+// resolution. Each prepare record names its anchor; the anchor's durable
+// decision (commit with its timestamp, or abort) is replayed onto the
+// stuck participant. When the anchor holds no decision the transaction is
+// presumed aborted: the client ack gates on the anchor's commit, so no
+// decision durable at the anchor means no client was ever acked.
+func ResolveInDoubt(ctx context.Context, client *datanode.Client, primaries []string) (committed, aborted int, err error) {
+	for _, node := range primaries {
+		txns, err := client.InDoubt(ctx, node)
+		if err != nil {
+			return committed, aborted, err
+		}
+		for _, it := range txns {
+			var st datanode.TxnStatusResp
+			if it.Anchor != "" {
+				if st, err = client.TxnStatus(ctx, it.Anchor, it.Txn); err != nil {
+					return committed, aborted, err
+				}
+			}
+			var rerr error
+			if st.Known && st.Committed {
+				rerr = client.CommitPrepared(ctx, node, it.Txn, st.TS, false)
+				committed++
+			} else {
+				rerr = client.AbortPrepared(ctx, node, it.Txn)
+				aborted++
+			}
+			if rerr != nil && !errors.Is(rerr, mvcc.ErrTxnNotFound) {
+				return committed, aborted, rerr
+			}
+		}
+	}
+	return committed, aborted, nil
 }
 
 func (t *Txn) abortPrepared(shards []int) {

@@ -131,8 +131,14 @@ type (
 	}
 	// AbortReq aborts a transaction.
 	AbortReq struct{ Txn uint64 }
-	// PrepareReq is 2PC phase one.
-	PrepareReq struct{ Txn uint64 }
+	// PrepareReq is 2PC phase one. Anchor names the participant that holds
+	// the authoritative commit/abort decision (the coordinator commits it
+	// synchronously before acking the client); it is logged with the
+	// prepare record so recovery can ask the right node for the outcome.
+	PrepareReq struct {
+		Txn    uint64
+		Anchor string
+	}
 	// CommitPreparedReq is 2PC phase two (commit). Sync as in CommitReq.
 	CommitPreparedReq struct {
 		Txn  uint64
@@ -151,6 +157,30 @@ type (
 		TS     ts.Timestamp
 		Schema []byte
 	}
+
+	// TxnStatusReq asks a primary whether it resolved a 2PC transaction —
+	// the recovery protocol's question to a transaction's anchor shard.
+	TxnStatusReq struct{ Txn uint64 }
+	// TxnStatusResp reports the resolution, if known.
+	TxnStatusResp struct {
+		// Known reports whether this node resolved the transaction.
+		Known bool
+		// Committed (with TS) distinguishes commit from abort when Known.
+		Committed bool
+		TS        ts.Timestamp
+		// Prepared reports the transaction is still in doubt here.
+		Prepared bool
+	}
+
+	// InDoubtReq lists a primary's prepared-but-unresolved transactions.
+	InDoubtReq struct{}
+	// InDoubtTxn is one in-doubt transaction and its anchor node.
+	InDoubtTxn struct {
+		Txn    uint64
+		Anchor string
+	}
+	// InDoubtResp carries the in-doubt set.
+	InDoubtResp struct{ Txns []InDoubtTxn }
 
 	// StatusReq asks a node for its health/freshness metrics.
 	StatusReq struct{}
@@ -203,8 +233,65 @@ type Primary struct {
 	log   *redo.Log
 	mgr   *repl.Manager
 
+	// walW, when set by AttachWAL, makes commit and prepare acks durable:
+	// the handler parks on the writer's group-commit watermark before
+	// responding. Atomic because AttachWAL may race in-flight requests.
+	walW atomic.Pointer[wal.Writer]
+
+	// 2PC bookkeeping for recovery. inDoubt holds prepared-but-unresolved
+	// transactions with their anchor; outcomes caches resolved 2PC
+	// decisions so an in-doubt participant (or a recovering coordinator)
+	// can query this node for them. outcomes is bounded by an eviction
+	// ring — the durable WAL, not this cache, is the source of truth.
+	tmu      sync.Mutex
+	inDoubt  map[uint64]string
+	outcomes map[uint64]txnOutcome
+	outRing  []uint64
+	outPos   int
+
 	ep       *netsim.Endpoint
 	inflight atomic.Int64
+}
+
+// txnOutcome is a resolved 2PC decision.
+type txnOutcome struct {
+	committed bool
+	ts        ts.Timestamp
+}
+
+// outcomesCap bounds the resolved-outcome cache per primary.
+const outcomesCap = 4096
+
+// trackPrepared records txn as in doubt with its anchor.
+func (p *Primary) trackPrepared(txn uint64, anchor string) {
+	p.tmu.Lock()
+	p.inDoubt[txn] = anchor
+	p.tmu.Unlock()
+}
+
+// resolveTxn records a 2PC decision and clears the in-doubt entry.
+func (p *Primary) resolveTxn(txn uint64, committed bool, commitTS ts.Timestamp) {
+	p.tmu.Lock()
+	delete(p.inDoubt, txn)
+	if _, ok := p.outcomes[txn]; !ok {
+		if len(p.outRing) < outcomesCap {
+			p.outRing = append(p.outRing, txn)
+		} else {
+			delete(p.outcomes, p.outRing[p.outPos])
+			p.outRing[p.outPos] = txn
+			p.outPos = (p.outPos + 1) % outcomesCap
+		}
+	}
+	p.outcomes[txn] = txnOutcome{committed: committed, ts: commitTS}
+	p.tmu.Unlock()
+}
+
+// waitWAL parks until lsn is durable, when a WAL is attached.
+func (p *Primary) waitWAL(ctx context.Context, lsn uint64) error {
+	if w := p.walW.Load(); w != nil && lsn > 0 {
+		return w.WaitDurable(ctx, lsn)
+	}
+	return nil
 }
 
 // NewPrimary creates a primary DN and registers its endpoint under id.
@@ -216,9 +303,15 @@ func NewPrimary(n *netsim.Network, id, region string, shard int, mode repl.Mode,
 		store:  mvcc.NewStore(),
 		log:    redo.NewLog(),
 	}
+	p.initTxnState()
 	p.mgr = repl.NewManager(p.log, mode, quorum)
 	p.ep = n.Register(id, region, p.handle)
 	return p
+}
+
+func (p *Primary) initTxnState() {
+	p.inDoubt = make(map[uint64]string)
+	p.outcomes = make(map[uint64]txnOutcome)
 }
 
 // NewPrimaryFromStore builds a primary over an existing store (replica
@@ -226,6 +319,7 @@ func NewPrimary(n *netsim.Network, id, region string, shard int, mode repl.Mode,
 // be re-seeded from the store.
 func NewPrimaryFromStore(n *netsim.Network, id, region string, shard int, store *mvcc.Store, mode repl.Mode, quorum int) *Primary {
 	p := &Primary{id: id, region: region, shard: shard, store: store, log: redo.NewLog()}
+	p.initTxnState()
 	p.mgr = repl.NewManager(p.log, mode, quorum)
 	p.ep = n.Register(id, region, p.handle)
 	return p
@@ -235,12 +329,25 @@ func NewPrimaryFromStore(n *netsim.Network, id, region string, shard int, store 
 // dir, giving the node crash durability (GaussDB's XLOG). Returns a closer
 // that drains and closes the WAL.
 func (p *Primary) AttachWAL(dir string) (io.Closer, error) {
-	w, err := wal.Open(wal.Options{Dir: dir})
+	return p.AttachWALOptions(wal.Options{Dir: dir}, 0)
+}
+
+// AttachWALOptions attaches a WAL with explicit writer options and archive
+// batch size (0 = default). Once attached, commit and prepare acks wait for
+// WAL durability — under wal.SyncGroup that wait is what group commit
+// coalesces. The returned archiver's Close drains and closes the WAL.
+func (p *Primary) AttachWALOptions(opts wal.Options, archiveBatch int) (*wal.Archiver, error) {
+	w, err := wal.Open(opts)
 	if err != nil {
 		return nil, err
 	}
-	return wal.NewArchiver(p.log, w), nil
+	p.walW.Store(w)
+	return wal.NewArchiverBatched(p.log, w, archiveBatch), nil
 }
+
+// WAL exposes the attached WAL writer (nil when none), for commit-path
+// stats and durability waits.
+func (p *Primary) WAL() *wal.Writer { return p.walW.Load() }
 
 // RecoverPrimary rebuilds a crashed primary from its WAL directory: the
 // surviving redo stream is replayed into a fresh store (the same replay
@@ -248,7 +355,17 @@ func (p *Primary) AttachWAL(dir string) (io.Closer, error) {
 // replica shippers resume where they left off, and archiving continues into
 // the same directory. The returned closer stops the WAL.
 func RecoverPrimary(n *netsim.Network, id, region string, shard int, dir string, mode repl.Mode, quorum int) (*Primary, io.Closer, error) {
-	recs, err := wal.Recover(dir)
+	return RecoverPrimaryOptions(n, id, region, shard, wal.Options{Dir: dir}, mode, quorum, 0)
+}
+
+// RecoverPrimaryOptions is RecoverPrimary with explicit WAL writer options
+// and archive batch size. Besides replaying the store, it rebuilds the 2PC
+// bookkeeping: prepare records whose resolution never made it to the WAL
+// re-enter the in-doubt set (with the anchor logged at prepare time), and
+// resolved decisions re-enter the outcome cache so other recovering
+// participants can query them.
+func RecoverPrimaryOptions(n *netsim.Network, id, region string, shard int, opts wal.Options, mode repl.Mode, quorum int, archiveBatch int) (*Primary, *wal.Archiver, error) {
+	recs, err := wal.Recover(opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -257,16 +374,28 @@ func RecoverPrimary(n *netsim.Network, id, region string, shard int, dir string,
 		return nil, nil, fmt.Errorf("datanode: recovery replay: %w", err)
 	}
 	p := &Primary{id: id, region: region, shard: shard, store: applier.Store(), log: redo.NewLog()}
+	p.initTxnState()
+	for _, r := range recs {
+		switch r.Type {
+		case redo.TypePrepare:
+			p.inDoubt[r.Txn] = string(r.Value)
+		case redo.TypeCommitPrepared:
+			p.resolveTxn(r.Txn, true, r.TS)
+		case redo.TypeAbortPrepared:
+			p.resolveTxn(r.Txn, false, 0)
+		}
+	}
 	// A fresh log assigns LSNs from 1; re-appending the recovered records
 	// reproduces their original contiguous LSNs.
 	p.log.AppendBatch(recs)
 	p.mgr = repl.NewManager(p.log, mode, quorum)
 	p.ep = n.Register(id, region, p.handle)
-	w, err := wal.Open(wal.Options{Dir: dir})
+	w, err := wal.Open(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p, wal.NewArchiver(p.log, w), nil
+	p.walW.Store(w)
+	return p, wal.NewArchiverBatched(p.log, w, archiveBatch), nil
 }
 
 // ID returns the node's endpoint name.
@@ -347,11 +476,19 @@ func (p *Primary) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 	case PrepareReq:
 		p.mu.Lock()
 		err := p.store.MarkPrepared(mvcc.TxnID(req.Txn))
+		var lsn uint64
 		if err == nil {
-			p.log.Append(redo.Record{Type: redo.TypePrepare, Txn: req.Txn})
+			// The anchor rides in the record so recovery knows whom to ask.
+			lsn = p.log.Append(redo.Record{Type: redo.TypePrepare, Txn: req.Txn, Value: []byte(req.Anchor)})
 		}
 		p.mu.Unlock()
 		if err != nil {
+			return netsim.Message{}, err
+		}
+		p.trackPrepared(req.Txn, req.Anchor)
+		// A prepare ack is a durability promise: after it, only the anchor's
+		// decision may abort the txn — a crash must not.
+		if err := p.waitWAL(ctx, lsn); err != nil {
 			return netsim.Message{}, err
 		}
 		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
@@ -370,7 +507,24 @@ func (p *Primary) handle(ctx context.Context, m netsim.Message) (netsim.Message,
 		if err != nil && !errors.Is(err, mvcc.ErrTxnNotFound) {
 			return netsim.Message{}, err
 		}
+		p.resolveTxn(req.Txn, false, 0)
 		return netsim.Message{Payload: GenericResp{}, Size: 8}, nil
+	case TxnStatusReq:
+		p.tmu.Lock()
+		out, known := p.outcomes[req.Txn]
+		_, prepared := p.inDoubt[req.Txn]
+		p.tmu.Unlock()
+		return netsim.Message{Payload: TxnStatusResp{
+			Known: known, Committed: out.committed, TS: out.ts, Prepared: prepared,
+		}, Size: 24}, nil
+	case InDoubtReq:
+		p.tmu.Lock()
+		txns := make([]InDoubtTxn, 0, len(p.inDoubt))
+		for txn, anchor := range p.inDoubt {
+			txns = append(txns, InDoubtTxn{Txn: txn, Anchor: anchor})
+		}
+		p.tmu.Unlock()
+		return netsim.Message{Payload: InDoubtResp{Txns: txns}, Size: 16 + 24*len(txns)}, nil
 	case HeartbeatReq:
 		p.mu.Lock()
 		p.log.Append(redo.Record{Type: redo.TypeHeartbeat, TS: req.TS})
@@ -436,6 +590,15 @@ func (p *Primary) commit(ctx context.Context, txn uint64, commitTS ts.Timestamp,
 	}
 	p.mu.Unlock()
 	if err != nil {
+		return err
+	}
+	if typ == redo.TypeCommitPrepared {
+		p.resolveTxn(txn, true, commitTS)
+	}
+	// Local WAL durability first (the group-commit wait), then replication.
+	// The wait runs outside p.mu so other commits append into the same
+	// fsync group while this one parks.
+	if err := p.waitWAL(ctx, lsn); err != nil {
 		return err
 	}
 	if sync {
@@ -664,10 +827,29 @@ func (c *Client) Abort(ctx context.Context, node string, txn uint64) error {
 	return err
 }
 
-// Prepare runs 2PC phase one on node.
-func (c *Client) Prepare(ctx context.Context, node string, txn uint64) error {
-	_, err := c.call(ctx, node, PrepareReq{Txn: txn}, 16)
+// Prepare runs 2PC phase one on node, recording anchor as the participant
+// holding the authoritative decision.
+func (c *Client) Prepare(ctx context.Context, node string, txn uint64, anchor string) error {
+	_, err := c.call(ctx, node, PrepareReq{Txn: txn, Anchor: anchor}, 16+len(anchor))
 	return err
+}
+
+// TxnStatus asks node for a 2PC transaction's resolution.
+func (c *Client) TxnStatus(ctx context.Context, node string, txn uint64) (TxnStatusResp, error) {
+	p, err := c.call(ctx, node, TxnStatusReq{Txn: txn}, 16)
+	if err != nil {
+		return TxnStatusResp{}, err
+	}
+	return p.(TxnStatusResp), nil
+}
+
+// InDoubt lists node's prepared-but-unresolved transactions.
+func (c *Client) InDoubt(ctx context.Context, node string) ([]InDoubtTxn, error) {
+	p, err := c.call(ctx, node, InDoubtReq{}, 8)
+	if err != nil {
+		return nil, err
+	}
+	return p.(InDoubtResp).Txns, nil
 }
 
 // CommitPrepared commits a prepared transaction. sync as in Commit.

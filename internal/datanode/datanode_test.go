@@ -165,7 +165,7 @@ func TestScanOnPrimaryAndReplica(t *testing.T) {
 func TestTwoPhaseCommitFlow(t *testing.T) {
 	r := newRig(t, repl.Async)
 	r.client.Write(bg, "dn0", 9, 0, []WriteOp{{Key: []byte("k"), Value: []byte("v")}})
-	if err := r.client.Prepare(bg, "dn0", 9); err != nil {
+	if err := r.client.Prepare(bg, "dn0", 9, "dn0"); err != nil {
 		t.Fatal(err)
 	}
 	// Prepared intents block readers on the primary too.
@@ -188,7 +188,7 @@ func TestTwoPhaseCommitFlow(t *testing.T) {
 func TestAbortPreparedFlow(t *testing.T) {
 	r := newRig(t, repl.Async)
 	r.client.Write(bg, "dn0", 9, 0, []WriteOp{{Key: []byte("k"), Value: []byte("v")}})
-	r.client.Prepare(bg, "dn0", 9)
+	r.client.Prepare(bg, "dn0", 9, "dn0")
 	if err := r.client.AbortPrepared(bg, "dn0", 9); err != nil {
 		t.Fatal(err)
 	}

@@ -119,6 +119,18 @@ func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Sub returns the element-wise difference s - o: the histogram of
+// observations that landed between snapshot o and snapshot s of the same
+// histogram. Benchmarks use it to report interval quantiles on the shared
+// Default registry without resetting instruments.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - o.Count, SumNanos: s.SumNanos - o.SumNanos}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - o.Buckets[i]
+	}
+	return out
+}
+
 // Quantile returns the q-th quantile (0 < q <= 1) as the upper bound of
 // the bucket holding the nearest-rank sample. Zero with no samples.
 func (s HistSnapshot) Quantile(q float64) time.Duration {

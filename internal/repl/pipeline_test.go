@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"globaldb/internal/ts"
+)
+
+// pipeCfg is a shipping config that forces many small batches, so the
+// window (not the batch size) dominates catch-up time.
+func pipeCfg(window int) ShipperConfig {
+	return ShipperConfig{
+		BatchMax:   8,
+		FlushDelay: 0,
+		Compressor: Noop{},
+		RetryDelay: time.Millisecond,
+		Window:     window,
+	}
+}
+
+func shipBacklog(t *testing.T, window int) time.Duration {
+	t.Helper()
+	r := newShipRig(t, 40*time.Millisecond, 0, pipeCfg(window), Async)
+	for i := 0; i < 64; i++ {
+		writeTxn(r.log, uint64(i+1), ts.Timestamp((i+1)*10), map[string]string{fmt.Sprintf("k%d", i): "v"})
+	}
+	last := r.log.LastLSN()
+	start := time.Now()
+	waitFor(t, "catch-up", 10*time.Second, func() bool { return r.shipper.AckedLSN() == last })
+	elapsed := time.Since(start)
+	if r.applier.AppliedLSN() != last {
+		t.Fatalf("applied %d, want %d", r.applier.AppliedLSN(), last)
+	}
+	return elapsed
+}
+
+// TestShipperPipelineBeatsStopAndWait: with a backlog of many small batches
+// over a high-latency link, a windowed shipper drains at bandwidth while
+// stop-and-wait pays a full round trip per batch. Also exercises the
+// applier's reorder stash: concurrent in-flight batches arrive in whatever
+// order the simulated WAN delivers them.
+func TestShipperPipelineBeatsStopAndWait(t *testing.T) {
+	stopWait := shipBacklog(t, 1)
+	pipelined := shipBacklog(t, 4)
+	if pipelined >= stopWait {
+		t.Fatalf("window=4 (%v) not faster than stop-and-wait (%v)", pipelined, stopWait)
+	}
+}
+
+// TestShipperStopPreservesAck: Stop() during an in-flight batch must not
+// drop the ack the replica is about to return. The invariant after Stop is
+// acked == applied — the shipper's view of the replica cannot be staler
+// than what the replica durably applied. (The old stop-and-wait loop died
+// inside its send call on cancellation, losing exactly that ack.)
+func TestShipperStopPreservesAck(t *testing.T) {
+	for _, preStop := range []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond} {
+		r := newShipRig(t, 20*time.Millisecond, 0, pipeCfg(4), Async)
+		for i := 0; i < 16; i++ {
+			writeTxn(r.log, uint64(i+1), ts.Timestamp((i+1)*10), map[string]string{fmt.Sprintf("k%d", i): "v"})
+		}
+		time.Sleep(preStop) // stagger Stop against the in-flight window
+		r.shipper.Stop()
+		if acked, applied := r.shipper.AckedLSN(), r.applier.AppliedLSN(); acked != applied {
+			t.Fatalf("preStop=%v: acked=%d but replica applied %d", preStop, acked, applied)
+		}
+	}
+}

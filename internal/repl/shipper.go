@@ -45,7 +45,17 @@ type ShipperConfig struct {
 	Compressor Compressor
 	// RetryDelay is the pause after a failed send (replica down, partition).
 	RetryDelay time.Duration
+	// Window is the maximum number of unacked batches in flight. 1 (and 0)
+	// is stop-and-wait: each batch pays a full WAN round trip before the
+	// next leaves. Larger windows pipeline sends so the log drains at
+	// bandwidth rather than latency — the replica stashes out-of-order
+	// arrivals and acks carry its applied LSN, so a lost or reordered
+	// batch just rewinds the cursor.
+	Window int
 }
+
+// DefaultShipperWindow is the pipelined in-flight batch budget.
+const DefaultShipperWindow = 4
 
 // DefaultShipperConfig returns GlobalDB's optimized shipping parameters.
 func DefaultShipperConfig() ShipperConfig {
@@ -54,17 +64,19 @@ func DefaultShipperConfig() ShipperConfig {
 		FlushDelay: 200 * time.Microsecond,
 		Compressor: Flate{},
 		RetryDelay: 5 * time.Millisecond,
+		Window:     DefaultShipperWindow,
 	}
 }
 
-// BaselineShipperConfig returns the unoptimized baseline: no compression and
-// sluggish flushing.
+// BaselineShipperConfig returns the unoptimized baseline: no compression,
+// sluggish flushing, stop-and-wait acks.
 func BaselineShipperConfig() ShipperConfig {
 	return ShipperConfig{
 		BatchMax:   512,
 		FlushDelay: 2 * time.Millisecond,
 		Compressor: Noop{},
 		RetryDelay: 5 * time.Millisecond,
+		Window:     1,
 	}
 }
 
@@ -109,6 +121,9 @@ func NewShipper(cfg ShipperConfig, n *netsim.Network, from, endpoint string, log
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 5 * time.Millisecond
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1 // zero-value config keeps stop-and-wait semantics
+	}
 	return &Shipper{cfg: cfg, net: n, from: from, endpoint: endpoint, log: log, onAck: onAck}
 }
 
@@ -150,10 +165,105 @@ func (s *Shipper) Lag() uint64 {
 	return last - acked
 }
 
+// stopDrainTimeout bounds how long Stop waits for in-flight batch acks.
+const stopDrainTimeout = 2 * time.Second
+
+// run is the shipping loop: a sliding window of in-flight batches. The
+// cursor advances optimistically past each batch as it is handed to a
+// sender goroutine; acks (which may arrive out of order) carry the
+// replica's applied LSN and only ever raise the acked watermark. When every
+// send has completed but the watermark sits below the cursor — a reordered
+// batch was rejected, or a send failed — the cursor rewinds to acked+1 and
+// the gap is re-shipped (at-least-once delivery; the applier deduplicates).
 func (s *Shipper) run(ctx context.Context) {
 	defer close(s.done)
+	// Sends run on their own context so Stop() can DRAIN the window rather
+	// than cancel it: with stop-and-wait this loop used to die mid-Call and
+	// lose the ack for a batch the replica had already applied, leaving
+	// AckedLSN stale for whoever reads it after Stop.
+	sendCtx, cancelSend := context.WithCancel(context.Background())
+	defer cancelSend()
+
+	type result struct {
+		acked uint64
+		err   error
+	}
+	results := make(chan result, s.cfg.Window) // cap=window: senders never block
+	inflight := 0
+	sawFail := false
 	cursor := uint64(1)
+
+	handle := func(r result) {
+		inflight--
+		if r.err != nil {
+			if !errors.Is(r.err, context.Canceled) {
+				s.mu.Lock()
+				s.stats.SendFailures++
+				s.mu.Unlock()
+				metricSendFailures.Inc()
+			}
+			sawFail = true
+			return
+		}
+		for { // max-merge: a stale ack must not regress the watermark
+			cur := s.acked.Load()
+			if r.acked <= cur || s.acked.CompareAndSwap(cur, r.acked) {
+				break
+			}
+		}
+		if s.onAck != nil {
+			s.onAck(s.acked.Load())
+		}
+	}
+	drain := func(limit time.Duration) {
+		timer := time.NewTimer(limit)
+		defer timer.Stop()
+		for inflight > 0 {
+			select {
+			case r := <-results:
+				handle(r)
+			case <-timer.C:
+				return
+			}
+		}
+	}
+
 	for {
+		// Reap completed sends without blocking.
+		for done := false; !done; {
+			select {
+			case r := <-results:
+				handle(r)
+			default:
+				done = true
+			}
+		}
+		if ctx.Err() != nil {
+			drain(stopDrainTimeout)
+			return
+		}
+		if inflight == 0 {
+			if sawFail {
+				sawFail = false
+				cursor = s.acked.Load() + 1
+				select {
+				case <-time.After(s.cfg.RetryDelay):
+				case <-ctx.Done():
+				}
+				continue
+			}
+			if next := s.acked.Load() + 1; cursor > next {
+				cursor = next // stalled: re-ship the unacked gap
+			}
+		}
+		if inflight >= s.cfg.Window {
+			select {
+			case r := <-results:
+				handle(r)
+			case <-ctx.Done():
+			}
+			continue
+		}
 		recs, err := s.log.ReadFrom(cursor, s.cfg.BatchMax)
 		if err != nil {
 			// Truncated past our cursor: jump forward. In a production
@@ -168,20 +278,22 @@ func (s *Shipper) run(ctx context.Context) {
 			if recs, _ = s.log.ReadFrom(cursor, s.cfg.BatchMax); len(recs) == 0 {
 				select {
 				case <-notify:
-					continue
+				case r := <-results:
+					handle(r)
 				case <-ctx.Done():
-					return
 				}
+				continue
 			}
 		}
-		// Linger to accumulate a fuller batch (baseline buffers longer).
+		// Linger to accumulate a fuller cross-transaction batch (the
+		// baseline buffers longer); acks keep landing while we wait.
 		if s.cfg.FlushDelay > 0 && len(recs) < s.cfg.BatchMax {
 			timer := time.NewTimer(s.cfg.FlushDelay)
 			select {
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				return
+				continue
 			}
 			if more, _ := s.log.ReadFrom(cursor, s.cfg.BatchMax); len(more) > len(recs) {
 				recs = more
@@ -196,43 +308,53 @@ func (s *Shipper) run(ctx context.Context) {
 		}
 		batch := Batch{From: recs[0].LSN, Count: len(recs), Compressed: compressed, Codec: s.cfg.Compressor.Name(), Data: wire}
 
-		resp, err := s.net.Call(ctx, s.from, s.endpoint, netsim.Message{Payload: batch, Size: len(wire) + 32})
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				return
-			}
-			s.mu.Lock()
-			s.stats.SendFailures++
-			s.mu.Unlock()
-			select {
-			case <-time.After(s.cfg.RetryDelay):
-			case <-ctx.Done():
-				return
-			}
-			continue
-		}
-		ack := resp.Payload.(Ack)
-		s.acked.Store(ack.AppliedLSN)
-		cursor = ack.AppliedLSN + 1
-
 		s.mu.Lock()
 		s.stats.Batches++
 		s.stats.Records += int64(len(recs))
 		s.stats.RawBytes += int64(len(raw))
 		s.stats.WireBytes += int64(len(wire))
 		s.mu.Unlock()
-		if s.onAck != nil {
-			s.onAck(ack.AppliedLSN)
-		}
+		metricBatches.Inc()
+		metricRecords.Add(int64(len(recs)))
+		metricRawBytes.Add(int64(len(raw)))
+		metricWireBytes.Add(int64(len(wire)))
+
+		cursor = recs[len(recs)-1].LSN + 1
+		inflight++
+		go func() {
+			resp, err := s.net.Call(sendCtx, s.from, s.endpoint, netsim.Message{Payload: batch, Size: len(wire) + 32})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{acked: resp.Payload.(Ack).AppliedLSN}
+		}()
 	}
 }
+
+// applierStashMax bounds the reorder stash: beyond this many parked
+// batches an early arrival is dropped and the shipper re-ships it.
+const applierStashMax = 64
 
 // ServeApplier registers a replication endpoint that replays incoming
 // batches into applier and acknowledges the applied LSN. It returns the
 // endpoint for failure injection.
+//
+// Pipelined shippers put several batches on the wire at once and the
+// simulated network preserves no ordering between them, so batch N+1 can
+// arrive before batch N. A bounded reorder stash parks such early arrivals
+// and replays them the moment the gap fills, instead of rejecting them and
+// forcing a rewind round trip.
 func ServeApplier(n *netsim.Network, name, region string, applier *Applier, comp Compressor) *netsim.Endpoint {
 	if comp == nil {
 		comp = Flate{}
+	}
+	var (
+		stashMu sync.Mutex
+		stash   = map[uint64][]redo.Record{} // batch From -> decoded records
+	)
+	ack := func() (netsim.Message, error) {
+		return netsim.Message{Payload: Ack{AppliedLSN: applier.AppliedLSN()}, Size: 16}, nil
 	}
 	return n.Register(name, region, func(_ context.Context, m netsim.Message) (netsim.Message, error) {
 		batch, ok := m.Payload.(Batch)
@@ -250,11 +372,38 @@ func ServeApplier(n *netsim.Network, name, region string, applier *Applier, comp
 		if err != nil {
 			return netsim.Message{}, err
 		}
-		applied, err := applier.ApplyParallel(recs)
-		if err != nil {
-			// Gap: tell the shipper where we are so it rewinds.
-			return netsim.Message{Payload: Ack{AppliedLSN: applied}, Size: 16}, nil
+		stashMu.Lock()
+		defer stashMu.Unlock()
+		if batch.From > applier.AppliedLSN()+1 {
+			// Early arrival: park it (the ack below reports the current
+			// applied LSN, which the shipper treats as "not yet").
+			if len(stash) < applierStashMax {
+				stash[batch.From] = recs
+			}
+			return ack()
 		}
-		return netsim.Message{Payload: Ack{AppliedLSN: applied}, Size: 16}, nil
+		if _, err := applier.ApplyParallel(recs); err != nil {
+			return ack() // overlap raced another apply; shipper rewinds
+		}
+		// The gap may have filled: replay every stashed batch that is now
+		// contiguous (duplicates and overlaps dedupe inside the applier).
+		for {
+			ready := uint64(0)
+			for from := range stash {
+				if from <= applier.AppliedLSN()+1 {
+					ready = from
+					break
+				}
+			}
+			if ready == 0 {
+				break
+			}
+			parked := stash[ready]
+			delete(stash, ready)
+			if _, err := applier.ApplyParallel(parked); err != nil {
+				break
+			}
+		}
+		return ack()
 	})
 }

@@ -12,8 +12,9 @@ import (
 // GaussDB, durability trails the commit acknowledgment by one flush);
 // Close drains everything appended so far before returning.
 type Archiver struct {
-	log *redo.Log
-	w   *Writer
+	log      *redo.Log
+	w        *Writer
+	batchMax int
 
 	stop chan struct{}
 	done chan struct{}
@@ -22,12 +23,28 @@ type Archiver struct {
 	lastErr error
 }
 
+// DefaultArchiveBatch is how many records an archiver drains per WAL append.
+const DefaultArchiveBatch = 4096
+
 // NewArchiver starts archiving log records from the writer's next LSN.
 func NewArchiver(log *redo.Log, w *Writer) *Archiver {
-	a := &Archiver{log: log, w: w, stop: make(chan struct{}), done: make(chan struct{})}
+	return NewArchiverBatched(log, w, DefaultArchiveBatch)
+}
+
+// NewArchiverBatched archives with an explicit per-append batch cap.
+// batchMax=1 appends (and, under SyncEveryBatch, fsyncs) record by record —
+// the no-coalescing baseline a database without group commit pays.
+func NewArchiverBatched(log *redo.Log, w *Writer, batchMax int) *Archiver {
+	if batchMax <= 0 {
+		batchMax = DefaultArchiveBatch
+	}
+	a := &Archiver{log: log, w: w, batchMax: batchMax, stop: make(chan struct{}), done: make(chan struct{})}
 	go a.run()
 	return a
 }
+
+// Writer exposes the underlying WAL writer (durability waits, stats).
+func (a *Archiver) Writer() *Writer { return a.w }
 
 func (a *Archiver) run() {
 	defer close(a.done)
@@ -58,7 +75,7 @@ func (a *Archiver) drainOnce() error {
 		if a.log.LastLSN() < next {
 			return nil
 		}
-		recs, err := a.log.ReadFrom(next, 4096)
+		recs, err := a.log.ReadFrom(next, a.batchMax)
 		if err != nil {
 			return err
 		}
@@ -76,6 +93,16 @@ func (a *Archiver) Err() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.lastErr
+}
+
+// Kill simulates a crash: it stops the archiver WITHOUT draining the log
+// tail and closes the writer. Records the primary appended but the
+// archiver had not yet written are lost — exactly what a crash loses —
+// while every record whose WaitDurable completed survives. Test-only.
+func (a *Archiver) Kill() error {
+	close(a.stop)
+	<-a.done
+	return a.w.Close()
 }
 
 // Close drains the log tail, stops the archiver, and closes the writer.

@@ -1,24 +1,28 @@
 #!/bin/sh
 # bench-json.sh — distill `go test -bench -benchmem` output into a small
-# JSON document for the CI artifact: every Scan benchmark's wall time,
-# allocation count, and per-layer row metrics.
+# JSON document for the CI artifact: each matching benchmark's wall time,
+# allocation count, and custom per-op metrics.
 #
-#   usage: bench-json.sh <bench-output.txt> [out.json]
+#   usage: bench-json.sh <bench-output.txt> [out.json] [name-filter]
 #
-# Input lines look like:
+# name-filter is a substring the benchmark name must contain (default:
+# Scan). Input lines look like:
 #   BenchmarkScanPushdownLimit-8  1  204958 ns/op  51234 B/op  412 allocs/op  64 storage-rows/op  10 wan-rows/op
-# Output maps benchmark name -> {"ns/op": ..., "allocs/op": ..., "storage-rows/op": ..., ...}.
+#   BenchmarkTPCCNewOrderPayment  1  613948 ns/op  36322 tpmC  0.71 fsyncs/commit  ...
+# Output maps benchmark name -> {"ns/op": ..., "allocs/op": ..., "tpmC": ...}.
 set -eu
 
-in=${1:?usage: bench-json.sh <bench-output.txt> [out.json]}
+in=${1:?usage: bench-json.sh <bench-output.txt> [out.json] [name-filter]}
 out=${2:-BENCH_scan.json}
+filter=${3:-Scan}
 
-awk '
-$1 ~ /^Benchmark/ && $1 ~ /Scan/ && $2 ~ /^[0-9]+$/ {
+awk -v filter="$filter" '
+$1 ~ /^Benchmark/ && index($1, filter) && $2 ~ /^[0-9]+$/ {
     line = ""
     for (i = 3; i < NF; i += 2) {
         unit = $(i + 1)
-        if (unit == "ns/op" || unit == "allocs/op" || unit ~ /rows\/op$/) {
+        if (unit == "ns/op" || unit == "allocs/op" || unit ~ /rows\/op$/ ||
+            unit == "tpmC" || unit == "fsyncs/commit" || unit ~ /-ms$/) {
             if (line != "") line = line ", "
             line = line "\"" unit "\": " $i
         }
