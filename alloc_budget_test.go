@@ -86,3 +86,106 @@ func TestAllocBudget(t *testing.T) {
 		t.Fatalf("warm filtered-scan path allocated %.0f times, budget is %d — a batch-path regression reintroduced per-row allocations", best, allocBudgetMax)
 	}
 }
+
+// Hard ceilings on the warm join paths over allocBudgetRows outer rows.
+// Measured after the join engine and needed-columns decode landed: hash
+// ~250 (build the 4-row inner side once, probe per outer batch), lookup
+// ~370 (DN-side joined rows, decoded with outer-segment memoization),
+// nested loop ~700 (per-outer-row inner lookups; it was several times
+// that before this PR, when every scanned row decoded and boxed all of
+// its columns). Budgets carry ~100% headroom over the measured values for
+// Go-version drift, and the hash gate additionally enforces the join
+// engine's headline claim: at least a 2x reduction against the same
+// query's nested loop, measured in the same process.
+const (
+	allocBudgetJoinHashMax   = 500
+	allocBudgetJoinLookupMax = 800
+)
+
+// TestAllocBudgetJoin gates the warm distributed-join hot paths on hard
+// allocation budgets, the join-engine extension of TestAllocBudget: the
+// same filtered outer scan joined to its warehouse row, sampled per
+// strategy via SET JOIN.
+func TestAllocBudgetJoin(t *testing.T) {
+	cfg := globaldb.OneRegion(0)
+	cfg.TimeScale = 0.02
+	cfg.Shards = 2
+	db, err := globaldb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := gsql.Connect(db, cfg.Regions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `CREATE TABLE items (
+		w_id BIGINT, i_id BIGINT, qty BIGINT, tag TEXT,
+		PRIMARY KEY (w_id, i_id)
+	) SHARD BY w_id`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, `CREATE TABLE warehouses (
+		w_id BIGINT, name TEXT, PRIMARY KEY (w_id)
+	) SHARD BY w_id`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx,
+		"INSERT INTO warehouses VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd')"); err != nil {
+		t.Fatal(err)
+	}
+	perWarehouse := allocBudgetRows / 4
+	for w := 1; w <= 4; w++ {
+		var vals []string
+		for i := 1; i <= perWarehouse; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, %d, 't%d')", w, i, (i*7)%100, i%5))
+		}
+		if _, err := s.Exec(ctx, "INSERT INTO items VALUES "+strings.Join(vals, ", ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const query = "SELECT i.i_id, w.name FROM items i JOIN warehouses w ON w.w_id = i.w_id WHERE i.qty >= 90"
+	measure := func(mode, wantStrategy string) float64 {
+		t.Helper()
+		if _, err := s.Exec(ctx, "SET JOIN = "+mode); err != nil {
+			t.Fatal(err)
+		}
+		run := func() {
+			res, err := s.Exec(ctx, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != allocBudgetRows/10 {
+				t.Fatalf("%s: rows = %d, want %d", mode, len(res.Rows), allocBudgetRows/10)
+			}
+			if res.JoinStrategy != wantStrategy {
+				t.Fatalf("%s ran %q, want %q", mode, res.JoinStrategy, wantStrategy)
+			}
+		}
+		run() // warm the plan cache, cursors, arenas and hash build path
+		best := float64(1 << 60)
+		for i := 0; i < 5; i++ {
+			if n := testing.AllocsPerRun(1, run); n < best {
+				best = n
+			}
+		}
+		return best
+	}
+
+	hash := measure("HASH", "hash")
+	lookup := measure("LOOKUP", "lookup-pushdown")
+	nestLoop := measure("NESTLOOP", "nested-loop")
+	t.Logf("warm join: hash=%.0f (budget %d), lookup=%.0f (budget %d), nested-loop=%.0f allocs/op",
+		hash, allocBudgetJoinHashMax, lookup, allocBudgetJoinLookupMax, nestLoop)
+	if hash > allocBudgetJoinHashMax {
+		t.Fatalf("warm hash-join path allocated %.0f times, budget is %d", hash, allocBudgetJoinHashMax)
+	}
+	if lookup > allocBudgetJoinLookupMax {
+		t.Fatalf("warm lookup-join path allocated %.0f times, budget is %d", lookup, allocBudgetJoinLookupMax)
+	}
+	if 2*hash > nestLoop {
+		t.Fatalf("hash join allocated %.0f times vs nested loop's %.0f — the >=2x reduction claim no longer holds", hash, nestLoop)
+	}
+}

@@ -377,20 +377,52 @@ func openJoinBenchDB(b *testing.B) (*globaldb.DB, *gsql.Session) {
 	return db, s
 }
 
+// joinBenchSetStrategy pins the session's join strategy for a benchmark.
+func joinBenchSetStrategy(b *testing.B, s *gsql.Session, mode string) {
+	b.Helper()
+	if _, err := s.Exec(context.Background(), "SET JOIN = "+mode); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkJoinFilteredLookup joins the DN-filtered item scan to its
-// warehouse row: the outer scan streams the ~200 matching items in batches
-// (the filter runs on the data nodes) and the join performs one inner PK
-// lookup per surviving outer row.
+// warehouse row. The full warehouse PK is bound by the ON clause, so AUTO
+// pushes the lookup into the outer fragment: data nodes filter items,
+// read the matching warehouse row locally, and ship already-joined rows —
+// wan-rows/op equals the 200 matches instead of paying one inner RPC per
+// surviving outer row.
 func BenchmarkJoinFilteredLookup(b *testing.B) {
 	db, s := openJoinBenchDB(b)
 	benchScanQuery(b, db, s,
 		"SELECT i.i_id, w.name FROM items i JOIN warehouses w ON w.w_id = i.w_id WHERE i.qty >= 90", 200)
 }
 
+// BenchmarkJoinFilteredLookupHash is the same query forced through the CN
+// hash join: the 4-row warehouse side is materialized once and probed per
+// outer batch, eliminating the nested loop's per-outer-row inner lookups —
+// the allocs/op reduction gated by TestAllocBudgetJoin.
+func BenchmarkJoinFilteredLookupHash(b *testing.B) {
+	db, s := openJoinBenchDB(b)
+	joinBenchSetStrategy(b, s, "HASH")
+	benchScanQuery(b, db, s,
+		"SELECT i.i_id, w.name FROM items i JOIN warehouses w ON w.w_id = i.w_id WHERE i.qty >= 90", 200)
+}
+
+// BenchmarkJoinFilteredLookupNestLoop is the same query on the legacy
+// nested loop — one inner PK lookup RPC per surviving outer row — kept as
+// the before-side of the join-engine comparison.
+func BenchmarkJoinFilteredLookupNestLoop(b *testing.B) {
+	db, s := openJoinBenchDB(b)
+	joinBenchSetStrategy(b, s, "NESTLOOP")
+	benchScanQuery(b, db, s,
+		"SELECT i.i_id, w.name FROM items i JOIN warehouses w ON w.w_id = i.w_id WHERE i.qty >= 90", 200)
+}
+
 // BenchmarkJoinFanout drives the join from the small side: 4 warehouse
-// rows each fan out to a 500-row inner item scan, so the inner scan's
-// batches dominate — the shape the batch-native nested loop moves as block
-// references rather than row-by-row pairs.
+// rows each fan out to a 500-row inner item scan. The lookup key binds
+// only the items PK prefix and the outer is tiny, so AUTO keeps the
+// batch-native nested loop — its 4 pushed range scans already ship
+// O(matching) rows, and fusing the join would re-encode every joined row.
 func BenchmarkJoinFanout(b *testing.B) {
 	db, s := openJoinBenchDB(b)
 	benchScanQuery(b, db, s,

@@ -201,6 +201,16 @@ func reportResult(w io.Writer, res *gsql.Result, elapsed time.Duration, commits 
 		where = "replicas (RCP snapshot)"
 	}
 	fmt.Fprintf(w, "read from %s — %v\n", where, elapsed.Round(time.Microsecond))
+	// Joins name the physical strategy the engine picked (AUTO resolves
+	// per statement) and, for pushed lookup joins, how many inner rows the
+	// data nodes read locally instead of shipping.
+	if res.JoinStrategy != "" {
+		fmt.Fprintf(w, "join: strategy=%s", res.JoinStrategy)
+		if res.Scan.LookupRows > 0 {
+			fmt.Fprintf(w, ", dn-lookup rows=%d", res.Scan.LookupRows)
+		}
+		fmt.Fprintln(w)
+	}
 	// The two counter lines share one gate so they always appear as a
 	// pair: the per-layer row counters, then WAN latency observability —
 	// page RPCs issued, pages already prefetched when the executor asked

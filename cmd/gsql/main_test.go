@@ -101,6 +101,34 @@ SELECT * FROM kv WHERE v >= 30;
 	}
 }
 
+// TestShellJoinStrategyLine pins the join reporting: a two-table query
+// prints the physical strategy the engine picked, pushed lookup joins add
+// the DN-side inner read count, and single-table reads print no join line.
+func TestShellJoinStrategyLine(t *testing.T) {
+	script := `CREATE TABLE ord (w_id BIGINT, o_id BIGINT, amt BIGINT, PRIMARY KEY (w_id, o_id)) SHARD BY w_id;
+CREATE TABLE wh (w_id BIGINT, name TEXT, PRIMARY KEY (w_id)) SHARD BY w_id;
+INSERT INTO wh VALUES (1, 'a'), (2, 'b');
+INSERT INTO ord VALUES (1, 1, 10), (1, 2, 20), (2, 1, 30);
+SELECT o.o_id, w.name FROM ord o JOIN wh w ON w.w_id = o.w_id;
+SET JOIN = NESTLOOP;
+SELECT o.o_id, w.name FROM ord o JOIN wh w ON w.w_id = o.w_id;
+SELECT * FROM ord WHERE w_id = 1;
+\q
+`
+	out := runShell(t, script)
+	if !strings.Contains(out, "join: strategy=lookup-pushdown, dn-lookup rows=") {
+		t.Fatalf("missing pushed-lookup join line:\n%s", out)
+	}
+	if !strings.Contains(out, "join: strategy=nested-loop\n") {
+		t.Fatalf("missing nested-loop join line:\n%s", out)
+	}
+	// Exactly the two join queries report a strategy; the single-table
+	// SELECT must not.
+	if n := strings.Count(out, "join: strategy="); n != 2 {
+		t.Fatalf("join strategy lines = %d, want 2:\n%s", n, out)
+	}
+}
+
 // TestShellCommitPathLine pins the write-path reporting: a committing
 // statement prints a commit: line with the interval's WAL fsync cost, and a
 // pure read does not.

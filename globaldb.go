@@ -287,7 +287,15 @@ func (tx *Tx) CommitTS() ts.Timestamp { return tx.txn.CommitTS() }
 // storage level; primary-key uniqueness violations surface as write-write
 // conflicts when rows race.
 func (tx *Tx) Insert(ctx context.Context, tableName string, r Row) error {
-	return tx.writeRow(ctx, tableName, r)
+	if err := tx.writeRow(ctx, tableName, r); err != nil {
+		return err
+	}
+	// Advisory planner statistic; drift (aborts, re-inserted keys) is
+	// acceptable — see Catalog.BumpRowEstimate.
+	if sch, err := tx.sess.schemaOf(tableName); err == nil {
+		tx.sess.db.c.Catalog.BumpRowEstimate(sch.ID, 1)
+	}
+	return nil
 }
 
 // Update rewrites a full row. Indexed column values must not change (index
@@ -352,7 +360,11 @@ func (tx *Tx) Delete(ctx context.Context, tableName string, pkVals []any) error 
 	if sch.SyncReplicated {
 		tx.txn.RequireSyncCommit()
 	}
-	return tx.applyOps(ctx, tx.sess.shardOfRow(sch, r), ops)
+	if err := tx.applyOps(ctx, tx.sess.shardOfRow(sch, r), ops); err != nil {
+		return err
+	}
+	tx.sess.db.c.Catalog.BumpRowEstimate(sch.ID, -1)
+	return nil
 }
 
 type opKV struct {
@@ -516,6 +528,16 @@ func (db *DB) Tables() []string {
 
 // Schema returns the schema of the named table.
 func (db *DB) Schema(name string) (*Schema, error) { return db.c.Catalog.Get(name) }
+
+// RowEstimate returns a table's approximate row count — an advisory planner
+// statistic maintained by committed inserts and deletes (zero if unknown).
+func (db *DB) RowEstimate(tableName string) int64 {
+	sch, err := db.c.Catalog.Get(tableName)
+	if err != nil {
+		return 0
+	}
+	return db.c.Catalog.RowEstimate(sch.ID)
+}
 
 // CatalogVersion returns a monotonically increasing value that changes with
 // every DDL commit (the catalog's maximum DDL timestamp). Plan caches key

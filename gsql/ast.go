@@ -508,9 +508,24 @@ func (s *SetStaleness) String() string {
 	}
 }
 
+// SetJoin selects the session's physical join strategy:
+//
+//	SET JOIN = AUTO     -- planner picks (default): lookup pushdown when
+//	                       co-located, else hash by row estimates, else
+//	                       nested-loop
+//	SET JOIN = LOOKUP   -- pushed lookup join where applicable
+//	SET JOIN = HASH     -- CN hash join where applicable
+//	SET JOIN = NESTLOOP -- always the nested loop
+type SetJoin struct {
+	Mode string // AUTO, HASH, LOOKUP, NESTLOOP
+}
+
+func (*SetJoin) stmt()            {}
+func (s *SetJoin) String() string { return "SET JOIN = " + s.Mode }
+
 // Show is SHOW TABLES | SHOW MODE | SHOW REGIONS.
 type Show struct {
-	What string // TABLES, MODE, REGIONS
+	What string // TABLES, MODE, REGIONS, STALENESS, JOIN
 }
 
 func (*Show) stmt()             {}

@@ -87,6 +87,9 @@ func execSelect(ctx context.Context, r reader, p *boundPlan) (*Result, error) {
 		return nil, err
 	}
 	res.Scan = totals.s
+	if p.inner != nil {
+		res.JoinStrategy = p.chosenJoin.String()
+	}
 	return res, nil
 }
 

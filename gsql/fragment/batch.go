@@ -70,6 +70,43 @@ func (b *RowBatch) AppendStored(val []byte) error {
 	return nil
 }
 
+// AppendStoredNeeded is AppendStored restricted to a column mask: columns
+// whose need entry is false are skipped byte-wise without materializing a
+// value (no boxing, no string copy) and read back as NULL. Callers must
+// guarantee that no evaluated expression or shipped projection references
+// a skipped column — Fragment.NeededCols computes exactly that set. A nil
+// mask decodes every column.
+func (b *RowBatch) AppendStoredNeeded(val []byte, need []bool) error {
+	if need == nil {
+		return b.AppendStored(val)
+	}
+	var d keys.Decoder
+	d.Reset(val)
+	r := b.n
+	for c := range b.kinds {
+		if !need[c] {
+			if err := d.Skip(); err != nil {
+				return fmt.Errorf("fragment: column %d: %w", c, err)
+			}
+			b.cols[c] = append(b.cols[c], nil)
+			continue
+		}
+		v, err := decodeKeyValue(&d, b.kinds[c])
+		if err != nil {
+			return fmt.Errorf("fragment: column %d: %w", c, err)
+		}
+		b.cols[c] = append(b.cols[c], v)
+		if v != nil {
+			b.valid[c][r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing row bytes", ErrCorrupt)
+	}
+	b.n++
+	return nil
+}
+
 // rowView copies row r into the arena's scratch row buffer and returns it —
 // the bridge from the column-major batch to the row-at-a-time scalar
 // evaluator. The returned slice is valid until the next rowView call on the

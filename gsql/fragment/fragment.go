@@ -151,11 +151,67 @@ type Fragment struct {
 	GroupBy []int
 	// Aggs are the partial aggregate slots, in coordinator slot order.
 	Aggs []AggSpec
+	// Lookup, when set, turns the scan into a pushed lookup join: for every
+	// row the filter keeps, the data node looks up the co-located inner
+	// table rows keyed by Lookup.KeyExprs over the outer row and ships
+	// joined rows (outer projected columns followed by the shipped inner
+	// columns). Mutually exclusive with Aggs.
+	Lookup *Lookup
 }
 
 // HasAggs reports whether the fragment produces partial-aggregate rows
 // rather than (filtered, projected) table rows.
 func (f *Fragment) HasAggs() bool { return len(f.Aggs) > 0 }
+
+// NeededCols reports which storage columns the fragment's evaluation
+// actually reads: filter columns, plus — depending on the fragment shape —
+// group-by and aggregate-argument columns, lookup key columns, and the
+// shipped projection. A plain row scan with a nil Project ships the raw
+// stored value, so only the filter's columns are needed; a lookup join
+// with a nil Project re-encodes the full outer row, so every column is.
+// Executors use the mask to skip decoding (and boxing) unreferenced
+// columns entirely.
+func (f *Fragment) NeededCols() []bool {
+	need := make([]bool, len(f.Kinds))
+	exprCols(f.Filter, need)
+	if f.HasAggs() {
+		for _, c := range f.GroupBy {
+			need[c] = true
+		}
+		for _, a := range f.Aggs {
+			exprCols(a.Arg, need)
+		}
+		return need
+	}
+	if f.Lookup != nil {
+		for i := range f.Lookup.KeyExprs {
+			exprCols(&f.Lookup.KeyExprs[i], need)
+		}
+		if f.Project == nil {
+			for i := range need {
+				need[i] = true
+			}
+			return need
+		}
+	}
+	for _, c := range f.Project {
+		need[c] = true
+	}
+	return need
+}
+
+// exprCols marks the storage columns referenced by e in need.
+func exprCols(e *Expr, need []bool) {
+	if e == nil {
+		return
+	}
+	if e.Op == OpCol && e.Col >= 0 && e.Col < len(need) {
+		need[e.Col] = true
+	}
+	for i := range e.Args {
+		exprCols(&e.Args[i], need)
+	}
+}
 
 // ErrCorrupt is returned when decoding malformed fragment or state bytes.
 var ErrCorrupt = errors.New("fragment: corrupt encoding")
@@ -357,6 +413,9 @@ func (f *Fragment) Encode() ([]byte, error) {
 			b = append(b, 0)
 		}
 	}
+	if b, err = appendLookup(b, f.Lookup); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -445,6 +504,20 @@ func Decode(b []byte) (*Fragment, error) {
 		}
 		f.Aggs = append(f.Aggs, spec)
 	}
+	// Lookup join. The section is optional at the wire level: fragments
+	// encoded before it existed end here, and decode as no lookup.
+	if len(b) > 0 {
+		switch b[0] {
+		case 0:
+			b = b[1:]
+		case 1:
+			if f.Lookup, b, err = decodeLookup(b[1:]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: lookup flag %#x", ErrCorrupt, b[0])
+		}
+	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 	}
@@ -478,6 +551,14 @@ func Decode(b []byte) (*Fragment, error) {
 			if err := validateExpr(a.Arg, ncols); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if f.Lookup != nil {
+		if len(f.Aggs) > 0 {
+			return nil, fmt.Errorf("%w: lookup join with aggregates", ErrCorrupt)
+		}
+		if err := validateLookup(f.Lookup, ncols); err != nil {
+			return nil, err
 		}
 	}
 	return f, nil
@@ -549,6 +630,19 @@ func (f *Fragment) Bind(params []any) (*Fragment, error) {
 			spec.Arg = &e
 		}
 		out.Aggs = append(out.Aggs, spec)
+	}
+	if f.Lookup != nil {
+		lk := &Lookup{Prefix: f.Lookup.Prefix, KeyKinds: f.Lookup.KeyKinds,
+			Kinds: f.Lookup.Kinds, Project: f.Lookup.Project}
+		lk.KeyExprs = make([]Expr, len(f.Lookup.KeyExprs))
+		for i := range f.Lookup.KeyExprs {
+			e, err := bindExpr(f.Lookup.KeyExprs[i], params)
+			if err != nil {
+				return nil, err
+			}
+			lk.KeyExprs[i] = e
+		}
+		out.Lookup = lk
 	}
 	return out, nil
 }

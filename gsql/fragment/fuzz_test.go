@@ -33,6 +33,33 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 				{Kind: AggMin, Arg: &Expr{Op: OpLength, Args: []Expr{col(2)}}},
 				{Kind: AggMax, Arg: &Expr{Op: OpParam, Col: 2}},
 			}},
+		// Lookup joins: a point lookup shipping all inner columns, a prefix
+		// lookup with a filtered outer scan and projections on both sides,
+		// and a semi-shaped shipment (empty inner projection) keyed by a
+		// parameter.
+		{Kinds: kinds, Lookup: &Lookup{
+			Prefix:   []byte{0x03, 0, 0, 0, 0, 0, 0, 0, 9},
+			KeyExprs: []Expr{col(0), col(2)},
+			KeyKinds: []table.Kind{table.Int64, table.String},
+			Kinds:    []table.Kind{table.Int64, table.String, table.Float64},
+		}},
+		{Kinds: kinds,
+			Filter:  &Expr{Op: OpGe, Args: []Expr{col(1), konst(0.5)}},
+			Project: []int{0, 2},
+			Lookup: &Lookup{
+				Prefix:   []byte{0x03, 0, 0, 0, 0, 0, 0, 0, 11},
+				KeyExprs: []Expr{{Op: OpAdd, Args: []Expr{col(0), konst(int64(1))}}},
+				KeyKinds: []table.Kind{table.Int64},
+				Kinds:    []table.Kind{table.Int64, table.Bytes},
+				Project:  []int{1},
+			}},
+		{Kinds: kinds, Lookup: &Lookup{
+			Prefix:   []byte{0x03, 0xff},
+			KeyExprs: []Expr{{Op: OpParam, Col: 1}},
+			KeyKinds: []table.Kind{table.Bool},
+			Kinds:    []table.Kind{table.Bool, table.String},
+			Project:  []int{},
+		}},
 	}
 	var out [][]byte
 	for _, f := range frags {

@@ -1,0 +1,382 @@
+package fragment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"globaldb/internal/keys"
+	"globaldb/internal/table"
+)
+
+// This file defines the lookup-join rider a fragment can carry: the
+// serializable description of a join whose inner side is a primary-key
+// (point or prefix) lookup keyed by outer-row columns. A data node that
+// receives a fragment with a Lookup runs the inner lookup next to the data
+// for every outer row its filter keeps — the inner table's rows for a given
+// distribution value live on the same shard as the outer table's (the
+// planner only pushes co-located joins) — and ships already-joined rows, so
+// the join's WAN cost is O(matching output) instead of O(inner table).
+
+// Lookup describes the pushed inner side of a lookup join. KeyExprs are
+// evaluated against the decoded OUTER row (column positions refer to the
+// outer fragment's Kinds); their values, coerced to KeyKinds, extend Prefix
+// into the inner table's primary-key prefix to scan. Kinds describes the
+// inner table's stored rows, and Project the inner columns to ship (nil
+// ships all inner columns; an empty non-nil Project ships none — a
+// semi-join-shaped shipment that still emits one joined row per match).
+type Lookup struct {
+	Prefix   []byte
+	KeyExprs []Expr
+	KeyKinds []table.Kind
+	Kinds    []table.Kind
+	Project  []int
+}
+
+// ShipCols resolves Project into the concrete list of shipped inner
+// columns (nil Project means every column).
+func (l *Lookup) ShipCols() []int {
+	if l.Project != nil {
+		return l.Project
+	}
+	all := make([]int, len(l.Kinds))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// ShipKinds returns the kinds of the shipped inner columns, in shipped
+// order.
+func (l *Lookup) ShipKinds() []table.Kind {
+	ship := l.ShipCols()
+	kinds := make([]table.Kind, len(ship))
+	for i, c := range ship {
+		kinds[i] = l.Kinds[c]
+	}
+	return kinds
+}
+
+// DecodeInnerRowAppend decodes one stored inner-table row value into
+// dst[:0], reusing its backing array — the data node's per-match decode.
+func (l *Lookup) DecodeInnerRowAppend(val []byte, dst []any) ([]any, error) {
+	var d keys.Decoder
+	d.Reset(val)
+	dst = dst[:0]
+	for i, k := range l.Kinds {
+		v, err := decodeKeyValue(&d, k)
+		if err != nil {
+			return nil, fmt.Errorf("fragment: inner column %d: %w", i, err)
+		}
+		dst = append(dst, v)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing inner row bytes", ErrCorrupt)
+	}
+	return dst, nil
+}
+
+// AppendKeyValue encodes one coerced key value onto enc with the same
+// memcomparable encoding the table layer uses for primary keys, so a
+// data-node-built lookup key is byte-identical to the key the computing
+// node's own access path would have encoded.
+func AppendKeyValue(enc *keys.Encoder, v any) error {
+	return encodeKeyValue(enc, v)
+}
+
+// AppendInner encodes the shipped inner columns of one matched inner row
+// onto enc. ship must be ShipCols(), precomputed once per scan.
+func (l *Lookup) AppendInner(enc *keys.Encoder, inner []any, ship []int) error {
+	for _, c := range ship {
+		if err := encodeKeyValue(enc, inner[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendOuter encodes the outer half of a joined row — the fragment's
+// projected outer columns, or the full outer row when Project is nil —
+// onto enc.
+func (f *Fragment) AppendOuter(enc *keys.Encoder, b *RowBatch, r int) error {
+	if f.Project != nil {
+		return f.AppendProjected(enc, b, r)
+	}
+	for c := range f.Kinds {
+		if err := encodeKeyValue(enc, b.cols[c][r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CoerceKey coerces an outer-row value to an inner key column's kind. It
+// mirrors the computing node's own key coercion (gsql's coerceValue) value
+// class for value class, so a pushed lookup accepts, misses, and rejects
+// exactly the keys the CN-side access path would: NULL stays NULL (the
+// caller treats a NULL key as matching nothing, as SQL equality requires),
+// a fractional float never silently truncates into an integer key, and an
+// incompatible type is a query error, not a miss.
+func CoerceKey(k table.Kind, v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch k {
+	case table.Int64:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			if x == float64(int64(x)) {
+				return int64(x), nil
+			}
+		}
+	case table.Float64:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+	case table.String:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case table.Bytes:
+		switch x := v.(type) {
+		case []byte:
+			return x, nil
+		case string:
+			return []byte(x), nil
+		}
+	case table.Bool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: cannot use %T as %v lookup key", ErrType, v, k)
+}
+
+// JoinedDecoder caches the per-scan layout needed to decode joined-row
+// values shipped by a lookup-join fragment: each value holds the outer
+// projected columns followed by the shipped inner columns, and decodes to
+// one combined row of full outer width followed by full inner width
+// (unshipped positions nil).
+type JoinedDecoder struct {
+	f          *Fragment
+	outerKinds []table.Kind // kinds of the shipped outer values, in order
+	ship       []int        // shipped inner columns
+	shipKinds  []table.Kind
+	outerW     int
+	innerW     int
+
+	// Joined rows arrive grouped by outer row, so consecutive values
+	// usually share a byte-identical outer segment. prevOuter/prevVals
+	// memoize the last decoded outer segment: on a byte match the cached
+	// boxed values are copied instead of re-decoded, collapsing the
+	// fan-out join's outer decode cost from O(matches) to O(outer rows).
+	// Sound because the encoding is deterministic and self-delimiting:
+	// equal leading bytes decode to equal outer values.
+	prevOuter []byte
+	prevVals  []any // full outer width, unshipped positions nil
+}
+
+// NewJoinedDecoder builds the decoder for a fragment with a Lookup.
+func (f *Fragment) NewJoinedDecoder() *JoinedDecoder {
+	jd := &JoinedDecoder{
+		f:         f,
+		ship:      f.Lookup.ShipCols(),
+		shipKinds: f.Lookup.ShipKinds(),
+		outerW:    len(f.Kinds),
+		innerW:    len(f.Lookup.Kinds),
+	}
+	if f.Project != nil {
+		jd.outerKinds = f.ProjectedKinds()
+	} else {
+		jd.outerKinds = f.Kinds
+	}
+	return jd
+}
+
+// Width returns the combined row width: outer columns then inner columns.
+func (jd *JoinedDecoder) Width() int { return jd.outerW + jd.innerW }
+
+// DecodeAppend decodes one joined row value, appending the combined
+// full-width row to dst and returning the extended slice.
+func (jd *JoinedDecoder) DecodeAppend(val []byte, dst []any) ([]any, error) {
+	var d keys.Decoder
+	base := len(dst)
+	for i := 0; i < jd.outerW+jd.innerW; i++ {
+		dst = append(dst, nil)
+	}
+	f := jd.f
+	if n := len(jd.prevOuter); n > 0 && n <= len(val) && bytes.Equal(val[:n], jd.prevOuter) {
+		copy(dst[base:base+jd.outerW], jd.prevVals)
+		d.Reset(val[n:])
+	} else {
+		d.Reset(val)
+		if f.Project != nil {
+			for i, k := range jd.outerKinds {
+				v, err := decodeKeyValue(&d, k)
+				if err != nil {
+					return nil, fmt.Errorf("fragment: joined outer column %d: %w", i, err)
+				}
+				dst[base+f.Project[i]] = v
+			}
+		} else {
+			for c, k := range jd.outerKinds {
+				v, err := decodeKeyValue(&d, k)
+				if err != nil {
+					return nil, fmt.Errorf("fragment: joined outer column %d: %w", c, err)
+				}
+				dst[base+c] = v
+			}
+		}
+		outerLen := len(val) - d.Remaining()
+		jd.prevOuter = append(jd.prevOuter[:0], val[:outerLen]...)
+		if jd.prevVals == nil {
+			jd.prevVals = make([]any, jd.outerW)
+		}
+		copy(jd.prevVals, dst[base:base+jd.outerW])
+	}
+	for i, c := range jd.ship {
+		v, err := decodeKeyValue(&d, jd.shipKinds[i])
+		if err != nil {
+			return nil, fmt.Errorf("fragment: joined inner column %d: %w", i, err)
+		}
+		dst[base+jd.outerW+c] = v
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing joined row bytes", ErrCorrupt)
+	}
+	return dst, nil
+}
+
+// ---- Wire format ----
+//
+// The lookup section trails the aggregate section: a presence flag byte,
+// then prefix, key expressions, key kinds, inner kinds, and the inner
+// projection. Fragments encoded before the lookup section existed simply
+// end after the aggregates; Decode treats the absent section as no lookup,
+// so old encodings (including the checked-in fuzz corpus) stay valid.
+
+func appendLookup(b []byte, l *Lookup) ([]byte, error) {
+	if l == nil {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	b = appendUvarint(b, len(l.Prefix))
+	b = append(b, l.Prefix...)
+	b = appendUvarint(b, len(l.KeyExprs))
+	var err error
+	for i := range l.KeyExprs {
+		if b, err = appendExpr(b, &l.KeyExprs[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range l.KeyKinds {
+		b = append(b, byte(k))
+	}
+	b = appendUvarint(b, len(l.Kinds))
+	for _, k := range l.Kinds {
+		b = append(b, byte(k))
+	}
+	if l.Project != nil {
+		b = append(b, 1)
+		b = appendUvarint(b, len(l.Project))
+		for _, c := range l.Project {
+			b = appendUvarint(b, c)
+		}
+	} else {
+		b = append(b, 0)
+	}
+	return b, nil
+}
+
+func decodeLookup(b []byte) (*Lookup, []byte, error) {
+	l := &Lookup{}
+	np, b, err := decodeLen(b)
+	if err != nil || np > len(b) {
+		return nil, nil, ErrCorrupt
+	}
+	l.Prefix = append([]byte(nil), b[:np]...)
+	b = b[np:]
+	nk, b, err := decodeLen(b)
+	if err != nil || nk > len(b) { // each expr takes >= 1 byte
+		return nil, nil, ErrCorrupt
+	}
+	l.KeyExprs = make([]Expr, nk)
+	for i := 0; i < nk; i++ {
+		if l.KeyExprs[i], b, err = decodeExpr(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	if nk > len(b) { // one kind byte per key expression
+		return nil, nil, ErrCorrupt
+	}
+	l.KeyKinds = make([]table.Kind, nk)
+	for i := 0; i < nk; i++ {
+		l.KeyKinds[i] = table.Kind(b[i])
+	}
+	b = b[nk:]
+	ni, b, err := decodeLen(b)
+	if err != nil || ni > len(b) {
+		return nil, nil, ErrCorrupt
+	}
+	l.Kinds = make([]table.Kind, ni)
+	for i := 0; i < ni; i++ {
+		l.Kinds[i] = table.Kind(b[i])
+	}
+	b = b[ni:]
+	if len(b) == 0 {
+		return nil, nil, ErrCorrupt
+	}
+	hasProj := b[0] == 1
+	if b[0] > 1 {
+		return nil, nil, fmt.Errorf("%w: lookup projection flag %#x", ErrCorrupt, b[0])
+	}
+	b = b[1:]
+	if hasProj {
+		var npr int
+		if npr, b, err = decodeLen(b); err != nil {
+			return nil, nil, err
+		}
+		if npr > len(b) {
+			return nil, nil, ErrCorrupt
+		}
+		l.Project = make([]int, npr)
+		for i := 0; i < npr; i++ {
+			if l.Project[i], b, err = decodeLen(b); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return l, b, nil
+}
+
+// validateLookup checks the lookup section's bounds: key expressions are
+// evaluated against the OUTER row (outerCols wide), the projection against
+// the inner kinds.
+func validateLookup(l *Lookup, outerCols int) error {
+	if len(l.Prefix) == 0 {
+		return fmt.Errorf("%w: lookup without key prefix", ErrCorrupt)
+	}
+	if len(l.KeyExprs) == 0 {
+		return fmt.Errorf("%w: lookup without key expressions", ErrCorrupt)
+	}
+	for i := range l.KeyExprs {
+		if err := validateExpr(&l.KeyExprs[i], outerCols); err != nil {
+			return err
+		}
+	}
+	for _, c := range l.Project {
+		if c < 0 || c >= len(l.Kinds) {
+			return fmt.Errorf("%w: lookup projected column %d of %d", ErrCorrupt, c, len(l.Kinds))
+		}
+	}
+	return nil
+}
+
+func appendUvarint(b []byte, v int) []byte {
+	return binary.AppendUvarint(b, uint64(v))
+}

@@ -33,6 +33,10 @@ type Result struct {
 	// when session tracing is on (SetTrace / the shell's \trace toggle).
 	// Local to the session: it does not cross the wire protocol.
 	Trace []string
+	// JoinStrategy names the physical join strategy a two-table SELECT
+	// executed with ("lookup-pushdown", "hash", "nested-loop"); empty for
+	// single-table queries.
+	JoinStrategy string
 }
 
 // stalenessMode selects where out-of-transaction SELECTs read.
@@ -61,6 +65,12 @@ type Session struct {
 	// (differential testing and apples-to-apples measurement); pushdown is
 	// on by default.
 	pushdownOff bool
+
+	// joinMode is the session's SET JOIN strategy: AUTO (default) lets the
+	// planner pick from availability and row estimates; HASH/LOOKUP/
+	// NESTLOOP request one strategy, falling back to nested-loop when the
+	// requested one does not apply to a query.
+	joinMode joinStrategy
 
 	// trace, when set, traces every statement and attaches the rendered
 	// span tree to its Result. curTrace is the statement currently being
@@ -251,6 +261,13 @@ func (s *Session) dispatchStmt(ctx context.Context, stmt Statement, plan *select
 			s.staleness = st.Bound
 		}
 		return &Result{Msg: st.String()}, nil
+	case *SetJoin:
+		mode, ok := parseJoinStrategy(st.Mode)
+		if !ok {
+			return nil, fmt.Errorf("gsql: unknown join strategy %q", st.Mode)
+		}
+		s.joinMode = mode
+		return &Result{Msg: st.String()}, nil
 	case *Show:
 		return s.execShow(st)
 	case *Explain:
@@ -292,8 +309,12 @@ func (s *Session) execExplain(ctx context.Context, e *Explain, params []any) (*R
 	for _, line := range scanSummary(run.Scan, tr.Root().Duration()) {
 		res.Rows = append(res.Rows, []any{line})
 	}
+	if run.JoinStrategy != "" {
+		res.Rows = append(res.Rows, []any{"join strategy: " + run.JoinStrategy})
+	}
 	res.OnReplicas = run.OnReplicas
 	res.Scan = run.Scan
+	res.JoinStrategy = run.JoinStrategy
 	return res, nil
 }
 
@@ -305,6 +326,11 @@ func scanSummary(sc globaldb.ScanStats, wall time.Duration) []string {
 	}
 	lines := []string{fmt.Sprintf("scan: storage=%d rows, filtered at DN=%d, shipped over WAN=%d",
 		sc.StorageRows, sc.DNFilteredRows, sc.WANRows)}
+	if sc.LookupRows > 0 {
+		lines = append(lines, fmt.Sprintf(
+			"join: pushed lookups read %d inner rows on data nodes (outer storage=%d rows)",
+			sc.LookupRows, sc.StorageRows-sc.LookupRows))
+	}
 	waitPct := 0.0
 	if wall > 0 {
 		waitPct = 100 * float64(sc.WANWait) / float64(wall)
@@ -336,6 +362,8 @@ func (s *Session) execShow(st *Show) (*Result, error) {
 		return res, nil
 	case "STALENESS":
 		return &Result{Columns: []string{"staleness"}, Rows: [][]any{{s.Staleness()}}}, nil
+	case "JOIN":
+		return &Result{Columns: []string{"join"}, Rows: [][]any{{s.joinMode.Keyword()}}}, nil
 	default:
 		return nil, fmt.Errorf("gsql: unknown SHOW %q", st.What)
 	}
@@ -368,6 +396,8 @@ func (s *Session) execSelect(ctx context.Context, sel *Select, plan *selectPlan,
 		return nil, err
 	}
 	bp.noPushdown = s.pushdownOff
+	bp.joinMode = s.joinMode
+	bp.rowEst = s.db.RowEstimate
 	execSp := root.Child("execute")
 	// The span rides the context into the scan cursors' prefetch
 	// goroutines (per-shard scan-page spans) and the autocommit
@@ -381,6 +411,9 @@ func (s *Session) execSelect(ctx context.Context, sel *Select, plan *selectPlan,
 	res, err := execSelect(ctx, r, bp)
 	if ferr := finish(err == nil); err == nil {
 		err = ferr
+	}
+	if res != nil && res.JoinStrategy != "" {
+		execSp.Tag("join=%s", res.JoinStrategy)
 	}
 	execSp.End()
 	if err != nil {

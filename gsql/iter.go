@@ -344,22 +344,40 @@ func scanRange(s *tableScan, env *rowEnv) *globaldb.ScanRange {
 }
 
 // buildPipeline assembles the batch-native operator tree for a planned
-// SELECT: scan(outer, with any DN-side fragment attached) -> [nested-loop
-// join(inner)] -> residual filter. orderDone reports whether the scan
-// already delivers rows in the plan's ORDER BY order (so the driver can
-// skip the sort and terminate early on LIMIT). The returned totals
-// accumulate every scan's per-layer row counts as iterators close.
+// SELECT: scan(outer, with any DN-side fragment attached) -> [join(inner):
+// fused lookup-pushdown, hash, or nested-loop] -> residual filter.
+// orderDone reports whether the scan already delivers rows in the plan's
+// ORDER BY order (so the driver can skip the sort and terminate early on
+// LIMIT). The returned totals accumulate every scan's per-layer row counts
+// as iterators close.
 func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, orderDone bool, totals *scanTotals, err error) {
 	totals = &scanTotals{}
 	orderDone = scanSatisfiesOrder(p.selectPlan)
 
+	strategy := joinNestLoop
+	if p.inner != nil {
+		strategy = p.resolveJoin()
+	}
+
 	// The DN-partial phase: bind the fragment template with this
 	// execution's parameters. A bind failure (e.g. an exotic parameter
 	// type) falls back to CN-side evaluation — the fragment is an
-	// optimization, not a dependency.
+	// optimization, not a dependency. A pushed lookup join binds its own
+	// fragment (outer scan + inner lookup fused); a bind failure there
+	// falls back to the nested loop the same way.
 	filter := p.filter
 	var frag *fragment.Fragment
-	if p.push != nil && !p.push.agg && !p.noPushdown {
+	lookupOn := false
+	if strategy == joinLookup {
+		if bf, bindErr := p.join.lookup.frag.Bind(p.params); bindErr == nil {
+			frag = bf
+			filter = p.join.lookup.cnFilter
+			lookupOn = true
+		} else {
+			strategy = joinNestLoop
+		}
+	}
+	if !lookupOn && p.push != nil && !p.push.agg && !p.noPushdown {
 		if bf, bindErr := p.push.frag.Bind(p.params); bindErr == nil {
 			frag = bf
 			filter = p.push.cnFilter
@@ -369,12 +387,15 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, o
 	// A limit is pushed all the way into the outer scan only when nothing
 	// above it can drop, add or reorder rows. With the filter running
 	// DN-side the limit budgets qualifying rows, so `WHERE pushed LIMIT k`
-	// ships O(k) rows instead of scanning to the CN. Everything else still
+	// ships O(k) rows instead of scanning to the CN. A pushed lookup join
+	// qualifies too: the cursor's budget counts joined rows as the data
+	// nodes emit them, so LIMIT stops the outer cursor's page fetching
+	// early exactly like the single-table case. Everything else still
 	// benefits from streaming: the limit operator simply stops pulling.
 	fetchLimit := 0
 	pageHint := 0
 	prefetch := 0
-	if p.limit >= 0 && p.inner == nil && !p.grouped &&
+	if p.limit >= 0 && (p.inner == nil || lookupOn) && !p.grouped &&
 		(len(p.orderBy) == 0 || orderDone) && !p.distinct {
 		if filter == nil {
 			fetchLimit = int(p.limit + p.offset)
@@ -396,25 +417,40 @@ func buildPipeline(ctx context.Context, r reader, p *boundPlan) (it blockIter, o
 			pageHint = 16
 		}
 	}
-	scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint, prefetch, frag, totals)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	it = scan
-	if p.inner != nil {
-		it = &nestedLoopIter{
-			outer: it,
-			openInner: func(outerRow table.Row) (blockIter, error) {
-				// Inner lookups are opened per outer row, drained, and
-				// closed immediately — there is no consumption to overlap a
-				// prefetch with, so keep them on the synchronous path
-				// rather than paying a goroutine + channel per outer row.
-				return openScan(ctx, r, p, p.inner, outerRow, 0, 0, -1, nil, totals)
-			},
+	if lookupOn {
+		rows, err := openLookupRows(ctx, r, p, fetchLimit, pageHint, prefetch, frag)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		it = &lookupJoinIter{rows: rows, totals: totals,
+			outerW: len(p.tables[0].schema.Columns)}
+	} else {
+		scan, err := openScan(ctx, r, p, p.outer, nil, fetchLimit, pageHint, prefetch, frag, totals)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		it = scan
+		switch {
+		case p.inner != nil && strategy == joinHash:
+			it = &hashJoinIter{r: r, p: p, hj: p.join.hash, outer: it, totals: totals}
+		case p.inner != nil:
+			it = &nestedLoopIter{
+				outer: it,
+				openInner: func(outerRow table.Row) (blockIter, error) {
+					// Inner lookups are opened per outer row, drained, and
+					// closed immediately — there is no consumption to overlap a
+					// prefetch with, so keep them on the synchronous path
+					// rather than paying a goroutine + channel per outer row.
+					return openScan(ctx, r, p, p.inner, outerRow, 0, 0, -1, nil, totals)
+				},
+			}
 		}
 	}
 	if filter != nil {
 		it = newFilterIter(it, filter, p.tables, p.params)
+	}
+	if p.inner != nil {
+		p.chosenJoin = strategy
 	}
 	return it, orderDone, totals, nil
 }

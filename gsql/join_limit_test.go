@@ -1,0 +1,64 @@
+package gsql
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestJoinLimitStopsFetching pins LIMIT pushdown through the pushed lookup
+// join: because the join is fused into the outer scan's fragment, the
+// cursor's row budget counts joined output rows, so a satisfied LIMIT
+// stops the outer cursor's page fetching early — the gsql-level analog of
+// the coordinator's TestPrefetchLimitStopsFetching. Without the pushdown
+// (nested loop) the same query must still answer correctly, but the
+// lookup-join run must touch a small fraction of storage.
+func TestJoinLimitStopsFetching(t *testing.T) {
+	s := openSQL(t)
+	exec(t, s, `CREATE TABLE lord (
+		w_id BIGINT, o_id BIGINT, c_id BIGINT, qty BIGINT,
+		PRIMARY KEY (w_id, o_id)
+	) SHARD BY w_id`)
+	exec(t, s, `CREATE TABLE lcust (
+		w_id BIGINT, c_id BIGINT, name TEXT,
+		PRIMARY KEY (w_id, c_id)
+	) SHARD BY w_id`)
+	for w := int64(1); w <= 4; w++ {
+		for c := int64(1); c <= 10; c++ {
+			exec(t, s, fmt.Sprintf("INSERT INTO lcust VALUES (%d, %d, 'c%d')", w, c, c))
+		}
+		for o := int64(1); o <= 100; o++ {
+			exec(t, s, fmt.Sprintf("INSERT INTO lord VALUES (%d, %d, %d, %d)", w, o, 1+o%10, o))
+		}
+	}
+
+	// Every conjunct is consumed by the lookup key, so there is no CN
+	// residual and the LIMIT becomes the cursors' row budget.
+	res := exec(t, s, `SELECT o.o_id, c.name FROM lord o JOIN lcust c
+		ON c.w_id = o.w_id AND c.c_id = o.c_id LIMIT 5`)
+	if res.JoinStrategy != "lookup-pushdown" {
+		t.Fatalf("ran %q, want lookup-pushdown", res.JoinStrategy)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("LIMIT 5 returned %d rows", len(res.Rows))
+	}
+	// Full drain would read 400 outer + 400 inner rows. The pushed limit
+	// caps each shard cursor at a handful of joined rows, so storage and
+	// WAN traffic stay bounded by shards * small pages, not table size.
+	if res.Scan.StorageRows >= 200 {
+		t.Fatalf("LIMIT 5 lookup join read %d storage rows", res.Scan.StorageRows)
+	}
+	if res.Scan.WANRows >= 80 {
+		t.Fatalf("LIMIT 5 lookup join shipped %d WAN rows", res.Scan.WANRows)
+	}
+
+	// The same query under the nested loop drains the outer scan lazily
+	// too, but pays one lookup RPC per outer row until the limit fills —
+	// results must agree in count either way.
+	exec(t, s, "SET JOIN = NESTLOOP")
+	nl := exec(t, s, `SELECT o.o_id, c.name FROM lord o JOIN lcust c
+		ON c.w_id = o.w_id AND c.c_id = o.c_id LIMIT 5`)
+	exec(t, s, "SET JOIN = AUTO")
+	if len(nl.Rows) != 5 {
+		t.Fatalf("nested-loop LIMIT 5 returned %d rows", len(nl.Rows))
+	}
+}

@@ -648,6 +648,19 @@ func (p *parser) parseDelete() (Statement, error) {
 
 func (p *parser) parseSet() (Statement, error) {
 	p.next() // SET
+	if p.acceptKw("JOIN") {
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind == tokIdent {
+			if mode, ok := parseJoinStrategy(t.text); ok {
+				p.next()
+				return &SetJoin{Mode: mode.Keyword()}, nil
+			}
+		}
+		return nil, p.errHere("expected AUTO, HASH, LOOKUP or NESTLOOP")
+	}
 	if err := p.expectKw("STALENESS"); err != nil {
 		return nil, err
 	}
@@ -685,8 +698,10 @@ func (p *parser) parseShow() (Statement, error) {
 		return &Show{What: "REGIONS"}, nil
 	case p.acceptKw("STALENESS"):
 		return &Show{What: "STALENESS"}, nil
+	case p.acceptKw("JOIN"):
+		return &Show{What: "JOIN"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, MODE, REGIONS or STALENESS")
+		return nil, p.errHere("expected TABLES, MODE, REGIONS, STALENESS or JOIN")
 	}
 }
 

@@ -129,6 +129,11 @@ type selectPlan struct {
 	// falls back to pure CN-side evaluation when disabled or when binding
 	// fails, so push is an optimization, never a semantic dependency.
 	push *pushPlan
+
+	// join is the join-strategy analysis for two-table plans (see
+	// join.go): which physical strategies beyond nested-loop this plan can
+	// execute with, precompiled. nil when only nested-loop applies.
+	join *joinPlan
 }
 
 // describe renders the plan for EXPLAIN.
@@ -139,7 +144,12 @@ func (p *selectPlan) describe() []string {
 	}
 	out = append(out, "  outer: "+p.outer.describe())
 	if p.inner != nil {
-		out = append(out, "  inner (nested-loop join): "+p.inner.describe())
+		if p.join == nil {
+			out = append(out, "  inner (nested-loop join): "+p.inner.describe())
+		} else {
+			out = append(out, "  inner: "+p.inner.describe())
+			out = append(out, p.join.describe(p)...)
+		}
 	}
 	if p.filter != nil {
 		out = append(out, "  filter: "+p.filter.String())
@@ -182,6 +192,15 @@ type boundPlan struct {
 	// noPushdown forces CN-side evaluation for this execution (session
 	// toggle and the pushdown-vs-CN differential tests).
 	noPushdown bool
+	// joinMode is the session's SET JOIN strategy request for this
+	// execution (joinAuto lets resolveJoin decide from estimates).
+	joinMode joinStrategy
+	// rowEst, when non-nil, returns a table's approximate row count for
+	// AUTO strategy selection. Advisory only.
+	rowEst func(tableName string) int64
+	// chosenJoin records the strategy buildPipeline actually wired, so
+	// results and traces can report it.
+	chosenJoin joinStrategy
 }
 
 // bind attaches one execution's parameter values to a plan. The plan is
@@ -355,6 +374,8 @@ func planSelect(cat catalog, sel *Select) (*selectPlan, error) {
 
 	// Split the plan into DN-partial and CN-final phases where possible.
 	p.push = analyzePushdown(p)
+	// Decide which physical join strategies the plan can execute with.
+	p.join = analyzeJoin(p)
 	return p, nil
 }
 

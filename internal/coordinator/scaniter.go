@@ -385,7 +385,7 @@ func (s ScanSpec) window() int {
 // observePage feeds one fetched page into the spec's counters.
 func (s ScanSpec) observePage(resp datanode.ScanPageResp) {
 	if s.Counters != nil {
-		s.Counters.Observe(resp.Examined, len(resp.KVs))
+		s.Counters.ObserveJoin(resp.Examined, resp.Looked, len(resp.KVs))
 	}
 }
 

@@ -112,6 +112,9 @@ type (
 		// coordinator can account rows filtered out at the data node
 		// (Examined - len(KVs)) without a second RPC.
 		Examined int
+		// Looked counts the inner-table rows a pushed lookup join read
+		// node-side to build joined rows; zero for plain scans.
+		Looked int
 		// ExecNanos is the node-side execution time for this page (MVCC
 		// scan plus fragment evaluation), carried back so the coordinator's
 		// tracer can split an RPC span into network vs remote-execute time.

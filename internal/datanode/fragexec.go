@@ -69,6 +69,9 @@ func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, r
 	if frag.HasAggs() {
 		return execFragAggregate(ctx, store, frag, arena, req, reader)
 	}
+	if frag.Lookup != nil {
+		return execFragLookupJoin(ctx, store, frag, arena, req, reader)
+	}
 	outBudget := pageLimit(req.Limit, req.MaxPage)
 	start := req.Start
 	examined := 0
@@ -81,6 +84,9 @@ func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, r
 	if frag.Project != nil {
 		pageEnc = keys.NewEncoder(0)
 	}
+	// Decode only the columns the fragment references; the rest are
+	// skipped byte-wise (no boxing, no string copies).
+	need := frag.NeededCols()
 	// The internal storage batch starts near the output budget — a
 	// selective LIMIT then reads O(k) storage rows, not a full batch — and
 	// grows geometrically when the filter keeps dropping rows, mirroring
@@ -106,7 +112,7 @@ func execFragScanPage(ctx context.Context, store *mvcc.Store, req ScanPageReq, r
 		// Decode the whole page once into the arena's column slabs.
 		batch := arena.NewBatch(frag.Kinds, len(kvs))
 		for i := range kvs {
-			if err := batch.AppendStored(kvs[i].Value); err != nil {
+			if err := batch.AppendStoredNeeded(kvs[i].Value, need); err != nil {
 				return ScanPageResp{}, err
 			}
 		}
@@ -169,6 +175,174 @@ func finishFragPage(out []mvcc.KV, pageEnc *keys.Encoder, valOffs []int, next []
 	return ScanPageResp{KVs: out, Next: next, More: more, Examined: examined}
 }
 
+// execFragLookupJoin serves one page of a pushed lookup join: for every
+// outer row the fragment's filter keeps, it evaluates the key expressions,
+// reads the matching inner-table rows from the same store (the planner only
+// pushes co-located joins), and ships already-joined rows — outer projected
+// columns followed by the shipped inner columns in one encoded value. The
+// join's WAN cost is O(matching output); the inner reads stay node-side and
+// are reported in Looked.
+//
+// Page breaks happen only at outer-row boundaries: when the output budget
+// fills, the current outer row becomes the resume key (re-included, not
+// skipped) and Examined covers only the rows strictly before it, so
+// re-scanned rows are never double-counted. A page may therefore overshoot
+// the budget by one outer row's fan-out.
+func execFragLookupJoin(ctx context.Context, store *mvcc.Store, frag *fragment.Fragment, arena *fragment.Arena, req ScanPageReq, reader mvcc.TxnID) (ScanPageResp, error) {
+	lk := frag.Lookup
+	ship := lk.ShipCols()
+	outBudget := pageLimit(req.Limit, req.MaxPage)
+	start := req.Start
+	examined, looked := 0, 0
+	var out []mvcc.KV
+	pageEnc := keys.NewEncoder(0) // joined values are always re-encoded
+	var valOffs []int
+	keyEnc := keys.NewEncoder(64)
+	outerEnc := keys.NewEncoder(64)
+	var innerRow []any
+	keyVals := make([][]any, len(lk.KeyExprs))
+	coerced := make([]any, len(lk.KeyExprs))
+	need := frag.NeededCols()
+	storageBatch := outBudget
+	if storageBatch < 16 {
+		storageBatch = 16
+	}
+	if storageBatch > fragScanBatch {
+		storageBatch = fragScanBatch
+	}
+	for {
+		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, storageBatch, reader)
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		if storageBatch < fragScanBatch {
+			storageBatch *= 4
+			if storageBatch > fragScanBatch {
+				storageBatch = fragScanBatch
+			}
+		}
+		batch := arena.NewBatch(frag.Kinds, len(kvs))
+		for i := range kvs {
+			if err := batch.AppendStoredNeeded(kvs[i].Value, need); err != nil {
+				return ScanPageResp{}, err
+			}
+		}
+		// The budget applies to joined output rows, so the filter always
+		// evaluates the whole batch (no maxKeep).
+		sel, _, err := frag.FilterBatch(batch, 0, 0, arena.Sel(len(kvs)))
+		if err != nil {
+			return ScanPageResp{}, err
+		}
+		// Evaluate every key expression over the surviving rows at once.
+		for j := range lk.KeyExprs {
+			if cap(keyVals[j]) < len(sel) {
+				keyVals[j] = make([]any, len(sel))
+			}
+			keyVals[j] = keyVals[j][:len(sel)]
+			if err := fragment.EvalBatch(&lk.KeyExprs[j], batch, sel, keyVals[j]); err != nil {
+				return ScanPageResp{}, err
+			}
+		}
+		resumeAt := -1
+		for i, r := range sel {
+			if len(out) >= outBudget {
+				resumeAt = r
+				break
+			}
+			// A NULL key value matches nothing (SQL equality is never TRUE
+			// against NULL); an uncoercible type is a query error, exactly as
+			// the computing node's own key-access path would report.
+			nullKey := false
+			for j := range coerced {
+				cv, err := fragment.CoerceKey(lk.KeyKinds[j], keyVals[j][i])
+				if err != nil {
+					return ScanPageResp{}, err
+				}
+				if cv == nil {
+					nullKey = true
+					break
+				}
+				coerced[j] = cv
+			}
+			if nullKey {
+				continue
+			}
+			keyEnc.Reset()
+			keyEnc.AppendRaw(lk.Prefix)
+			for _, cv := range coerced {
+				if err := fragment.AppendKeyValue(keyEnc, cv); err != nil {
+					return ScanPageResp{}, err
+				}
+			}
+			innerKey := keyEnc.Bytes()
+			ikvs, err := store.Scan(ctx, innerKey, keys.PrefixEnd(innerKey), req.SnapTS, 0, reader)
+			if err != nil {
+				return ScanPageResp{}, err
+			}
+			looked += len(ikvs)
+			if len(ikvs) == 0 {
+				continue
+			}
+			// Mirror the computing node's residual equality check on the rows
+			// found: the stored key values equal the coerced values
+			// byte-for-byte (exact-prefix scan), so one comparison per outer
+			// row covers every match — and a cross-type comparison errors only
+			// when at least one inner row matched, as the residual would.
+			skipMatches := false
+			for j := range coerced {
+				c, err := fragment.Compare(coerced[j], keyVals[j][i])
+				if err != nil {
+					return ScanPageResp{}, err
+				}
+				if c != 0 {
+					skipMatches = true
+					break
+				}
+			}
+			if skipMatches {
+				continue
+			}
+			// The outer segment is identical for every match of this outer
+			// row: encode it once and splice the bytes per joined row, so a
+			// high fan-out costs one outer encode, not one per match.
+			outerEnc.Reset()
+			if err := frag.AppendOuter(outerEnc, batch, r); err != nil {
+				return ScanPageResp{}, err
+			}
+			for _, ikv := range ikvs {
+				if innerRow, err = lk.DecodeInnerRowAppend(ikv.Value, innerRow); err != nil {
+					return ScanPageResp{}, err
+				}
+				valOffs = append(valOffs, len(pageEnc.Bytes()))
+				pageEnc.AppendRaw(outerEnc.Bytes())
+				if err := lk.AppendInner(pageEnc, innerRow, ship); err != nil {
+					return ScanPageResp{}, err
+				}
+				out = append(out, mvcc.KV{Key: kvs[r].Key})
+			}
+		}
+		if resumeAt >= 0 {
+			examined += resumeAt // rows before the resume row are consumed
+			resume := bytes.Clone(kvs[resumeAt].Key)
+			resp := finishFragPage(out, pageEnc, valOffs, resume, true, examined)
+			resp.Looked = looked
+			return resp, nil
+		}
+		examined += len(kvs)
+		if len(out) >= outBudget || !more {
+			resp := finishFragPage(out, pageEnc, valOffs, next, more, examined)
+			resp.Looked = looked
+			return resp, nil
+		}
+		start = next
+		if examined+looked >= fragExamineBudget {
+			resp := finishFragPage(out, pageEnc, valOffs, next, true, examined)
+			resp.Looked = looked
+			return resp, nil
+		}
+	}
+}
+
 // execFragAggregate folds the entire requested range into per-group
 // partial aggregate states and returns them as one page of
 // (group key, encoded states) pairs in group-key order — O(groups) rows
@@ -185,6 +359,7 @@ func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fr
 	keyEnc := keys.NewEncoder(64)
 	start := req.Start
 	examined := 0
+	need := frag.NeededCols()
 	for {
 		kvs, next, more, err := store.ScanPage(ctx, start, req.End, req.SnapTS, fragScanBatch, reader)
 		if err != nil {
@@ -192,7 +367,7 @@ func execFragAggregate(ctx context.Context, store *mvcc.Store, frag *fragment.Fr
 		}
 		batch := arena.NewBatch(frag.Kinds, len(kvs))
 		for i := range kvs {
-			if err := batch.AppendStored(kvs[i].Value); err != nil {
+			if err := batch.AppendStoredNeeded(kvs[i].Value, need); err != nil {
 				return ScanPageResp{}, err
 			}
 		}

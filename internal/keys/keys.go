@@ -108,6 +108,13 @@ func (e *Encoder) Null() *Encoder {
 	return e
 }
 
+// AppendRaw appends bytes that are already in encoded form — e.g. a table
+// key prefix produced by another Encoder — without tagging or escaping.
+func (e *Encoder) AppendRaw(b []byte) *Encoder {
+	e.buf = append(e.buf, b...)
+	return e
+}
+
 // appendEscaped writes b with 0x00 bytes escaped as 0x00 0xFF and a 0x00 0x01
 // terminator. Under bytewise comparison this preserves ordering and makes
 // the terminator sort before any continuation byte.
@@ -256,6 +263,53 @@ func fastSegment(b []byte) (seg, rest []byte, ok bool) {
 		return b[:i], b[i+2:], true
 	}
 	return nil, nil, false
+}
+
+// Skip advances past the next element, whatever its type, without
+// materializing it — the no-allocation path for walking encoded rows whose
+// current column the caller does not need (boxing an int or copying a
+// string costs a heap object each; skipping costs none).
+func (d *Decoder) Skip() error {
+	if len(d.buf) == 0 {
+		return ErrCorrupt
+	}
+	switch d.buf[0] {
+	case tagNull:
+		d.buf = d.buf[1:]
+	case tagInt, tagFloat:
+		if len(d.buf) < 9 {
+			return ErrCorrupt
+		}
+		d.buf = d.buf[9:]
+	case tagBool:
+		if len(d.buf) < 2 {
+			return ErrCorrupt
+		}
+		d.buf = d.buf[2:]
+	case tagString, tagBytes:
+		b := d.buf[1:]
+		for i := 0; i < len(b); i++ {
+			if b[i] != 0x00 {
+				continue
+			}
+			if i+1 >= len(b) {
+				return ErrCorrupt
+			}
+			switch b[i+1] {
+			case 0xFF:
+				i++ // escaped 0x00, continue
+			case 0x01:
+				d.buf = b[i+2:]
+				return nil
+			default:
+				return ErrCorrupt
+			}
+		}
+		return ErrCorrupt
+	default:
+		return fmt.Errorf("%w: unknown tag %#x", ErrCorrupt, d.buf[0])
+	}
+	return nil
 }
 
 // IsNull consumes a NULL marker if one is next and reports whether it did.

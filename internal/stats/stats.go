@@ -27,6 +27,7 @@ var (
 	scanWANTotal      = obs.Default.Counter("globaldb_scan_wan_rows_total")
 	scanHitsTotal     = obs.Default.Counter("globaldb_scan_prefetch_hits_total")
 	scanWaitTotal     = obs.Default.Counter("globaldb_scan_wan_wait_nanos_total")
+	scanLookupTotal   = obs.Default.Counter("globaldb_scan_lookup_rows_total")
 )
 
 // ScanCounters accumulates one query's scan activity across every shard
@@ -43,6 +44,7 @@ type ScanCounters struct {
 	storage  atomic.Int64
 	filtered atomic.Int64
 	wan      atomic.Int64
+	lookups  atomic.Int64
 	pages    atomic.Int64
 	hits     atomic.Int64
 	waitNano atomic.Int64
@@ -51,14 +53,30 @@ type ScanCounters struct {
 // Observe records one scan RPC's outcome: examined rows read at storage,
 // shipped rows returned over the network.
 func (c *ScanCounters) Observe(examined, shipped int) {
-	c.storage.Add(int64(examined))
-	c.filtered.Add(int64(examined - shipped))
+	c.ObserveJoin(examined, 0, shipped)
+}
+
+// ObserveJoin records one lookup-join scan RPC's outcome: examined outer
+// rows read at storage, looked inner rows the data node read to join them,
+// and shipped joined rows returned over the network. Both row classes count
+// as storage reads; looked rows additionally feed the lookup counter so
+// per-side join accounting survives aggregation. A pushed lookup join never
+// ships more rows than it read (each shipped row consumed at least one
+// looked inner row), so the DN-filtered gap stays non-negative.
+func (c *ScanCounters) ObserveJoin(examined, looked, shipped int) {
+	read := examined + looked
+	c.storage.Add(int64(read))
+	c.filtered.Add(int64(read - shipped))
 	c.wan.Add(int64(shipped))
 	c.pages.Add(1)
-	scanStorageTotal.Add(int64(examined))
-	scanFilteredTotal.Add(int64(examined - shipped))
+	scanStorageTotal.Add(int64(read))
+	scanFilteredTotal.Add(int64(read - shipped))
 	scanWANTotal.Add(int64(shipped))
 	scanPagesTotal.Inc()
+	if looked > 0 {
+		c.lookups.Add(int64(looked))
+		scanLookupTotal.Add(int64(looked))
+	}
 }
 
 // ObserveWait records one page handoff to the consumer: how long the
@@ -81,6 +99,7 @@ func (c *ScanCounters) Snapshot() ScanSnapshot {
 		StorageRows:    c.storage.Load(),
 		DNFilteredRows: c.filtered.Load(),
 		WANRows:        c.wan.Load(),
+		LookupRows:     c.lookups.Load(),
 		PagesFetched:   c.pages.Load(),
 		PrefetchHits:   c.hits.Load(),
 		WANWait:        time.Duration(c.waitNano.Load()),
@@ -96,6 +115,10 @@ type ScanSnapshot struct {
 	DNFilteredRows int64
 	// WANRows is how many rows were shipped over the (simulated) WAN.
 	WANRows int64
+	// LookupRows is how many inner-table rows data nodes read while
+	// executing pushed lookup joins — the join's inner side, served next to
+	// the data instead of shipped. Also included in StorageRows.
+	LookupRows int64
 	// PagesFetched is how many scan-page RPCs the query issued.
 	PagesFetched int64
 	// PrefetchHits is how many of those pages were already fetched when the
@@ -113,6 +136,7 @@ func (s ScanSnapshot) Add(o ScanSnapshot) ScanSnapshot {
 		StorageRows:    s.StorageRows + o.StorageRows,
 		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
 		WANRows:        s.WANRows + o.WANRows,
+		LookupRows:     s.LookupRows + o.LookupRows,
 		PagesFetched:   s.PagesFetched + o.PagesFetched,
 		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
 		WANWait:        s.WANWait + o.WANWait,

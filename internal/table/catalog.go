@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"globaldb/internal/ts"
 )
@@ -19,6 +20,14 @@ type Catalog struct {
 	ddlTS    map[uint64]ts.Timestamp // tableID -> last DDL commit timestamp
 	maxDDLTS ts.Timestamp
 	nextID   uint64
+
+	// rowEst holds approximate per-table row counts, bumped on committed
+	// inserts and deletes. The counts are advisory planner statistics — they
+	// drift under aborted transactions replayed from redo and reset to zero
+	// on restart — good enough to pick a join strategy, never consulted for
+	// correctness.
+	estMu  sync.RWMutex
+	rowEst map[uint64]*atomic.Int64
 }
 
 // NewCatalog returns an empty catalog.
@@ -28,6 +37,7 @@ func NewCatalog() *Catalog {
 		byID:   make(map[uint64]*Schema),
 		ddlTS:  make(map[uint64]ts.Timestamp),
 		nextID: 1,
+		rowEst: make(map[uint64]*atomic.Int64),
 	}
 }
 
@@ -151,6 +161,38 @@ func (c *Catalog) RORAllowed(rcp ts.Timestamp, tableIDs ...uint64) bool {
 		}
 	}
 	return true
+}
+
+// BumpRowEstimate adjusts a table's approximate row count by delta
+// (inserts +1, deletes -1).
+func (c *Catalog) BumpRowEstimate(tableID uint64, delta int64) {
+	c.estMu.RLock()
+	ctr := c.rowEst[tableID]
+	c.estMu.RUnlock()
+	if ctr == nil {
+		c.estMu.Lock()
+		if ctr = c.rowEst[tableID]; ctr == nil {
+			ctr = &atomic.Int64{}
+			c.rowEst[tableID] = ctr
+		}
+		c.estMu.Unlock()
+	}
+	ctr.Add(delta)
+}
+
+// RowEstimate returns a table's approximate row count (zero if unknown;
+// never negative).
+func (c *Catalog) RowEstimate(tableID uint64) int64 {
+	c.estMu.RLock()
+	ctr := c.rowEst[tableID]
+	c.estMu.RUnlock()
+	if ctr == nil {
+		return 0
+	}
+	if n := ctr.Load(); n > 0 {
+		return n
+	}
+	return 0
 }
 
 // MarshalSchema serializes a schema for DDL redo records.

@@ -80,6 +80,10 @@ type ScanStats struct {
 	StorageRows    int64
 	DNFilteredRows int64
 	WANRows        int64
+	// LookupRows counts inner-table rows data nodes read while executing
+	// pushed lookup joins — the join's inner side served next to the data.
+	// Also included in StorageRows.
+	LookupRows int64
 	// PagesFetched counts scan-page RPCs; PrefetchHits counts the pages
 	// that were already fetched (or in flight and complete) when the
 	// consumer asked for them — WAN round trips fully hidden behind
@@ -97,6 +101,7 @@ func (s ScanStats) Add(o ScanStats) ScanStats {
 		StorageRows:    s.StorageRows + o.StorageRows,
 		DNFilteredRows: s.DNFilteredRows + o.DNFilteredRows,
 		WANRows:        s.WANRows + o.WANRows,
+		LookupRows:     s.LookupRows + o.LookupRows,
 		PagesFetched:   s.PagesFetched + o.PagesFetched,
 		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
 		WANWait:        s.WANWait + o.WANWait,
@@ -105,7 +110,7 @@ func (s ScanStats) Add(o ScanStats) ScanStats {
 
 func toScanStats(s stats.ScanSnapshot) ScanStats {
 	return ScanStats{StorageRows: s.StorageRows, DNFilteredRows: s.DNFilteredRows, WANRows: s.WANRows,
-		PagesFetched: s.PagesFetched, PrefetchHits: s.PrefetchHits, WANWait: s.WANWait}
+		LookupRows: s.LookupRows, PagesFetched: s.PagesFetched, PrefetchHits: s.PrefetchHits, WANWait: s.WANWait}
 }
 
 // Rows is a streaming scan result. It is batch-native inside: the cursor
@@ -131,8 +136,9 @@ type Rows struct {
 	sch       *table.Schema
 	cur       coordinator.BatchCursor
 	resolve   func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
-	projFrag  *fragment.Fragment // batch-decode of projected rows
-	narrow    []table.Kind       // projFrag.ProjectedKinds()
+	projFrag  *fragment.Fragment      // batch-decode of projected rows
+	narrow    []table.Kind            // projFrag.ProjectedKinds()
+	joined    *fragment.JoinedDecoder // batch-decode of lookup-joined rows
 	ctrs      *stats.ScanCounters
 	remaining int // rows still to yield; < 0 means unlimited
 	batch     []Row
@@ -149,7 +155,7 @@ func newRows(ctx context.Context, sch *table.Schema, cur coordinator.BatchCursor
 		remaining = limit
 	}
 	return &Rows{ctx: ctx, sch: sch, cur: cur, resolve: st.resolve,
-		projFrag: st.projFrag, narrow: st.narrow, ctrs: st.ctrs, remaining: remaining}
+		projFrag: st.projFrag, narrow: st.narrow, joined: st.joined, ctrs: st.ctrs, remaining: remaining}
 }
 
 // ScanStats reports this scan's per-layer row counts so far: storage rows
@@ -191,6 +197,22 @@ func (r *Rows) fillBatch() bool {
 					continue // row deleted with a stale index entry in-flight
 				}
 				rows = append(rows, row)
+			}
+		case r.joined != nil:
+			// Lookup-joined rows: each value decodes to one combined row of
+			// full outer width followed by full inner width.
+			w := r.joined.Width()
+			slab := make([]any, 0, w*n)
+			for i := range kvs {
+				var err error
+				slab, err = r.joined.DecodeAppend(kvs[i].Value, slab)
+				if err != nil {
+					r.err = err
+					return false
+				}
+			}
+			for i := 0; i < n; i++ {
+				rows = append(rows, Row(slab[i*w:(i+1)*w:(i+1)*w]))
 			}
 		case r.projFrag != nil:
 			w := len(r.projFrag.Kinds)
@@ -343,6 +365,7 @@ type scanSetup struct {
 	resolve  func(ctx context.Context, kv mvcc.KV) (Row, bool, error)
 	projFrag *fragment.Fragment
 	narrow   []table.Kind
+	joined   *fragment.JoinedDecoder
 }
 
 // setupScan validates a scan's pushdown fragment against the schema and
@@ -385,6 +408,11 @@ func setupScan(sch *table.Schema, o ScanOpts) (*scanSetup, error) {
 			}
 			return row, true, nil
 		}
+	case p.Lookup != nil:
+		// Lookup-joined rows: each shipped value carries the outer projected
+		// columns followed by the shipped inner columns, decoding to one
+		// combined row of outer width then inner width.
+		st.joined = p.NewJoinedDecoder()
 	case p.Project != nil:
 		// Projected rows batch-decode back to schema width with unshipped
 		// columns nil; the planner guarantees nothing downstream reads
